@@ -1,0 +1,42 @@
+// E4 — Paper Fig. 6: the broadcasting schedule on a 16-PE array. The figure
+// lists, per ASCEND step, every "sender -> receiver" event when PE 0's value
+// floods the machine with a traveling SENDER bit.
+//
+// Regenerates: the exact event list in the figure's binary-address format,
+// plus the O(km) cost of a k-bit broadcast run on the bit-serial BVM.
+#include <iostream>
+
+#include "bvm/microcode/broadcast.hpp"
+#include "net/schedule.hpp"
+#include "util/table.hpp"
+
+int main() {
+  ttp::util::print_section(std::cout,
+                           "E4: Fig. 6 — broadcasting on a 16-PE array");
+
+  // Word-level schedule (the figure itself).
+  ttp::net::HypercubeMachine<ttp::net::FlowState> m(4);
+  m.at(0).value = 1;
+  ttp::net::EventLog log;
+  ttp::net::broadcast(m, 0, &log);
+  std::cout << ttp::net::format_events_fig6(log, 4) << '\n';
+
+  // The same algorithm as BVM microcode: k-bit value, sender control bit.
+  using namespace ttp::bvm;
+  Machine bm(BvmConfig{2, 2});  // 16 PEs
+  const int k = 6;
+  const Field value{0, k}, scratch{k, k};
+  bm.poke_value(value.base, k, 0, 0x2D);
+  const auto before = bm.instr_count();
+  broadcast_from_pe0(bm, value, 12, scratch, 13, 14);
+  bool ok = true;
+  for (std::size_t pe = 0; pe < bm.num_pes(); ++pe) {
+    ok = ok && bm.peek_value(value.base, k, pe) == 0x2D;
+  }
+  std::cout << "BVM realization: " << k << "-bit broadcast on "
+            << bm.num_pes() << " PEs took " << (bm.instr_count() - before)
+            << " instructions (paper: O(k·m) with control bits generated on "
+               "the fly)\n";
+  std::cout << "all PEs received the value: " << (ok ? "YES" : "NO") << '\n';
+  return ok ? 0 : 1;
+}

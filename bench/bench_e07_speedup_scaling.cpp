@@ -1,0 +1,51 @@
+// E7 — Claim: the parallel TT algorithm achieves speedup S = T_1/T_P =
+// O(P / log P) on P = O(N·2^k) PEs (abstract + §1).
+//
+// Measured: T_1 = sequential M-evaluations; T_P = parallel machine steps of
+// the hypercube run (word-level; the bit-serial factor p divides out of the
+// ratio). If the claim holds, S · log2(P) / P is bounded by constants
+// across sizes — the table's last column must stay flat-ish, not trend to 0
+// or infinity.
+#include <iostream>
+
+#include "tt/generator.hpp"
+#include "tt/solver_hypercube.hpp"
+#include "tt/solver_sequential.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace ttp::tt;
+  ttp::util::print_section(std::cout,
+                           "E7: speedup O(P/log P) — S·log2(P)/P across sizes");
+
+  ttp::util::Table t({"k", "N", "PEs P", "T_1 (seq ops)", "T_P (par steps)",
+                      "speedup S", "S·log2(P)/P"});
+  ttp::util::Rng rng(123);
+  double lo = 1e9, hi = 0;
+  for (int k = 4; k <= 11; ++k) {
+    RandomOptions opt;
+    opt.num_tests = k;
+    opt.num_treatments = k;
+    const Instance ins = random_instance(k, opt, rng);
+    const auto seq = SequentialSolver().solve(ins);
+    const auto par = HypercubeSolver().solve(ins);
+    const double T1 = static_cast<double>(seq.steps.total_ops);
+    const double TP = static_cast<double>(par.steps.parallel_steps);
+    const double P = static_cast<double>(par.breakdown.get("pes"));
+    const double S = T1 / TP;
+    const double norm = S * (std::log2(P)) / P;
+    lo = std::min(lo, norm);
+    hi = std::max(hi, norm);
+    t.add_row({std::to_string(k), std::to_string(ins.num_actions()),
+               ttp::util::Table::num(static_cast<std::uint64_t>(P)),
+               ttp::util::Table::num(static_cast<std::uint64_t>(T1)),
+               ttp::util::Table::num(static_cast<std::uint64_t>(TP)),
+               ttp::util::Table::num(S, 4), ttp::util::Table::num(norm, 3)});
+  }
+  t.print(std::cout);
+  std::cout << "\nnormalized speedup range across a 128x PE-count sweep: ["
+            << lo << ", " << hi << "] (ratio " << hi / lo
+            << "; bounded => O(P/log P) shape holds)\n";
+  return hi / lo < 8.0 ? 0 : 1;
+}

@@ -1,0 +1,48 @@
+// E10 — Claims (§1): the algorithm needs O(N·2^k) PEs; "for 2^30 PEs,
+// approximately 15 elements could be processed in parallel ... even if all
+// possible tests and treatments were available (N = O(2^k))"; "a few more
+// elements, e.g. 20, can be processed if N = O(k^2)"; a 2^20-PE machine is
+// "currently implementable".
+//
+// Regenerates: the feasibility table (k vs required PEs vs the 2^20 / 2^30
+// machines) and checks the two headline k values.
+#include <iostream>
+
+#include "tt/sizing.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace ttp::tt;
+  ttp::util::print_section(std::cout,
+                           "E10: machine sizing — O(N·2^k) PEs, headline k");
+
+  for (auto policy : {ActionBudget::kAllSubsets, ActionBudget::kQuadratic,
+                      ActionBudget::kLinear}) {
+    std::cout << "\naction budget " << budget_name(policy) << ":\n";
+    ttp::util::Table t(
+        {"k", "N", "PEs needed (log2)", "fits 2^20", "fits 2^30"});
+    for (int k : {8, 10, 12, 14, 15, 16, 18, 20, 22, 25}) {
+      const SizingRow row = size_for(k, actions_for(k, policy));
+      t.add_row({std::to_string(k), std::to_string(row.num_actions),
+                 "2^" + std::to_string(row.machine_dims),
+                 row.fits_2_20 ? "yes" : "no",
+                 row.fits_2_30 ? "yes" : "no"});
+    }
+    t.print(std::cout);
+  }
+
+  const int k_all_30 = max_k_for_machine(30, ActionBudget::kAllSubsets);
+  const int k_quad_30 = max_k_for_machine(30, ActionBudget::kQuadratic);
+  const int k_all_20 = max_k_for_machine(20, ActionBudget::kAllSubsets);
+  std::cout << "\nheadline checks:\n";
+  std::cout << "  max k on 2^30 PEs with N=O(2^k): " << k_all_30
+            << "   (paper: ~15)\n";
+  std::cout << "  max k on 2^30 PEs with N=O(k^2): " << k_quad_30
+            << "   (paper: ~20)\n";
+  std::cout << "  max k on 2^20 PEs with N=O(2^k): " << k_all_20
+            << "   (the 'currently implementable' machine)\n";
+  const bool ok = k_all_30 == 15 && k_quad_30 >= 20 && k_quad_30 <= 24;
+  std::cout << "\nmatches the paper's feasibility claims: "
+            << (ok ? "YES" : "NO") << '\n';
+  return ok ? 0 : 1;
+}

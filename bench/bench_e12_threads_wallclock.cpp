@@ -1,0 +1,60 @@
+// E12 — Hardware substitute: the paper's parallel machine does not exist on
+// this host, but the same layer-parallel schedule runs on std::thread. This
+// google-benchmark binary measures wall-clock of the sequential vs threaded
+// DP (results depend on host core count; on a 1-core box the threaded
+// variant shows scheduling overhead, which EXPERIMENTS.md notes).
+#include <benchmark/benchmark.h>
+
+#include "tt/generator.hpp"
+#include "tt/solver_sequential.hpp"
+#include "tt/solver_threads.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+ttp::tt::Instance bench_instance(int k) {
+  ttp::util::Rng rng(321);
+  ttp::tt::RandomOptions opt;
+  opt.num_tests = 12;
+  opt.num_treatments = 12;
+  return ttp::tt::random_instance(k, opt, rng);
+}
+
+void BM_SequentialDp(benchmark::State& state) {
+  const auto ins = bench_instance(static_cast<int>(state.range(0)));
+  ttp::tt::SequentialSolver solver;
+  double cost = 0;
+  for (auto _ : state) {
+    cost = solver.solve(ins).cost;
+    benchmark::DoNotOptimize(cost);
+  }
+  state.counters["states"] =
+      static_cast<double>(std::size_t{1} << state.range(0));
+  state.counters["C(U)"] = cost;
+}
+
+void BM_ThreadsDp(benchmark::State& state) {
+  const auto ins = bench_instance(static_cast<int>(state.range(0)));
+  ttp::tt::ThreadsSolver solver(static_cast<std::size_t>(state.range(1)));
+  double cost = 0;
+  for (auto _ : state) {
+    cost = solver.solve(ins).cost;
+    benchmark::DoNotOptimize(cost);
+  }
+  state.counters["workers"] = static_cast<double>(state.range(1));
+  state.counters["C(U)"] = cost;
+}
+
+}  // namespace
+
+BENCHMARK(BM_SequentialDp)->Arg(12)->Arg(14)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ThreadsDp)
+    ->Args({14, 1})
+    ->Args({14, 2})
+    ->Args({14, 4})
+    ->Args({16, 2})
+    ->Args({16, 4})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,96 @@
+// E13 — Ablation: the Preparata-Vuillemin pipelined lateral wave vs paying
+// a full cycle rotation per lateral dimension (what a naive port of the
+// hypercube algorithm to the CCC would do). The paper's 4-6x claim only
+// holds because of the pipelining; this bench quantifies how much it buys
+// as the lateral count h grows, both for raw ASCEND sweeps and for whole
+// TT solves.
+#include <iostream>
+
+#include "net/ccc.hpp"
+#include "net/hypercube.hpp"
+#include "tt/generator.hpp"
+#include "tt/solver_bvm.hpp"
+#include "tt/solver_ccc.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+struct Item {
+  std::uint64_t v = 0;
+};
+
+void mix(int dim, Item& lo, Item& hi) {
+  const std::uint64_t a = lo.v, b = hi.v;
+  lo.v = a * 7 + b + static_cast<std::uint64_t>(dim);
+  hi.v = b * 5 + a;
+}
+
+}  // namespace
+
+int main() {
+  using namespace ttp::net;
+  ttp::util::print_section(
+      std::cout, "E13: pipelined vs unpipelined lateral dimensions (ASCEND)");
+
+  ttp::util::Table t({"shape (r,h)", "PEs", "pipelined steps",
+                      "unpipelined steps", "pipelining gain"});
+  for (const CccConfig cfg :
+       {CccConfig{2, 2}, CccConfig::complete(2), CccConfig{3, 6},
+        CccConfig::complete(3), CccConfig{4, 10}, CccConfig::complete(4)}) {
+    CccMachine<Item> pm(cfg), um(cfg);
+    for (std::size_t i = 0; i < pm.size(); ++i) {
+      pm.at(i).v = um.at(i).v = i + 1;
+    }
+    pm.ascend(mix);
+    um.ascend_unpipelined(mix);
+    t.add_row({"(" + std::to_string(cfg.r) + "," + std::to_string(cfg.h) + ")",
+               std::to_string(cfg.size()),
+               std::to_string(pm.steps().parallel_steps),
+               std::to_string(um.steps().parallel_steps),
+               ttp::util::Table::num(
+                   static_cast<double>(um.steps().parallel_steps) /
+                       static_cast<double>(pm.steps().parallel_steps),
+                   3) +
+                   "x"});
+  }
+  t.print(std::cout);
+
+  // The same ablation at the bit level: whole TT solves on the BVM with
+  // per-dimension rotation laps vs the pipelined wave in the e-loop.
+  std::cout << "\nBVM TT solves (p=12, integer costs):\n";
+  ttp::util::Table bt({"k", "layer instrs (per-dim laps)",
+                       "layer instrs (pipelined wave)", "gain"});
+  for (int k : {4, 6, 8, 10}) {
+    ttp::util::Rng rng(static_cast<std::uint64_t>(k));
+    ttp::tt::RandomOptions ropt;
+    ropt.num_tests = 4;
+    ropt.num_treatments = 4;
+    ropt.integer_costs = true;
+    ropt.integer_weights = true;
+    const ttp::tt::Instance ins = ttp::tt::random_instance(k, ropt, rng);
+    ttp::tt::BvmSolverOptions a;
+    a.format = ttp::util::Fixed::Format{12, 0};
+    ttp::tt::BvmSolverOptions b = a;
+    b.pipelined_laterals = true;
+    const auto ra = ttp::tt::BvmSolver(a).solve(ins);
+    const auto rb = ttp::tt::BvmSolver(b).solve(ins);
+    if (ttp::tt::max_table_diff(ra.table, rb.table) != 0.0) {
+      std::cerr << "MISMATCH\n";
+      return 1;
+    }
+    const auto la = ra.breakdown.get("layers");
+    const auto lb = rb.breakdown.get("layers");
+    bt.add_row({std::to_string(k), std::to_string(la), std::to_string(lb),
+                ttp::util::Table::num(static_cast<double>(la) /
+                                          static_cast<double>(lb),
+                                      3) +
+                    "x"});
+  }
+  bt.print(std::cout);
+
+  std::cout << "\nthe gain grows with h (the wave amortizes all laterals "
+               "into one rotation): the paper's constant-factor simulation "
+               "— and its T = O(k·p·(k+log N)) bound — depend on it.\n";
+  return 0;
+}

@@ -1,0 +1,78 @@
+// E17 (extension) — the flip side of the paper's massive parallelism: the
+// layered DP (sequential or parallel) always pays all 2^k states, but a
+// top-down solver only pays the states REACHABLE under the instance's
+// action structure, plus branch-and-bound pruning. This bench measures how
+// much of the 2^k state space each application family actually needs —
+// context for when the 2^30-PE machine is warranted.
+#include <iostream>
+
+#include "tt/generator.hpp"
+#include "tt/solver_bnb.hpp"
+#include "tt/solver_sequential.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace ttp::tt;
+  ttp::util::print_section(
+      std::cout,
+      "E17 (extension): reachable/visited states vs the dense 2^k sweep");
+
+  ttp::util::Table t({"family (k=10)", "2^k states", "reachable",
+                      "B&B visited", "pruned actions", "visited share"});
+  auto add = [&](const std::string& name, const Instance& ins) {
+    const auto seq = SequentialSolver().solve(ins);
+    const auto bnb = BnbSolver().solve(ins);
+    if (bnb.cost != seq.cost) {
+      std::cerr << "MISMATCH on " << name << "\n";
+      exit(1);
+    }
+    const std::size_t full = std::size_t{1} << ins.k();
+    const auto visited = bnb.breakdown.get("visited_states");
+    t.add_row({name, std::to_string(full),
+               std::to_string(BnbSolver::count_reachable(ins)),
+               std::to_string(visited),
+               std::to_string(bnb.breakdown.get("pruned_actions")),
+               ttp::util::Table::num(
+                   100.0 * static_cast<double>(visited) /
+                       static_cast<double>(full),
+                   3) +
+                   "%"});
+  };
+
+  const int k = 10;
+  {
+    ttp::util::Rng rng(1);
+    add("random dense", random_instance(k, RandomOptions{}, rng));
+  }
+  {
+    ttp::util::Rng rng(2);
+    add("medical diagnosis", medical_instance(k, k, rng));
+  }
+  {
+    ttp::util::Rng rng(3);
+    add("machine fault", machine_fault_instance(k, rng));
+  }
+  {
+    ttp::util::Rng rng(4);
+    add("biology key", biology_key_instance(k, rng));
+  }
+  {
+    // Prefix-structured family: tests and treatments are prefixes; the
+    // state space collapses to intervals.
+    Instance ins(k, std::vector<double>(k, 1.0));
+    for (int i = 0; i + 1 < k; ++i) ins.add_test(ttp::util::universe(i + 1), 1.0);
+    for (int i = 0; i < k; ++i) {
+      ins.add_treatment(ttp::util::universe(i + 1), 1.0 + 0.5 * (i + 1));
+    }
+    add("prefix chain", ins);
+  }
+  t.print(std::cout);
+
+  std::cout << "\nfamilies with singleton treatments reach the whole state "
+               "space (any object can be removed from any state), which is "
+               "exactly the regime the paper's O(N·2^k)-PE machine targets; "
+               "coarse-treatment structure collapses it to a sliver a "
+               "workstation handles top-down.\n";
+  return 0;
+}

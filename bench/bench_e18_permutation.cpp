@@ -1,0 +1,108 @@
+// E18 — Claim (§2): "Since the BVM communication network resembles the
+// Benes permutation network, it can accomplish any permutation within
+// O(log n) time if the control bits are precalculated."
+//
+// Measured: random permutations routed through precalculated Benes control
+// bits; CCC parallel steps per permutation across machine sizes (flat
+// steps/log n = the O(log n) claim), plus the bit-serial BVM instruction
+// counts with the control rows DMA-loaded ("precalculated").
+#include <iostream>
+#include <numeric>
+
+#include "bvm/microcode/permute.hpp"
+#include "net/benes.hpp"
+#include "net/ccc.hpp"
+#include "net/hypercube.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+std::vector<std::size_t> random_perm(std::size_t n, std::uint64_t seed) {
+  std::vector<std::size_t> p(n);
+  std::iota(p.begin(), p.end(), std::size_t{0});
+  ttp::util::Rng rng(seed);
+  rng.shuffle(p);
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  ttp::util::print_section(
+      std::cout,
+      "E18: any permutation in O(log n) with precalculated control bits");
+
+  ttp::util::Table t({"CCC shape", "PEs n", "stages (2·log n − 1)",
+                      "hypercube steps", "CCC steps", "CCC steps / log2 n"});
+  for (const ttp::net::CccConfig cfg :
+       {ttp::net::CccConfig{2, 2}, ttp::net::CccConfig::complete(2),
+        ttp::net::CccConfig{3, 6}, ttp::net::CccConfig::complete(3),
+        ttp::net::CccConfig{4, 12}}) {
+    const auto perm = random_perm(cfg.size(), 99);
+    const auto prog = ttp::net::benes_route(perm);
+
+    ttp::net::HypercubeMachine<ttp::net::NormalItem> hm(cfg.dims());
+    ttp::net::CccMachine<ttp::net::NormalItem> cm(cfg);
+    for (std::size_t i = 0; i < hm.size(); ++i) {
+      hm.at(i).key = cm.at(i).key = i;
+    }
+    ttp::net::init_homes(hm);
+    ttp::net::init_homes(cm);
+    ttp::net::benes_apply(hm, prog);
+    ttp::net::benes_apply(cm, prog);
+    for (std::size_t i = 0; i < hm.size(); ++i) {
+      if (hm.at(perm[i]).key != i || cm.at(perm[i]).key != i) {
+        std::cerr << "ROUTING ERROR\n";
+        return 1;
+      }
+    }
+    t.add_row({"(" + std::to_string(cfg.r) + "," + std::to_string(cfg.h) + ")",
+               std::to_string(cfg.size()), std::to_string(prog.num_stages()),
+               std::to_string(hm.steps().parallel_steps),
+               std::to_string(cm.steps().parallel_steps),
+               ttp::util::Table::num(
+                   static_cast<double>(cm.steps().parallel_steps) /
+                       cfg.dims(),
+                   4)});
+  }
+  t.print(std::cout);
+
+  // Bit level: the paper's machine with precalculated rows.
+  std::cout << "\nbit-serial BVM (p = 8 data bits, controls DMA-loaded):\n";
+  ttp::util::Table bt({"machine", "PEs", "ctrl rows", "instructions",
+                       "instr / (p·(2·log n − 1))"});
+  for (int r : {2, 3}) {
+    const ttp::bvm::BvmConfig cfg = ttp::bvm::BvmConfig::complete(r);
+    ttp::bvm::Machine m(cfg);
+    const int p = 8;
+    const ttp::bvm::Field v{0, p}, x{p, p};
+    const auto perm = random_perm(m.num_pes(), 7);
+    const auto prog = ttp::net::benes_route(perm);
+    ttp::bvm::load_benes_controls(m, prog, 2 * p);
+    for (std::size_t pe = 0; pe < m.num_pes(); ++pe) {
+      m.poke_value(v.base, p, pe, pe % 251);
+    }
+    ttp::bvm::benes_permute(m, prog, 2 * p, v, x, 60);
+    for (std::size_t pe = 0; pe < m.num_pes(); ++pe) {
+      if (m.peek_value(v.base, p, perm[pe]) != pe % 251) {
+        std::cerr << "BVM ROUTING ERROR\n";
+        return 1;
+      }
+    }
+    bt.add_row({"complete CCC r=" + std::to_string(r),
+                std::to_string(m.num_pes()),
+                std::to_string(prog.num_stages()),
+                std::to_string(m.instr_count()),
+                ttp::util::Table::num(
+                    static_cast<double>(m.instr_count()) /
+                        (p * (2.0 * cfg.dims() - 1)),
+                    4)});
+  }
+  bt.print(std::cout);
+  std::cout << "\nCCC steps scale with log n at a flat constant; every "
+              "random permutation routed exactly. The last BVM column is "
+              "the per-stage bit cost (dominated by the Q-lap exchange; "
+              "the wave of E13 applies here too).\n";
+  return 0;
+}

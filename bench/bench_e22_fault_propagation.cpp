@@ -1,0 +1,165 @@
+// E22 (extension) — reliability of the 2^20-PE machine class: what does a
+// transient bit flip do to the TT computation? Record the solve's static
+// instruction stream, replay it on a fresh machine, inject a fault at a
+// chosen instruction, and count wrong DP-table entries.
+//
+// The headline finding is NOT the blast radius but the opposite: the
+// algorithm is accidentally fault-masking. A single-PE flip is healed by
+// three mechanisms: (a) the layer-flag propagation reaches every PE along
+// k redundant dimension paths; (b) the ASCEND min-reduction OVERWRITES
+// every (S,i) PE of a state with the group minimum, repairing a corrupted
+// member unless its wrong value undercuts the true minimum; (c) each
+// layer's R=Q=M recopy re-derives scratch state from healed M. Only flips
+// landing in the final-value registers after their last write, or
+// machine-wide row faults (a stuck register driver), survive to the
+// output.
+#include <iostream>
+
+#include "bvm/io.hpp"
+#include "tt/generator.hpp"
+#include "tt/solver_bvm.hpp"
+#include "tt/solver_hypercube.hpp"
+#include "tt/solver_sequential.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace ttp;
+using namespace ttp::tt;
+
+struct FaultResult {
+  std::size_t wrong_costs = 0;
+  std::size_t states = 0;
+};
+
+constexpr std::size_t kWholeRow = static_cast<std::size_t>(-1);
+
+// Replays `program` on a fresh machine loaded with the instance's data,
+// flipping one bit right after `fault_at` instructions (fault_at < 0: no
+// fault), then compares the extracted table with the reference.
+FaultResult replay_with_fault(const Instance& ins,
+                              const std::vector<bvm::Instr>& program,
+                              const util::Fixed::Format& fmt,
+                              const TtRegisterMap& rm, int fault_at,
+                              int fault_reg, std::size_t fault_pe,
+                              const DpTable& reference) {
+  const int k = ins.k();
+  const int a = HypercubeSolver::action_dims(ins);
+  const int npad = 1 << a;
+  bvm::Machine m(bvm::BvmConfig::for_dims(k + a));
+  for (std::size_t pe = 0; pe < m.num_pes(); ++pe) {
+    const int i = static_cast<int>(pe) & (npad - 1);
+    const bool real = i < ins.num_actions();
+    const util::Mask t = real ? ins.action(i).set : ins.universe();
+    for (int e = 0; e < k; ++e) {
+      m.poke(bvm::Reg::R(rm.tmask + e), pe, util::has_bit(t, e));
+    }
+    m.poke(bvm::Reg::R(rm.istest), pe, real && ins.action(i).is_test);
+    const std::uint64_t raw =
+        real ? util::Fixed::from_double(fmt, ins.action(i).cost).raw()
+             : fmt.inf_raw();
+    m.poke_value(rm.ct, fmt.bits, pe, raw);
+  }
+  for (std::size_t idx = 0; idx < program.size(); ++idx) {
+    if (static_cast<int>(idx) == fault_at) {
+      if (fault_pe == kWholeRow) {
+        // Stuck register driver: the whole row flips.
+        bvm::BitVec& row = m.row(bvm::Reg::R(fault_reg));
+        for (std::size_t w = 0; w < row.words(); ++w) {
+          row.word(w) = ~row.word(w);
+        }
+        row.trim();
+      } else {
+        m.poke(bvm::Reg::R(fault_reg), fault_pe,
+               !m.peek(bvm::Reg::R(fault_reg), fault_pe));
+      }
+    }
+    m.exec(program[idx]);
+  }
+
+  FaultResult res;
+  res.states = std::size_t{1} << k;
+  for (std::size_t s = 1; s < res.states; ++s) {
+    const std::uint64_t raw = m.peek_value(rm.m, fmt.bits, s << a);
+    const util::Fixed v(fmt, raw);
+    const double got = v.is_inf() ? kInf : v.to_double();
+    const double want = reference.cost[s];
+    const bool both_inf = std::isinf(got) && std::isinf(want);
+    if (!both_inf && got != want) ++res.wrong_costs;
+  }
+  return res;
+}
+
+}  // namespace
+
+int main() {
+  ttp::util::print_section(
+      std::cout, "E22: single-bit-flip fault propagation through the solve");
+
+  util::Rng rng(777);
+  RandomOptions opt;
+  opt.num_tests = 4;
+  opt.num_treatments = 4;
+  opt.integer_costs = true;
+  opt.integer_weights = true;
+  const Instance ins = random_instance(6, opt, rng);
+  const util::Fixed::Format fmt{16, 0};
+
+  BvmSolverOptions bopt;
+  bopt.format = fmt;
+  std::vector<bvm::Instr> program;
+  bopt.record_program = &program;
+  const auto clean = BvmSolver(bopt).solve(ins);
+  const auto seq = SequentialSolver().solve(ins);
+  if (max_table_diff(clean.table, seq.table) != 0.0) {
+    std::cerr << "CLEAN RUN MISMATCH\n";
+    return 1;
+  }
+
+  const int k = ins.k();
+  const int a = HypercubeSolver::action_dims(ins);
+  const TtRegisterMap rm(k + a, k, a, fmt.bits, fmt.frac);
+  const std::size_t victim_pe = std::size_t{0b010110} << a;  // (S=22, i=0)
+
+  ttp::util::Table t({"fault point (instr #)", "fault",
+                      "wrong C(S) entries", "of states"});
+  const int total = static_cast<int>(program.size());
+  struct Probe {
+    int at;
+    int reg;
+    std::size_t pe;
+    const char* name;
+  };
+  const int msb = rm.m + fmt.bits - 1;
+  const Probe probes[] = {
+      {-1, rm.m, victim_pe, "none (control)"},
+      // Single-PE transients: healed by redundancy / min-reduction.
+      {total / 10, rm.pid + a + 2, victim_pe,
+       "1 PE: processor-ID bit (early)"},
+      {total / 10, rm.tmask + 1, victim_pe, "1 PE: T_i membership (early)"},
+      {total / 3, rm.m, victim_pe, "1 PE: M low bit (mid-solve)"},
+      {2 * total / 3, msb, victim_pe, "1 PE: M top bit (late)"},
+      {total - 40, msb, victim_pe, "1 PE: M top bit (after last write)"},
+      // Machine-wide row faults: a stuck register driver.
+      {total / 3, rm.tmask + 1, kWholeRow, "ALL PEs: T_i membership row"},
+      {2 * total / 3, rm.m + 2, kWholeRow, "ALL PEs: M bit-2 row"},
+  };
+  for (const Probe& p : probes) {
+    const FaultResult r = replay_with_fault(ins, program, fmt, rm, p.at,
+                                            p.reg, p.pe, seq.table);
+    t.add_row({p.at < 0 ? "-" : std::to_string(p.at), p.name,
+               std::to_string(r.wrong_costs), std::to_string(r.states - 1)});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nsingle-PE transients are almost entirely HEALED: layer "
+               "flags arrive over k redundant dimension paths, and the "
+               "min-reduction overwrites every (S,i) member with the group "
+               "minimum — only a flip in the answer register after its "
+               "last write survives (1 entry). Machine-wide row faults "
+               "(stuck drivers) corrupt broadly. An unplanned but real "
+               "robustness property of the paper's (S,i)-replicated "
+               "design.\n";
+  return 0;
+}

@@ -1,0 +1,89 @@
+// ttp_solve — command-line solver for TT instance files.
+//
+//   example_ttp_solve                         # solve an embedded sample
+//   example_ttp_solve problem.tt              # solve a file
+//   example_ttp_solve problem.tt --solver=bvm # sequential|threads|
+//                                             #   hypercube|ccc|bvm
+//   example_ttp_solve problem.tt --dot        # emit Graphviz instead
+//   example_ttp_solve problem.tt --protocol   # numbered field protocol
+//
+// File format: see src/tt/serialize.hpp.
+#include <iostream>
+#include <string>
+
+#include "tt/protocol.hpp"
+#include "tt/report.hpp"
+#include "tt/serialize.hpp"
+#include "tt/solver_bvm.hpp"
+#include "tt/solver_ccc.hpp"
+#include "tt/solver_hypercube.hpp"
+#include "tt/solver_sequential.hpp"
+#include "tt/solver_threads.hpp"
+
+namespace {
+
+constexpr const char* kSample = R"(# embedded sample: 4 faults, 2 tests, 3 cures
+tt 4
+weights 0.4 0.3 0.2 0.1
+test  testAB {0,1} 1.0
+test  testAC {0,2} 1.5
+treat cureA  {0}   2.0
+treat cureBC {1,2} 3.0
+treat cureCD {2,3} 2.5
+)";
+
+ttp::tt::SolveResult run(const std::string& solver,
+                         const ttp::tt::Instance& ins) {
+  using namespace ttp::tt;
+  if (solver == "sequential") return SequentialSolver().solve(ins);
+  if (solver == "threads") return ThreadsSolver().solve(ins);
+  if (solver == "hypercube") return HypercubeSolver().solve(ins);
+  if (solver == "ccc") return CccSolver().solve(ins);
+  if (solver == "bvm") return BvmSolver().solve(ins);
+  throw std::invalid_argument("unknown solver: " + solver +
+                              " (sequential|threads|hypercube|ccc|bvm)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  std::string solver = "sequential";
+  bool dot = false;
+  bool protocol = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--solver=", 0) == 0) {
+      solver = arg.substr(9);
+    } else if (arg == "--dot") {
+      dot = true;
+    } else if (arg == "--protocol") {
+      protocol = true;
+    } else if (arg == "--help") {
+      std::cout << "usage: ttp_solve [file.tt] [--solver=NAME] [--dot] "
+                   "[--protocol]\n";
+      return 0;
+    } else {
+      path = arg;
+    }
+  }
+  try {
+    const ttp::tt::Instance ins =
+        path.empty() ? ttp::tt::from_text(kSample) : ttp::tt::load_file(path);
+    const auto res = run(solver, ins);
+    if (dot) {
+      std::cout << res.tree.to_dot(ins);
+      return 0;
+    }
+    if (protocol) {
+      std::cout << ttp::tt::render_protocol(ins, res.tree);
+      return 0;
+    }
+    std::cout << ttp::tt::describe(ins) << '\n';
+    ttp::tt::print_result(std::cout, ins, res, "solver '" + solver + "'");
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}

@@ -1,0 +1,198 @@
+#include "bvm/assembler.hpp"
+
+#include <cctype>
+#include <sstream>
+#include <stdexcept>
+
+namespace ttp::bvm {
+
+namespace {
+
+class Cursor {
+ public:
+  explicit Cursor(const std::string& s) : s_(s) {}
+
+  void skip_ws() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool eat(char c) {
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  void expect(char c) {
+    if (!eat(c)) fail(std::string("expected '") + c + "'");
+  }
+  bool eat_word(const std::string& w) {
+    skip_ws();
+    if (s_.compare(pos_, w.size(), w) == 0) {
+      pos_ += w.size();
+      return true;
+    }
+    return false;
+  }
+  std::string ident() {
+    skip_ws();
+    std::size_t start = pos_;
+    while (pos_ < s_.size() &&
+           (std::isalnum(static_cast<unsigned char>(s_[pos_])))) {
+      ++pos_;
+    }
+    if (start == pos_) fail("expected identifier");
+    return s_.substr(start, pos_ - start);
+  }
+  std::uint64_t number() {
+    skip_ws();
+    std::size_t start = pos_;
+    int base = 10;
+    if (s_.compare(pos_, 2, "0x") == 0 || s_.compare(pos_, 2, "0X") == 0) {
+      base = 16;
+      pos_ += 2;
+      start = pos_;
+    }
+    while (pos_ < s_.size() &&
+           std::isxdigit(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+    if (start == pos_) fail("expected number");
+    return std::stoull(s_.substr(start, pos_ - start), nullptr, base);
+  }
+  bool at_end() {
+    skip_ws();
+    return pos_ >= s_.size() || s_[pos_] == '#';
+  }
+  [[noreturn]] void fail(const std::string& why) {
+    throw std::invalid_argument("asm: " + why + " at column " +
+                                std::to_string(pos_) + " in: " + s_);
+  }
+
+ private:
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+Reg parse_reg(Cursor& c, bool allow_e) {
+  c.skip_ws();
+  if (c.eat_word("R")) {
+    c.expect('[');
+    const auto idx = c.number();
+    c.expect(']');
+    return Reg::R(static_cast<int>(idx));
+  }
+  if (c.eat_word("A")) return Reg::MakeA();
+  if (c.eat_word("B")) return Reg::MakeB();
+  if (c.eat_word("E")) {
+    if (!allow_e) c.fail("E not allowed here");
+    return Reg::MakeE();
+  }
+  c.fail("expected register (A, B, E or R[j])");
+}
+
+Nbr parse_nbr(Cursor& c) {
+  if (!c.eat('.')) return Nbr::None;
+  if (c.eat_word("XS")) return Nbr::XS;
+  if (c.eat_word("XP")) return Nbr::XP;
+  if (c.eat_word("S")) return Nbr::S;
+  if (c.eat_word("P")) return Nbr::P;
+  if (c.eat_word("L")) return Nbr::L;
+  if (c.eat_word("I")) return Nbr::I;
+  c.fail("expected neighbor tag S/P/L/XS/XP/I");
+}
+
+}  // namespace
+
+Instr parse_instr(const std::string& text) {
+  Cursor c(text);
+  Instr in;
+
+  in.dest = parse_reg(c, /*allow_e=*/true);
+  if (in.dest.kind == Reg::Kind::B) {
+    c.fail("first target cannot be B (B is the implicit second target)");
+  }
+  c.expect(',');
+  if (!c.eat_word("B")) c.fail("second target must be B");
+  c.expect('=');
+  if (!c.eat_word("f")) c.fail("expected f:<table>");
+  c.expect(':');
+  in.f = static_cast<std::uint8_t>(c.number());
+  c.expect(',');
+  if (!c.eat_word("g")) c.fail("expected g:<table>");
+  c.expect(':');
+  in.g = static_cast<std::uint8_t>(c.number());
+
+  c.expect('(');
+  in.src_f = parse_reg(c, /*allow_e=*/false);
+  if (in.src_f.kind == Reg::Kind::B) c.fail("F cannot be B");
+  c.expect(',');
+  in.src_d = parse_reg(c, /*allow_e=*/false);
+  if (in.src_d.kind == Reg::Kind::B) {
+    c.fail("D cannot be B; read B through the truth table's third input");
+  }
+  in.d_nbr = parse_nbr(c);
+  c.expect(',');
+  if (!c.eat_word("B")) c.fail("third operand must be B");
+  c.expect(')');
+
+  if (c.eat_word("IF")) {
+    in.act = Act::If;
+  } else if (c.eat_word("NF")) {
+    in.act = Act::Nf;
+  }
+  if (in.act != Act::All) {
+    c.expect('{');
+    if (!c.eat('}')) {
+      do {
+        const auto p = c.number();
+        if (p >= 64) c.fail("activation position out of range");
+        in.act_set |= std::uint64_t{1} << p;
+      } while (c.eat(','));
+      c.expect('}');
+    }
+  }
+  if (!c.at_end()) c.fail("trailing input");
+  return in;
+}
+
+std::vector<Instr> assemble(const std::string& source) {
+  std::vector<Instr> prog;
+  std::istringstream is(source);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    // Strip comments and whitespace-only lines.
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    bool blank = true;
+    for (char ch : line) {
+      if (!std::isspace(static_cast<unsigned char>(ch))) {
+        blank = false;
+        break;
+      }
+    }
+    if (blank) continue;
+    try {
+      prog.push_back(parse_instr(line));
+    } catch (const std::invalid_argument& e) {
+      throw std::invalid_argument("line " + std::to_string(lineno) + ": " +
+                                  e.what());
+    }
+  }
+  return prog;
+}
+
+std::string disassemble(const std::vector<Instr>& prog) {
+  std::string out;
+  for (const auto& in : prog) {
+    out += in.to_string();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace ttp::bvm

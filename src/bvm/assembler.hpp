@@ -1,0 +1,33 @@
+// A small assembler for the paper's §2 instruction syntax:
+//
+//     R[5],B = f:0xCA,g:0xF0 (R[3], A.L, B) IF {0,2}
+//     A,B    = f:0xAA,g:0xF0 (A, R[7].I, B)
+//     E,B    = f:0xFF,g:0xF0 (A, A, B) NF {1}
+//
+// The grammar is exactly what Instr::to_string() emits, so assembly and
+// disassembly round-trip; '#' starts a comment, blank lines are skipped.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bvm/instr.hpp"
+
+namespace ttp::bvm {
+
+struct AsmError {
+  int line = 0;
+  std::string message;
+};
+
+/// Parses one instruction; throws std::invalid_argument with a descriptive
+/// message on malformed input.
+Instr parse_instr(const std::string& text);
+
+/// Parses a whole program (one instruction per line).
+std::vector<Instr> assemble(const std::string& source);
+
+/// Disassembles a program, one instruction per line.
+std::string disassemble(const std::vector<Instr>& prog);
+
+}  // namespace ttp::bvm

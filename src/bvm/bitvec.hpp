@@ -1,0 +1,62 @@
+// Packed bit-vector: one bit per PE, 64 PEs per word. This is the storage
+// for every BVM register row; all ISA evaluation is word-parallel, which is
+// what makes simulating a 2^20-PE bit-serial machine practical (a register
+// row is 16 KiB and an instruction a few word sweeps).
+//
+// Invariant: bits at index >= size() are zero (enforced by trim()).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ttp::bvm {
+
+class BitVec {
+ public:
+  BitVec() = default;
+  explicit BitVec(std::size_t n, bool value = false)
+      : n_(n), w_((n + 63) / 64, value ? ~std::uint64_t{0} : 0) {
+    trim();
+  }
+
+  std::size_t size() const noexcept { return n_; }
+  std::size_t words() const noexcept { return w_.size(); }
+  std::uint64_t word(std::size_t i) const { return w_[i]; }
+  std::uint64_t& word(std::size_t i) { return w_[i]; }
+  const std::uint64_t* data() const noexcept { return w_.data(); }
+  std::uint64_t* data() noexcept { return w_.data(); }
+
+  bool get(std::size_t i) const { return (w_[i >> 6] >> (i & 63)) & 1u; }
+  void set(std::size_t i, bool v) {
+    const std::uint64_t m = std::uint64_t{1} << (i & 63);
+    if (v) {
+      w_[i >> 6] |= m;
+    } else {
+      w_[i >> 6] &= ~m;
+    }
+  }
+
+  void fill(bool v) {
+    for (auto& w : w_) w = v ? ~std::uint64_t{0} : 0;
+    trim();
+  }
+
+  /// Zeroes the padding bits above size(); call after any whole-word write
+  /// that may have spilled into the tail.
+  void trim() {
+    if (n_ % 64 != 0 && !w_.empty()) {
+      w_.back() &= (~std::uint64_t{0}) >> (64 - n_ % 64);
+    }
+  }
+
+  bool operator==(const BitVec& o) const noexcept {
+    return n_ == o.n_ && w_ == o.w_;
+  }
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<std::uint64_t> w_;
+};
+
+}  // namespace ttp::bvm

@@ -1,0 +1,3 @@
+#include "bvm/config.hpp"
+
+// Configuration is header-only; this TU anchors the library target.

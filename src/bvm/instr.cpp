@@ -1,0 +1,98 @@
+#include "bvm/instr.hpp"
+
+#include <sstream>
+
+namespace ttp::bvm {
+
+std::string Reg::to_string() const {
+  switch (kind) {
+    case Kind::A:
+      return "A";
+    case Kind::B:
+      return "B";
+    case Kind::E:
+      return "E";
+    case Kind::R:
+      return "R[" + std::to_string(index) + "]";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string nbr_name(Nbr n) {
+  switch (n) {
+    case Nbr::None:
+      return "";
+    case Nbr::S:
+      return ".S";
+    case Nbr::P:
+      return ".P";
+    case Nbr::L:
+      return ".L";
+    case Nbr::XS:
+      return ".XS";
+    case Nbr::XP:
+      return ".XP";
+    case Nbr::I:
+      return ".I";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string Instr::to_string() const {
+  std::ostringstream os;
+  os << dest.to_string() << ",B = f:0x" << std::hex << int(f) << ",g:0x"
+     << int(g) << std::dec << " (" << src_f.to_string() << ", "
+     << src_d.to_string() << nbr_name(d_nbr) << ", B)";
+  if (act != Act::All) {
+    os << (act == Act::If ? " IF {" : " NF {");
+    bool first = true;
+    for (int p = 0; p < 64; ++p) {
+      if ((act_set >> p) & 1u) {
+        os << (first ? "" : ",") << p;
+        first = false;
+      }
+    }
+    os << "}";
+  }
+  return os.str();
+}
+
+Instr mov(Reg dst, Reg src, Nbr nbr) {
+  Instr in;
+  in.dest = dst;
+  in.g = kTtB;
+  if (src.kind == Reg::Kind::B) {
+    // B is not a legal D operand; it is always available as the third input.
+    in.f = kTtB;
+  } else {
+    in.f = kTtD;
+    in.src_d = src;
+    in.d_nbr = nbr;
+  }
+  return in;
+}
+
+Instr setv(Reg dst, bool value) {
+  Instr in;
+  in.dest = dst;
+  in.f = value ? kTtOne : kTtZero;
+  in.g = kTtB;
+  return in;
+}
+
+Instr binop(Reg dst, std::uint8_t f_tt, Reg f, Reg d, Nbr nbr) {
+  Instr in;
+  in.dest = dst;
+  in.f = f_tt;
+  in.g = kTtB;
+  in.src_f = f;
+  in.src_d = d;
+  in.d_nbr = nbr;
+  return in;
+}
+
+}  // namespace ttp::bvm

@@ -1,0 +1,106 @@
+// The BVM instruction set (paper §2).
+//
+// One instruction performs two simultaneous assignments on every active,
+// enabled PE:
+//
+//     {A | R[j] | E},  B  =  f(F, D, B),  g(F, D, B)   [IF|NF <set>]
+//
+// f and g are arbitrary 3-input Boolean functions given as 8-bit truth
+// tables (input index = F + 2·D + 4·B). F is A or R[j]; D is A or R[j],
+// optionally read from a neighbor PE:
+//
+//   S  successor (c, p+1 mod Q)      P  predecessor (c, p-1 mod Q)
+//   L  lateral   (c xor 2^p, p)      XS exchange p xor 1
+//   XP exchange pairing {1,2},{3,4},...,{Q-1,0}
+//   I  global shift chain: PE l reads PE l-1; PE 0 consumes one input bit
+//      and PE n-1 emits one output bit
+//
+// IF <set> activates only in-cycle positions in <set> (NF: the complement).
+// The enable register E gates writes per-PE; writes to E itself ignore the
+// gate ("E register itself is always enabled"). Deactivated or disabled PEs
+// keep their old values, including B.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ttp::bvm {
+
+enum class Nbr : std::uint8_t { None, S, P, L, XS, XP, I };
+
+/// Truth-table helpers. `tt3` builds a table from any callable
+/// bool(bool f, bool d, bool b).
+template <typename Fn>
+constexpr std::uint8_t tt3(Fn fn) {
+  std::uint8_t t = 0;
+  for (int i = 0; i < 8; ++i) {
+    if (fn((i & 1) != 0, (i & 2) != 0, (i & 4) != 0)) {
+      t |= static_cast<std::uint8_t>(1u << i);
+    }
+  }
+  return t;
+}
+
+// Common tables (named for readability of microcode).
+inline constexpr std::uint8_t kTtZero = 0x00;
+inline constexpr std::uint8_t kTtOne = 0xFF;
+inline constexpr std::uint8_t kTtF = 0xAA;       // copy F
+inline constexpr std::uint8_t kTtD = 0xCC;       // copy D
+inline constexpr std::uint8_t kTtB = 0xF0;       // keep B
+inline constexpr std::uint8_t kTtNotF = 0x55;
+inline constexpr std::uint8_t kTtNotD = 0x33;
+inline constexpr std::uint8_t kTtNotB = 0x0F;
+inline constexpr std::uint8_t kTtAndFD = 0x88;   // F & D
+inline constexpr std::uint8_t kTtOrFD = 0xEE;    // F | D
+inline constexpr std::uint8_t kTtXorFD = 0x66;   // F ^ D
+inline constexpr std::uint8_t kTtAndFB = 0xA0;   // F & B
+inline constexpr std::uint8_t kTtOrFB = 0xFA;    // F | B
+inline constexpr std::uint8_t kTtXorFB = 0x5A;   // F ^ B
+inline constexpr std::uint8_t kTtAndDB = 0xC0;   // D & B
+inline constexpr std::uint8_t kTtOrDB = 0xFC;    // D | B
+inline constexpr std::uint8_t kTtXor3 = 0x96;    // F ^ D ^ B (sum bit)
+inline constexpr std::uint8_t kTtMaj = 0xE8;     // majority (carry bit)
+inline constexpr std::uint8_t kTtMux = 0xCA;     // B ? D : F
+inline constexpr std::uint8_t kTtAndFNotD = 0x22;    // F & ~D
+inline constexpr std::uint8_t kTtAndDNotF = 0x44;    // D & ~F
+inline constexpr std::uint8_t kTtAndBNotF = 0x50;    // B & ~F
+inline constexpr std::uint8_t kTtAndFNotB = 0x0A;    // F & ~B
+inline constexpr std::uint8_t kTtBorrow = 0xD4;  // borrow of F - D with B in
+inline constexpr std::uint8_t kTtOrFDB = 0xFE;   // F | D | B
+
+/// A register operand: A, B, E, or R[j].
+struct Reg {
+  enum class Kind : std::uint8_t { A, B, E, R } kind = Kind::A;
+  std::uint16_t index = 0;  // for Kind::R
+
+  static constexpr Reg MakeA() { return Reg{Kind::A, 0}; }
+  static constexpr Reg MakeB() { return Reg{Kind::B, 0}; }
+  static constexpr Reg MakeE() { return Reg{Kind::E, 0}; }
+  static constexpr Reg R(int j) {
+    return Reg{Kind::R, static_cast<std::uint16_t>(j)};
+  }
+  bool operator==(const Reg&) const = default;
+  std::string to_string() const;
+};
+
+enum class Act : std::uint8_t { All, If, Nf };
+
+struct Instr {
+  Reg dest = Reg::MakeA();      ///< first assignment target (A, R[j], or E)
+  std::uint8_t f = kTtF;        ///< dest  = f(F, D, B)
+  std::uint8_t g = kTtB;        ///< B     = g(F, D, B)
+  Reg src_f = Reg::MakeA();     ///< F: A or R[j]
+  Reg src_d = Reg::MakeA();     ///< D: A or R[j], before neighbor routing
+  Nbr d_nbr = Nbr::None;        ///< neighbor qualifier on D
+  Act act = Act::All;
+  std::uint64_t act_set = 0;    ///< in-cycle positions, bit p = position p
+
+  std::string to_string() const;
+};
+
+/// Convenience builders used heavily by microcode.
+Instr mov(Reg dst, Reg src, Nbr nbr = Nbr::None);
+Instr setv(Reg dst, bool value);
+Instr binop(Reg dst, std::uint8_t f_tt, Reg f, Reg d, Nbr nbr = Nbr::None);
+
+}  // namespace ttp::bvm

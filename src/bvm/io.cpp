@@ -1,0 +1,50 @@
+#include "bvm/io.hpp"
+
+#include <stdexcept>
+
+namespace ttp::bvm {
+
+void load_register_serial(Machine& m, Reg dst,
+                          const std::vector<bool>& bits) {
+  const std::size_t n = m.num_pes();
+  if (bits.size() != n) {
+    throw std::invalid_argument("load_register_serial: size mismatch");
+  }
+  // The chain moves data toward higher addresses, so the bit destined for
+  // the highest PE must enter first.
+  for (std::size_t i = n; i-- > 0;) m.push_input(bits[i]);
+  const Instr shift = mov(Reg::MakeA(), Reg::MakeA(), Nbr::I);
+  for (std::size_t i = 0; i < n; ++i) m.exec(shift);
+  m.exec(mov(dst, Reg::MakeA()));
+}
+
+std::vector<bool> read_register_serial(Machine& m, Reg src) {
+  const std::size_t n = m.num_pes();
+  m.clear_output();
+  m.exec(mov(Reg::MakeA(), src));
+  const Instr shift = mov(Reg::MakeA(), Reg::MakeA(), Nbr::I);
+  for (std::size_t i = 0; i < n; ++i) m.exec(shift);
+  // PE n-1's bit leaves on the first shift; PE 0's bit leaves last.
+  const std::vector<bool>& out = m.output();
+  std::vector<bool> bits(n);
+  for (std::size_t i = 0; i < n; ++i) bits[n - 1 - i] = out[i];
+  return bits;
+}
+
+void load_register_host(Machine& m, Reg dst, const std::vector<bool>& bits) {
+  const std::size_t n = m.num_pes();
+  if (bits.size() != n) {
+    throw std::invalid_argument("load_register_host: size mismatch");
+  }
+  BitVec& row = m.row(dst);
+  for (std::size_t i = 0; i < n; ++i) row.set(i, bits[i]);
+}
+
+std::vector<bool> read_register_host(const Machine& m, Reg src) {
+  const std::size_t n = m.num_pes();
+  std::vector<bool> bits(n);
+  for (std::size_t i = 0; i < n; ++i) bits[i] = m.row(src).get(i);
+  return bits;
+}
+
+}  // namespace ttp::bvm

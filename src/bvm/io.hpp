@@ -1,0 +1,31 @@
+// Host <-> BVM data transfer.
+//
+// The paper's machine exposes a 1-bit serial chain (neighbor tag I): each
+// I-instruction shifts the whole array one PE forward, consuming one input
+// bit at PE 0 and emitting one at PE n-1. Loading a full register row thus
+// costs n instructions — faithful but slow, so a host "DMA" fast path
+// (Machine::poke/poke_value, zero instructions) is also provided; tests
+// assert both agree. Benches default to DMA for initial data and report
+// serial-load instruction counts separately.
+#pragma once
+
+#include <vector>
+
+#include "bvm/machine.hpp"
+
+namespace ttp::bvm {
+
+/// Loads bits[pe] into register `dst` of each PE through the I-chain using
+/// register A as the shift vehicle: n I-shifts, then one copy A -> dst.
+/// Clobbers A (and B is preserved).
+void load_register_serial(Machine& m, Reg dst, const std::vector<bool>& bits);
+
+/// Reads a full register row out through the I-chain (n shift instructions).
+/// Clobbers A. Returns bits[pe] = dst bit of PE pe.
+std::vector<bool> read_register_serial(Machine& m, Reg src);
+
+/// DMA equivalents (no instructions executed).
+void load_register_host(Machine& m, Reg dst, const std::vector<bool>& bits);
+std::vector<bool> read_register_host(const Machine& m, Reg src);
+
+}  // namespace ttp::bvm

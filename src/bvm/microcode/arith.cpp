@@ -1,0 +1,317 @@
+#include "bvm/microcode/arith.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ttp::bvm {
+
+namespace {
+
+// B & (F xnor D): running equality accumulator.
+constexpr std::uint8_t kTtEqAcc = 0x90;
+
+Instr with_g(Instr in, std::uint8_t g) {
+  in.g = g;
+  return in;
+}
+
+}  // namespace
+
+void set_b_const(Machine& m, bool value, int scratch) {
+  Instr in = mov(Reg::R(scratch), Reg::R(scratch));
+  in.g = value ? kTtOne : kTtZero;
+  m.exec(in);
+}
+
+void set_b_from(Machine& m, int src) {
+  // B = g(F,D,B) with D = R[src]; dest1 rewrites src with itself.
+  Instr in;
+  in.dest = Reg::R(src);
+  in.f = kTtD;
+  in.g = kTtD;
+  in.src_d = Reg::R(src);
+  m.exec(in);
+}
+
+void set_const(Machine& m, Field dst, std::uint64_t value) {
+  for (int t = 0; t < dst.len; ++t) {
+    m.exec(setv(dst.reg(t), ((value >> t) & 1u) != 0));
+  }
+}
+
+void copy_field(Machine& m, Field dst, Field src) {
+  if (dst.base == src.base) return;
+  for (int t = 0; t < dst.len; ++t) {
+    m.exec(mov(dst.reg(t), src.reg(t)));
+  }
+}
+
+void add_sat(Machine& m, Field dst, Field x, Field y, int scratch) {
+  if (dst.len != x.len || dst.len != y.len) {
+    throw std::invalid_argument("add_sat: length mismatch");
+  }
+  set_b_const(m, false, scratch);  // carry = 0
+  for (int t = 0; t < dst.len; ++t) {
+    Instr in;
+    in.dest = dst.reg(t);
+    in.f = kTtXor3;  // sum
+    in.g = kTtMaj;   // carry
+    in.src_f = x.reg(t);
+    in.src_d = y.reg(t);
+    m.exec(in);
+  }
+  // Saturate: if the carry survived, pin every bit to 1 (INF). A saturated
+  // operand re-saturates (all-ones plus anything nonzero carries out), so
+  // INF is absorbing.
+  for (int t = 0; t < dst.len; ++t) {
+    m.exec(with_g(binop(dst.reg(t), kTtOrFB, dst.reg(t), dst.reg(t)), kTtB));
+  }
+}
+
+void sub_sat(Machine& m, Field dst, Field x, Field y, int scratch) {
+  if (dst.len != x.len || dst.len != y.len) {
+    throw std::invalid_argument("sub_sat: length mismatch");
+  }
+  set_b_const(m, false, scratch);  // borrow = 0
+  for (int t = 0; t < dst.len; ++t) {
+    Instr in;
+    in.dest = dst.reg(t);
+    in.f = kTtXor3;     // difference bit = F ^ D ^ B
+    in.g = kTtBorrow;   // borrow out
+    in.src_f = x.reg(t);
+    in.src_d = y.reg(t);
+    m.exec(in);
+  }
+  // Monus: if the borrow survived (x < y), clamp the result to zero.
+  for (int t = 0; t < dst.len; ++t) {
+    m.exec(with_g(binop(dst.reg(t), kTtAndFNotB, dst.reg(t), dst.reg(t)),
+                  kTtB));
+  }
+}
+
+void less_than(Machine& m, int flag, Field x, Field y, int scratch) {
+  if (x.len != y.len) throw std::invalid_argument("less_than: length mismatch");
+  set_b_const(m, false, scratch);  // borrow = 0
+  for (int t = 0; t < x.len; ++t) {
+    Instr in;
+    in.dest = Reg::R(scratch);  // dest1 unused; borrow rides in B
+    in.f = kTtZero;
+    in.g = kTtBorrow;
+    in.src_f = x.reg(t);
+    in.src_d = y.reg(t);
+    m.exec(in);
+  }
+  m.exec(mov(Reg::R(flag), Reg::MakeB()));
+}
+
+void equals_field(Machine& m, int flag, Field x, Field y, int scratch) {
+  if (x.len != y.len) {
+    throw std::invalid_argument("equals_field: length mismatch");
+  }
+  set_b_const(m, true, scratch);
+  for (int t = 0; t < x.len; ++t) {
+    Instr in;
+    in.dest = Reg::R(scratch);
+    in.f = kTtZero;
+    in.g = kTtEqAcc;  // B &= (x[t] == y[t])
+    in.src_f = x.reg(t);
+    in.src_d = y.reg(t);
+    m.exec(in);
+  }
+  m.exec(mov(Reg::R(flag), Reg::MakeB()));
+}
+
+void equals_const(Machine& m, int flag, Field x, std::uint64_t value,
+                  int scratch) {
+  set_b_const(m, true, scratch);
+  for (int t = 0; t < x.len; ++t) {
+    const bool bit = ((value >> t) & 1u) != 0;
+    Instr in;
+    in.dest = Reg::R(scratch);
+    in.f = kTtZero;
+    // B &= (x[t] == bit): F&B when the constant bit is 1, ~F&B otherwise.
+    in.g = bit ? kTtAndFB : kTtAndBNotF;
+    in.src_f = x.reg(t);
+    m.exec(in);
+  }
+  m.exec(mov(Reg::R(flag), Reg::MakeB()));
+}
+
+void select(Machine& m, Field dst, int cond, Field x, Field y) {
+  if (dst.len != x.len || dst.len != y.len) {
+    throw std::invalid_argument("select: length mismatch");
+  }
+  set_b_from(m, cond);
+  for (int t = 0; t < dst.len; ++t) {
+    Instr in;
+    in.dest = dst.reg(t);
+    in.f = kTtMux;  // B ? D : F
+    in.g = kTtB;    // keep the condition in B
+    in.src_f = y.reg(t);
+    in.src_d = x.reg(t);
+    m.exec(in);
+  }
+}
+
+void popcount_bits(Machine& m, Field dst, const std::vector<int>& bits) {
+  set_const(m, dst, 0);
+  for (int b : bits) {
+    set_b_from(m, b);
+    for (int t = 0; t < dst.len; ++t) {
+      Instr in;
+      in.dest = dst.reg(t);
+      in.f = kTtXorFB;  // counter bit ^= carry
+      in.g = kTtAndFB;  // carry &= old counter bit
+      in.src_f = dst.reg(t);
+      m.exec(in);
+    }
+  }
+}
+
+void or_bit_into(Machine& m, Field dst, int bit) {
+  for (int t = 0; t < dst.len; ++t) {
+    m.exec(binop(dst.reg(t), kTtOrFD, dst.reg(t), Reg::R(bit)));
+  }
+}
+
+void min_field(Machine& m, Field dst, Field x, Field y, int scratch) {
+  less_than(m, scratch, x, y, scratch);
+  select(m, dst, scratch, x, y);  // x < y ? x : y
+}
+
+void max_field(Machine& m, Field dst, Field x, Field y, int scratch) {
+  less_than(m, scratch, x, y, scratch);
+  select(m, dst, scratch, y, x);  // x < y ? y : x
+}
+
+void abs_diff(Machine& m, Field dst, Field x, Field y, Field scratch,
+              int tmp) {
+  if (scratch.len != dst.len) {
+    throw std::invalid_argument("abs_diff: scratch length mismatch");
+  }
+  // Monus saturates the wrong direction to zero, so the OR of both
+  // directions is |x - y| — computed with one compare-free pass each.
+  sub_sat(m, scratch, x, y, tmp);  // max(x-y, 0)
+  sub_sat(m, dst, y, x, tmp);      // max(y-x, 0)
+  for (int t = 0; t < dst.len; ++t) {
+    m.exec(binop(dst.reg(t), kTtOrFD, dst.reg(t), scratch.reg(t)));
+  }
+}
+
+void shift_left_field(Machine& m, Field v, int amount) {
+  if (amount <= 0) return;
+  for (int t = v.len - 1; t >= amount; --t) {
+    m.exec(mov(v.reg(t), v.reg(t - amount)));
+  }
+  for (int t = 0; t < amount && t < v.len; ++t) {
+    m.exec(setv(v.reg(t), false));
+  }
+}
+
+void shift_right_field(Machine& m, Field v, int amount) {
+  if (amount <= 0) return;
+  for (int t = 0; t + amount < v.len; ++t) {
+    m.exec(mov(v.reg(t), v.reg(t + amount)));
+  }
+  for (int t = std::max(0, v.len - amount); t < v.len; ++t) {
+    m.exec(setv(v.reg(t), false));
+  }
+}
+
+void multiply_sat(Machine& m, Field dst, Field x, Field y, Field scratch,
+                  int ovf, int tmp) {
+  if (dst.len != x.len || dst.len != y.len || scratch.len != x.len) {
+    throw std::invalid_argument("multiply_sat: length mismatch");
+  }
+  const int p = x.len;
+  set_const(m, dst, 0);
+  m.exec(setv(Reg::R(ovf), false));
+  for (int t = 0; t < p; ++t) {
+    // scratch = (x << t) & y[t], plus overflow from the shifted-out bits.
+    for (int u = 0; u < t; ++u) {
+      m.exec(setv(scratch.reg(u), false));
+    }
+    for (int u = t; u < p; ++u) {
+      m.exec(binop(scratch.reg(u), kTtAndFD, x.reg(u - t), y.reg(t)));
+    }
+    for (int u = p - t; u < p; ++u) {
+      // x bit u would shift past the top: x[u] & y[t] is lost precision.
+      m.exec(binop(Reg::R(tmp), kTtAndFD, x.reg(u), y.reg(t)));
+      m.exec(binop(Reg::R(ovf), kTtOrFD, Reg::R(ovf), Reg::R(tmp)));
+    }
+    add_sat(m, dst, dst, scratch, tmp);
+  }
+  or_bit_into(m, dst, ovf);
+}
+
+void multiply_shift_sat(Machine& m, Field dst, Field x, Field y, int shift,
+                        Field addend, int ovf, int tmp) {
+  const int p = x.len;
+  if (dst.len != p || y.len != p || addend.len != p) {
+    throw std::invalid_argument("multiply_shift_sat: length mismatch");
+  }
+  set_const(m, dst, 0);
+  m.exec(setv(Reg::R(ovf), false));
+  for (int t = 0; t < p; ++t) {
+    // Partial product (x << t) >> shift = x shifted by o = t - shift,
+    // masked by y[t]; the bits a negative o pushes below bit 0 are the
+    // bounded truncation, the bits a positive o pushes above bit p-1 feed
+    // the sticky overflow flag.
+    const int o = t - shift;
+    for (int u = 0; u < p; ++u) {
+      const int v = u - o;
+      if (v >= 0 && v < p) {
+        m.exec(binop(addend.reg(u), kTtAndFD, x.reg(v), y.reg(t)));
+      } else {
+        m.exec(setv(addend.reg(u), false));
+      }
+    }
+    for (int v = p - o; v < p; ++v) {
+      m.exec(binop(Reg::R(tmp), kTtAndFD, x.reg(v), y.reg(t)));
+      m.exec(binop(Reg::R(ovf), kTtOrFD, Reg::R(ovf), Reg::R(tmp)));
+    }
+    add_sat(m, dst, dst, addend, tmp);
+  }
+  or_bit_into(m, dst, ovf);
+}
+
+std::uint64_t field_inf(int len) {
+  return len >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << len) - 1);
+}
+
+std::uint64_t sat_add_host(std::uint64_t a, std::uint64_t b, int len) {
+  const std::uint64_t inf = field_inf(len);
+  const std::uint64_t s = a + b;
+  return (s > inf || s < a) ? inf : s;
+}
+
+std::uint64_t sat_mulshift_host(std::uint64_t a, std::uint64_t b, int shift,
+                                int len) {
+  const std::uint64_t inf = field_inf(len);
+  std::uint64_t acc = 0;
+  bool ovf = false;
+  for (int t = 0; t < len; ++t) {
+    if (!((b >> t) & 1u)) continue;
+    const int o = t - shift;
+    std::uint64_t part;
+    if (o >= 0) {
+      // Overflow if any of a's top o bits are set (they leave the window).
+      if (o > 0 && (a >> (len - o)) != 0) ovf = true;
+      part = (a << o) & inf;
+    } else {
+      part = a >> (-o);
+    }
+    acc = sat_add_host(acc, part, len);
+  }
+  return ovf ? inf : acc;
+}
+
+std::uint64_t sat_mul_host(std::uint64_t a, std::uint64_t b, int len) {
+  const std::uint64_t inf = field_inf(len);
+  if (a == 0 || b == 0) return 0;
+  if (a > inf / b) return inf;
+  const std::uint64_t p = a * b;
+  return p > inf ? inf : p;
+}
+
+}  // namespace ttp::bvm

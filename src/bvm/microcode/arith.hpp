@@ -1,0 +1,109 @@
+// Bit-serial arithmetic microcode (the BVM is Boolean-only; a p-bit number
+// lives in p register rows, little-endian: bit t of every PE's value is in
+// R[base+t]).
+//
+// Numbers are unsigned saturating fixed-point: the all-ones encoding is INF
+// and addition/multiplication saturate to it, which makes INF absorbing —
+// exactly the sentinel the TT dynamic program needs.
+//
+// The dual-assignment instruction is what makes this cheap: addition keeps
+// the carry in register B and retires one result bit per instruction
+// (f = F^D^B into the destination, g = majority(F,D,B) into B).
+//
+// Conventions: all routines assume E = all-ones (no microcode here uses the
+// enable register; conditional updates go through B-muxes instead) and leave
+// B clobbered. Fields must not overlap unless a routine says aliasing is OK.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bvm/machine.hpp"
+
+namespace ttp::bvm {
+
+/// A p-bit per-PE value spread over registers R[base..base+len-1].
+struct Field {
+  int base = 0;
+  int len = 0;
+
+  Reg reg(int t) const { return Reg::R(base + t); }
+};
+
+/// B = value (costs 1 instruction; writes a scratch register as dest1).
+void set_b_const(Machine& m, bool value, int scratch);
+/// B = R[src] (1 instruction; src doubles as the dummy dest1 and is
+/// rewritten with its own value).
+void set_b_from(Machine& m, int src);
+
+/// dst = constant (same at every PE). len instructions.
+void set_const(Machine& m, Field dst, std::uint64_t value);
+
+/// dst = src, register-row copies. May overlap only if dst.base <= src.base.
+void copy_field(Machine& m, Field dst, Field src);
+
+/// dst = saturate(x + y). dst may alias x and/or y. 2·len+1 instructions.
+void add_sat(Machine& m, Field dst, Field x, Field y, int scratch);
+
+/// dst = x - y, saturating at 0 (monus). dst may alias x. 2·len+1
+/// instructions (borrow rides in B; a surviving borrow clamps to 0).
+void sub_sat(Machine& m, Field dst, Field x, Field y, int scratch);
+
+/// R[flag] = (x < y), unsigned. len+2 instructions.
+void less_than(Machine& m, int flag, Field x, Field y, int scratch);
+
+/// R[flag] = (x == y). len+2 instructions.
+void equals_field(Machine& m, int flag, Field x, Field y, int scratch);
+
+/// R[flag] = (x == constant). len+2 instructions.
+void equals_const(Machine& m, int flag, Field x, std::uint64_t value,
+                  int scratch);
+
+/// dst = cond ? x : y (cond is a 1-bit register). dst may alias x or y.
+void select(Machine& m, Field dst, int cond, Field x, Field y);
+
+/// dst = counter of 1-bits among the listed 1-bit registers. dst.len must
+/// hold the maximum count.
+void popcount_bits(Machine& m, Field dst, const std::vector<int>& bits);
+
+/// dst = saturate(x * y). dst must not alias x or y. Needs one scratch
+/// field of x.len and two scratch flag registers. ~3·len^2 instructions.
+void multiply_sat(Machine& m, Field dst, Field x, Field y, Field scratch,
+                  int ovf, int tmp);
+
+/// Fixed-point multiply: dst = saturate((x * y) >> shift), evaluated as a
+/// sum of pre-shifted partial products so the accumulator stays len bits
+/// wide (the partials' discarded low bits bound the truncation error by
+/// `shift` ulps). Both operands carry `shift` fractional bits. dst must not
+/// alias x or y; addend is a len-wide scratch field.
+void multiply_shift_sat(Machine& m, Field dst, Field x, Field y, int shift,
+                        Field addend, int ovf, int tmp);
+
+/// dst |= bit (every bit of dst ORed with the 1-bit register), used to pin
+/// saturated values to INF. len instructions.
+void or_bit_into(Machine& m, Field dst, int bit);
+
+/// dst = min(x, y) / max(x, y). dst may alias x or y. 2·len+3 instructions.
+void min_field(Machine& m, Field dst, Field x, Field y, int scratch);
+void max_field(Machine& m, Field dst, Field x, Field y, int scratch);
+
+/// dst = |x - y| = (x ∸ y) | (y ∸ x) (both monus directions ORed;
+/// ~5·len instructions). dst must not alias x or y.
+void abs_diff(Machine& m, Field dst, Field x, Field y, Field scratch,
+              int tmp);
+
+/// In-place logical shift of the field by `amount` bit positions (pure
+/// register renumbering: `amount` row moves + `amount` clears).
+void shift_left_field(Machine& m, Field v, int amount);
+void shift_right_field(Machine& m, Field v, int amount);
+
+/// Host-side helpers for tests: encode/decode against the same saturating
+/// convention (inf_raw == all-ones).
+std::uint64_t field_inf(int len);
+std::uint64_t sat_add_host(std::uint64_t a, std::uint64_t b, int len);
+std::uint64_t sat_mul_host(std::uint64_t a, std::uint64_t b, int len);
+/// Host model of multiply_shift_sat, including its per-partial truncation.
+std::uint64_t sat_mulshift_host(std::uint64_t a, std::uint64_t b, int shift,
+                                int len);
+
+}  // namespace ttp::bvm

@@ -1,0 +1,33 @@
+#include "bvm/microcode/broadcast.hpp"
+
+#include "bvm/microcode/exchange.hpp"
+#include "bvm/microcode/ids.hpp"
+
+namespace ttp::bvm {
+
+void broadcast_field(Machine& m, Field value, int sender, Field scratch,
+                     int tmp_flag, int tmp) {
+  const int dims = m.config().dims();
+  const Field sender_f{sender, 1};
+  const Field tmp_flag_f{tmp_flag, 1};
+  for (int d = 0; d < dims; ++d) {
+    // Fetch the partner's value and sender bit.
+    dim_exchange_read(m, d, value, scratch, tmp);
+    dim_exchange_read(m, d, sender_f, tmp_flag_f, tmp);
+    // take = partner_sender & ~sender  (receive only once per PE).
+    m.exec(binop(Reg::R(tmp_flag), kTtAndFNotD, Reg::R(tmp_flag),
+                 Reg::R(sender)));
+    // value = take ? partner_value : value, bit by bit with take in B.
+    select(m, value, tmp_flag, scratch, value);
+    // sender |= take.
+    m.exec(binop(Reg::R(sender), kTtOrFD, Reg::R(sender), Reg::R(tmp_flag)));
+  }
+}
+
+void broadcast_from_pe0(Machine& m, Field value, int sender, Field scratch,
+                        int tmp_flag, int tmp) {
+  mark_pe0(m, sender);
+  broadcast_field(m, value, sender, scratch, tmp_flag, tmp);
+}
+
+}  // namespace ttp::bvm

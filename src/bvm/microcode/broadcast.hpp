@@ -1,0 +1,25 @@
+// BVM realization of the paper's §4.3 Broadcasting() — an ASCEND sweep in
+// which a SENDER control bit travels with the data: "first an arbitrary
+// register SENDER is chosen, set to 0 by one instruction, then a 1 is input
+// to the bit belonging to PE[0]; afterwards this bit is broadcast in the
+// instruction PE[j] = PE[j#i] and identifies the sender".
+#pragma once
+
+#include "bvm/microcode/arith.hpp"
+
+namespace ttp::bvm {
+
+/// Broadcasts `value` (a k-bit field) from the PEs whose SENDER bit is set
+/// to every PE, ASCEND over all dimensions. On return every PE's SENDER bit
+/// is 1 and every PE holds the value. Requires the initial sender set to be
+/// a lower set in each dimension (a single PE, or a subcube), the paper's
+/// usage. Needs a scratch field of the same length plus two scratch regs.
+void broadcast_field(Machine& m, Field value, int sender, Field scratch,
+                     int tmp_flag, int tmp);
+
+/// Convenience: SENDER = (PE == 0) via the I-chain, then broadcast.
+/// This is the paper's exact setup (k·O(m) instructions for k bits).
+void broadcast_from_pe0(Machine& m, Field value, int sender, Field scratch,
+                        int tmp_flag, int tmp);
+
+}  // namespace ttp::bvm

@@ -1,0 +1,239 @@
+#include "bvm/microcode/exchange.hpp"
+
+#include <stdexcept>
+
+namespace ttp::bvm {
+
+namespace {
+
+std::uint64_t positions_with_bit(const BvmConfig& cfg, int b) {
+  std::uint64_t s = 0;
+  for (int p = 0; p < cfg.Q(); ++p) {
+    if ((p >> b) & 1) s |= std::uint64_t{1} << p;
+  }
+  return s;
+}
+
+}  // namespace
+
+void dim_exchange_read(Machine& m, int dim, Field src, Field dst, int tmp) {
+  const BvmConfig& cfg = m.config();
+  if (dim < 0 || dim >= cfg.dims()) {
+    throw std::invalid_argument("dim_exchange_read: dim out of range");
+  }
+  if (src.len != dst.len) {
+    throw std::invalid_argument("dim_exchange_read: length mismatch");
+  }
+
+  if (dim == 0 && cfg.r >= 1) {
+    // The XS link IS the dimension-0 exchange: one instruction per bit.
+    for (int t = 0; t < src.len; ++t) {
+      m.exec(mov(dst.reg(t), src.reg(t), Nbr::XS));
+    }
+    return;
+  }
+  if (dim < cfg.r) {
+    // In-cycle exchange at distance hop = 2^dim. For each bit: ship a copy
+    // `hop` successor-hops (arrives at PEs with the position bit clear) and
+    // a second copy `hop` predecessor-hops (for PEs with the bit set).
+    const int hop = 1 << dim;
+    const std::uint64_t hi_set = positions_with_bit(cfg, dim);
+    for (int t = 0; t < src.len; ++t) {
+      m.exec(mov(dst.reg(t), src.reg(t)));
+      for (int s = 0; s < hop; ++s) {
+        m.exec(mov(dst.reg(t), dst.reg(t), Nbr::S));
+      }
+      m.exec(mov(Reg::R(tmp), src.reg(t)));
+      for (int s = 0; s < hop; ++s) {
+        m.exec(mov(Reg::R(tmp), Reg::R(tmp), Nbr::P));
+      }
+      Instr take = mov(dst.reg(t), Reg::R(tmp));
+      take.act = Act::If;
+      take.act_set = hi_set;
+      m.exec(take);
+    }
+  } else {
+    // Lateral exchange across cycle bit q: rotate each bit one full lap;
+    // a datum arriving at position q swaps with its lateral partner (which
+    // carries the datum of the same home position in the partner cycle).
+    const int q = dim - cfg.r;
+    const int Q = cfg.Q();
+    if (q >= cfg.h) {
+      throw std::invalid_argument("dim_exchange_read: no lateral link");
+    }
+    for (int t = 0; t < src.len; ++t) {
+      m.exec(mov(dst.reg(t), src.reg(t)));
+      for (int s = 0; s < Q; ++s) {
+        m.exec(mov(dst.reg(t), dst.reg(t), Nbr::S));
+        Instr swap = mov(dst.reg(t), dst.reg(t), Nbr::L);
+        swap.act = Act::If;
+        swap.act_set = std::uint64_t{1} << q;
+        m.exec(swap);
+      }
+    }
+  }
+}
+
+void lateral_wave_ascend(Machine& m, int q_lo, int q_hi,
+                         const std::vector<WaveField>& fields) {
+  const BvmConfig& cfg = m.config();
+  const int Q = cfg.Q();
+  if (q_lo < 0 || q_hi > cfg.h || q_lo > q_hi) {
+    throw std::invalid_argument("lateral_wave_ascend: bad dim range");
+  }
+  if (q_lo == q_hi) return;
+
+  // Rows that physically rotate with the data: the payload bits and the
+  // in-range adopt rows. We rotate with P-reads so data moves toward
+  // HIGHER positions: datum of home j sits at (j + t) mod Q after t steps
+  // and executes dim q at t = Q - j + q — consecutive dims on consecutive
+  // steps, ascending, pairs in lockstep (the Preparata-Vuillemin wave).
+  std::vector<Reg> rotating;
+  for (const WaveField& f : fields) {
+    for (int t = 0; t < f.data.len; ++t) rotating.push_back(f.data.reg(t));
+    for (int q = q_lo; q < q_hi; ++q) {
+      rotating.push_back(Reg::R(f.adopt_base + q));
+    }
+  }
+
+  const int T = Q + q_hi;  // t = 1 .. Q + q_hi - 1
+  for (int t = 1; t < T; ++t) {
+    for (Reg r : rotating) m.exec(mov(r, r, Nbr::P));
+
+    // Which positions exchange this step?
+    std::uint64_t active = 0;
+    for (int q = q_lo; q < q_hi; ++q) {
+      const int j = ((q - t) % Q + Q) % Q;  // home of datum now at q
+      if (t == Q - j + q) active |= std::uint64_t{1} << q;
+    }
+    if (active == 0) continue;
+
+    for (const WaveField& f : fields) {
+      // Gather each active position's adopt bit into the shared CUR row
+      // (one gated copy per active position)...
+      for (int q = q_lo; q < q_hi; ++q) {
+        if (!((active >> q) & 1u)) continue;
+        Instr sel = mov(Reg::R(f.cur), Reg::R(f.adopt_base + q));
+        sel.act = Act::If;
+        sel.act_set = std::uint64_t{1} << q;
+        m.exec(sel);
+      }
+      // ...then ONE machine-wide conditional adoption per data bit: at
+      // every active position the L read crosses that position's own
+      // lateral dimension, and B carries the per-PE adopt decision.
+      set_b_from(m, f.cur);
+      for (int t2 = 0; t2 < f.data.len; ++t2) {
+        Instr in;
+        in.dest = f.data.reg(t2);
+        in.f = kTtMux;
+        in.g = kTtB;
+        in.src_f = f.data.reg(t2);
+        in.src_d = f.data.reg(t2);
+        in.d_nbr = Nbr::L;
+        in.act = Act::If;
+        in.act_set = active;
+        m.exec(in);
+      }
+    }
+  }
+  // Finish the lap so every datum is home again.
+  for (int t = T - 1; t % Q != 0; ++t) {
+    for (Reg r : rotating) m.exec(mov(r, r, Nbr::P));
+  }
+}
+
+void lateral_wave_descend(Machine& m, int q_lo, int q_hi,
+                          const std::vector<WaveField>& fields) {
+  const BvmConfig& cfg = m.config();
+  const int Q = cfg.Q();
+  if (q_lo < 0 || q_hi > cfg.h || q_lo > q_hi) {
+    throw std::invalid_argument("lateral_wave_descend: bad dim range");
+  }
+  if (q_lo == q_hi) return;
+
+  std::vector<Reg> rotating;
+  for (const WaveField& f : fields) {
+    for (int t = 0; t < f.data.len; ++t) rotating.push_back(f.data.reg(t));
+    for (int q = q_lo; q < q_hi; ++q) {
+      rotating.push_back(Reg::R(f.adopt_base + q));
+    }
+  }
+
+  // S-reads move data toward LOWER positions: datum of home j sits at
+  // (j - t) mod Q after t steps and executes dim q at t = Q + j - q —
+  // consecutive, descending, lockstep (mirror of the ascend wave and of
+  // CccMachine::high_dims_pipelined_descend).
+  const int T = 2 * Q;  // t = 1 .. 2Q-1
+  for (int t = 1; t < T; ++t) {
+    for (Reg r : rotating) m.exec(mov(r, r, Nbr::S));
+
+    std::uint64_t active = 0;
+    for (int q = q_hi - 1; q >= q_lo; --q) {
+      const int j = (q + t) % Q;  // home of datum now at position q
+      if (t == Q + j - q) active |= std::uint64_t{1} << q;
+    }
+    if (active == 0) continue;
+
+    for (const WaveField& f : fields) {
+      for (int q = q_lo; q < q_hi; ++q) {
+        if (!((active >> q) & 1u)) continue;
+        Instr sel = mov(Reg::R(f.cur), Reg::R(f.adopt_base + q));
+        sel.act = Act::If;
+        sel.act_set = std::uint64_t{1} << q;
+        m.exec(sel);
+      }
+      set_b_from(m, f.cur);
+      for (int t2 = 0; t2 < f.data.len; ++t2) {
+        Instr in;
+        in.dest = f.data.reg(t2);
+        in.f = kTtMux;
+        in.g = kTtB;
+        in.src_f = f.data.reg(t2);
+        in.src_d = f.data.reg(t2);
+        in.d_nbr = Nbr::L;
+        in.act = Act::If;
+        in.act_set = active;
+        m.exec(in);
+      }
+    }
+  }
+  // 2Q rotations total: data back home.
+  for (Reg r : rotating) m.exec(mov(r, r, Nbr::S));
+}
+
+std::uint64_t lateral_wave_cost(const BvmConfig& cfg, int q_lo, int q_hi,
+                                const std::vector<WaveField>& fields) {
+  const int Q = cfg.Q();
+  const int span = q_hi - q_lo;
+  if (span <= 0) return 0;
+  std::uint64_t rows = 0, bits = 0;
+  for (const WaveField& f : fields) {
+    rows += static_cast<std::uint64_t>(f.data.len + span);
+    bits += static_cast<std::uint64_t>(f.data.len);
+  }
+  const int T = Q + q_hi;
+  std::uint64_t rotations = static_cast<std::uint64_t>(T - 1);
+  rotations += static_cast<std::uint64_t>((Q - (T - 1) % Q) % Q);
+  // Per (dim, home) pair one CUR-select fires: span*Q selects per field.
+  const std::uint64_t selects = static_cast<std::uint64_t>(span) *
+                                static_cast<std::uint64_t>(Q) *
+                                fields.size();
+  // Steps with a nonempty active set: t in [q_lo+1, Q+q_hi-1].
+  const std::uint64_t busy_steps =
+      static_cast<std::uint64_t>(Q + q_hi - 1 - q_lo);
+  return rotations * rows + selects + busy_steps * (bits + fields.size());
+}
+
+std::uint64_t dim_exchange_cost(const BvmConfig& cfg, int dim, int len) {
+  if (dim == 0 && cfg.r >= 1) {
+    return static_cast<std::uint64_t>(len);  // one XS read per bit
+  }
+  if (dim < cfg.r) {
+    return static_cast<std::uint64_t>(len) *
+           (2u * (std::uint64_t{1} << dim) + 3u);
+  }
+  return static_cast<std::uint64_t>(len) *
+         (2u * static_cast<std::uint64_t>(cfg.Q()) + 1u);
+}
+
+}  // namespace ttp::bvm

@@ -1,0 +1,69 @@
+// Hypercube-dimension data exchange on the BVM's CCC network (paper §3, §6).
+//
+// dim_exchange_read(d) gives every PE its dimension-d partner's value:
+//   * low dims (d < r): the partner is inside the cycle at distance 2^d;
+//     two counter-rotating copies travel 2^d succ/pred hops and each PE
+//     keeps the one matching its position bit (the "lowsheaf" shuffle).
+//   * lateral dims (d >= r, cycle bit q = d - r): every datum takes one lap
+//     around its cycle, swapping across the lateral link each time it
+//     passes position q — the rotation realization of the highsheaf; Q
+//     shift steps + Q masked lateral reads per bit.
+//
+// ascend-style sequences built from these are exactly how the paper's TT
+// e-loop and min-reduction run on the real machine; the pipelined variant
+// that overlaps all lateral dims lives at the word level in net::CccMachine
+// (bench E13 quantifies the difference).
+#pragma once
+
+#include "bvm/microcode/arith.hpp"
+
+namespace ttp::bvm {
+
+/// dst = partner's src across hypercube dimension `dim`, all PEs at once.
+/// dst must not alias src; needs one scratch register for low dims.
+/// Costs (per bit): dim 0: 1 instr (the XS link IS the exchange); other
+/// low dims b: 2·2^b + 3 instrs; lateral: 2Q + 1 instrs.
+void dim_exchange_read(Machine& m, int dim, Field src, Field dst, int tmp);
+
+/// Instruction-count model of dim_exchange_read, for cost assertions.
+std::uint64_t dim_exchange_cost(const BvmConfig& cfg, int dim, int len);
+
+/// A payload for the pipelined lateral wave: `data` rotates around the
+/// cycles; when a datum passes lateral position q (q in the wave's range)
+/// it adopts its dimension-(r+q) partner's value iff its home PE's bit in
+/// row `adopt_base + q` is set. The adopt rows rotate along with the data
+/// so the decision bit is present wherever the datum currently sits; `cur`
+/// is a scratch row into which the wave gathers, per step, each active
+/// position's adopt bit, so ONE machine-wide mux per data bit serves every
+/// active dimension at once (the L link at position q crosses dim q).
+struct WaveField {
+  Field data;
+  int adopt_base = 0;  ///< rows [adopt_base + q_lo, adopt_base + q_hi)
+  int cur = 0;         ///< scratch row
+};
+
+/// The Preparata-Vuillemin pipelined ASCEND wave over lateral dimensions
+/// q_lo..q_hi-1 (hypercube dims r+q_lo..r+q_hi-1), at the bit level: one
+/// rotation lap serves ALL the dims instead of one lap per dim, which is
+/// what turns the e-loop's O(k·p·Q) lateral cost into O((Q+k)·p) and makes
+/// the paper's T = O(k·p·(k + log N)) bound achievable on the real machine.
+/// Every datum performs its in-range dims in ascending order (lockstep
+/// rotation pairs data of equal home positions), and all payloads end back
+/// at their home PEs.
+///
+/// Each field's conditional adoption is the same "receiver adopts, sender
+/// keeps" semantics as dim_exchange_read + select, fused into the wave.
+void lateral_wave_ascend(Machine& m, int q_lo, int q_hi,
+                         const std::vector<WaveField>& fields);
+
+/// The mirrored DESCEND wave: lateral dims q_hi-1..q_lo, each datum
+/// visiting them in descending order on one backward rotation lap. Same
+/// payload/adopt/CUR contract as the ascend wave.
+void lateral_wave_descend(Machine& m, int q_lo, int q_hi,
+                          const std::vector<WaveField>& fields);
+
+/// Instruction-count model of lateral_wave_ascend.
+std::uint64_t lateral_wave_cost(const BvmConfig& cfg, int q_lo, int q_hi,
+                                const std::vector<WaveField>& fields);
+
+}  // namespace ttp::bvm

@@ -1,0 +1,176 @@
+#include "bvm/microcode/ids.hpp"
+
+#include "bvm/microcode/arith.hpp"
+
+namespace ttp::bvm {
+
+namespace {
+
+// Activation set {p in [0,Q) : bit b of p is 1}.
+std::uint64_t positions_with_bit(const BvmConfig& cfg, int b) {
+  std::uint64_t s = 0;
+  for (int p = 0; p < cfg.Q(); ++p) {
+    if ((p >> b) & 1) s |= std::uint64_t{1} << p;
+  }
+  return s;
+}
+
+// dst |= dst.P, repeated Q-1 times: OR-spreads every 1-bit to its whole
+// cycle (works in one sweep direction because the cycle wraps).
+void or_spread_in_cycle(Machine& m, Reg reg) {
+  const int Q = m.config().Q();
+  for (int s = 0; s + 1 < Q; ++s) {
+    m.exec(binop(reg, kTtOrFD, reg, reg, Nbr::P));
+  }
+}
+
+}  // namespace
+
+void mark_pe0(Machine& m, int dest) {
+  // A = 1 everywhere; shift the I-chain once with a 0 on the input pin:
+  // every PE now reads its predecessor's old 1 except PE 0, which reads the
+  // pin. dest = ~A isolates PE 0.
+  m.exec(setv(Reg::MakeA(), true));
+  m.push_input(false);
+  m.exec(mov(Reg::MakeA(), Reg::MakeA(), Nbr::I));
+  m.exec(binop(dest < 0 ? Reg::MakeA() : Reg::R(dest), kTtNotD, Reg::MakeA(),
+               Reg::MakeA()));
+}
+
+void gen_position_id(Machine& m, int base) {
+  const BvmConfig& cfg = m.config();
+  for (int b = 0; b < cfg.r; ++b) {
+    Instr one = setv(Reg::R(base + b), true);
+    one.act = Act::If;
+    one.act_set = positions_with_bit(cfg, b);
+    Instr zero = setv(Reg::R(base + b), false);
+    zero.act = Act::Nf;
+    zero.act_set = one.act_set;
+    m.exec(one);
+    m.exec(zero);
+  }
+}
+
+void gen_cycle_number(Machine& m, int base, int flag, int tmp) {
+  const BvmConfig& cfg = m.config();
+  const int Q = cfg.Q();
+  (void)Q;
+
+  // flag = "my cycle already knows its number", initially cycle 0 only:
+  // isolate PE (0,0), then OR-spread within the cycle.
+  mark_pe0(m, flag);
+  or_spread_in_cycle(m, Reg::R(flag));
+
+  for (int t = 0; t < cfg.h; ++t) {
+    m.exec(setv(Reg::R(base + t), false));
+  }
+
+  // ASCEND broadcast over the lateral dimensions. Before dimension d the
+  // flagged cycles are exactly {c : c < 2^d}, so a lateral pair at position
+  // d is never flagged on both sides; receivers are all-zero, so 1-bits can
+  // be ORed in without enable masking.
+  for (int d = 0; d < cfg.h; ++d) {
+    // tmp = (partner cycle is flagged) & ~flag, at position d only.
+    m.exec(setv(Reg::R(tmp), false));
+    {
+      Instr in = binop(Reg::R(tmp), kTtAndDNotF, Reg::R(flag), Reg::R(flag),
+                       Nbr::L);
+      in.act = Act::If;
+      in.act_set = std::uint64_t{1} << d;
+      m.exec(in);
+    }
+    or_spread_in_cycle(m, Reg::R(tmp));  // tmp = "I am a receiving cycle"
+
+    // Receivers adopt the sender's low bits t < d. The sender's bit is
+    // replicated around its cycle, so reading it across the lateral at
+    // position d and OR-spreading suffices: a receiver reads the sender's
+    // bit, a sender reads its (all-zero) receiver's bit, and unflagged-
+    // unflagged pairs read zero — no enable masking needed.
+    for (int t = 0; t < d; ++t) {
+      m.exec(setv(Reg::MakeA(), false));
+      {
+        Instr in = mov(Reg::MakeA(), Reg::R(base + t), Nbr::L);
+        in.act = Act::If;
+        in.act_set = std::uint64_t{1} << d;
+        m.exec(in);
+      }
+      // Only receivers may adopt the bit (a flagged cycle's own lateral
+      // read at position d would otherwise pollute it on later dims where
+      // its partner is flagged too... which cannot happen in ASCEND order,
+      // but gating by tmp keeps the invariant local and checkable).
+      m.exec(binop(Reg::MakeA(), kTtAndFD, Reg::MakeA(), Reg::R(tmp)));
+      or_spread_in_cycle(m, Reg::MakeA());
+      m.exec(binop(Reg::R(base + t), kTtOrFD, Reg::R(base + t), Reg::MakeA()));
+    }
+
+    // Receivers set their new bit d and become flagged.
+    m.exec(binop(Reg::R(base + d), kTtOrFD, Reg::R(base + d), Reg::R(tmp)));
+    m.exec(binop(Reg::R(flag), kTtOrFD, Reg::R(flag), Reg::R(tmp)));
+  }
+}
+
+void gen_cycle_id(Machine& m, int dest, int cnum_base) {
+  const BvmConfig& cfg = m.config();
+  m.exec(setv(Reg::R(dest), false));
+  for (int p = 0; p < cfg.h; ++p) {
+    Instr in = mov(Reg::R(dest), Reg::R(cnum_base + p));
+    in.act = Act::If;
+    in.act_set = std::uint64_t{1} << p;
+    m.exec(in);
+  }
+}
+
+void gen_processor_id(Machine& m, int base, int flag, int tmp) {
+  gen_position_id(m, base);
+  gen_cycle_number(m, base + m.config().r, flag, tmp);
+}
+
+std::vector<bool> ref_pe0(const BvmConfig& cfg) {
+  std::vector<bool> v(cfg.num_pes(), false);
+  v[0] = true;
+  return v;
+}
+
+std::vector<bool> ref_position_bit(const BvmConfig& cfg, int b) {
+  std::vector<bool> v(cfg.num_pes());
+  for (std::size_t pe = 0; pe < cfg.num_pes(); ++pe) {
+    v[pe] = ((pe & (cfg.num_pes() - 1) & (static_cast<std::size_t>(cfg.Q()) - 1)) >> b) & 1;
+  }
+  return v;
+}
+
+std::vector<bool> ref_cycle_number_bit(const BvmConfig& cfg, int t) {
+  std::vector<bool> v(cfg.num_pes());
+  for (std::size_t pe = 0; pe < cfg.num_pes(); ++pe) {
+    v[pe] = ((pe >> cfg.r) >> t) & 1;
+  }
+  return v;
+}
+
+std::vector<bool> ref_cycle_id(const BvmConfig& cfg) {
+  std::vector<bool> v(cfg.num_pes(), false);
+  for (std::size_t pe = 0; pe < cfg.num_pes(); ++pe) {
+    const int pos = static_cast<int>(pe & (static_cast<std::size_t>(cfg.Q()) - 1));
+    if (pos < cfg.h) v[pe] = ((pe >> cfg.r) >> pos) & 1;
+  }
+  return v;
+}
+
+std::vector<bool> ref_address_bit(const BvmConfig& cfg, int t) {
+  std::vector<bool> v(cfg.num_pes());
+  for (std::size_t pe = 0; pe < cfg.num_pes(); ++pe) {
+    v[pe] = (pe >> t) & 1;
+  }
+  return v;
+}
+
+void load_processor_id_host(Machine& m, int base) {
+  const BvmConfig& cfg = m.config();
+  for (int t = 0; t < cfg.dims(); ++t) {
+    const auto bits = ref_address_bit(cfg, t);
+    BitVec& row = m.row(Reg::R(base + t));
+    for (std::size_t pe = 0; pe < bits.size(); ++pe) row.set(pe, bits[pe]);
+  }
+}
+
+}  // namespace ttp::bvm

@@ -1,0 +1,56 @@
+// Cycle-ID and processor-ID generation (paper §4.1-§4.2) — "the most basic
+// modules, used in almost all BVM algorithms".
+//
+// Specifications (the paper's listings are OCR-damaged; we implement from
+// the stated spec and validate against the paper's Fig. 3 / Fig. 4):
+//   cycle-ID:     PE (i, j) holds bit j of its cycle number i
+//                 (equivalently: 1 iff the PE is at the 1-end of its
+//                 lateral link).
+//   processor-ID: every PE holds its full address, one register row per
+//                 address bit (low r rows: in-cycle position; high h rows:
+//                 cycle number, replicated per PE).
+//
+// Generation is on-machine ("generating control bits on the fly saves the
+// precalculation time and the runtime storage"): position bits come free
+// from activation sets; cycle-number bits are grown by an ASCEND broadcast
+// from cycle 0 across the lateral dimensions, ORing 1-bits into all-zero
+// receivers so no enable masking is needed. PE (0,0) is singled out through
+// the I-chain, the only architectural source of asymmetry.
+#pragma once
+
+#include <vector>
+
+#include "bvm/machine.hpp"
+
+namespace ttp::bvm {
+
+/// R[dest] = 1 exactly at PE 0. Clobbers A; consumes one input bit slot.
+void mark_pe0(Machine& m, int dest);
+
+/// R[base+b] = bit b of the PE's in-cycle position, b in [0, r).
+void gen_position_id(Machine& m, int base);
+
+/// R[base+t] = bit t of the PE's cycle number, t in [0, h), replicated at
+/// every PE of the cycle. Needs two scratch registers. Clobbers A and B.
+void gen_cycle_number(Machine& m, int base, int flag, int tmp);
+
+/// R[dest] = the paper's cycle-ID bit (bit `pos` of the cycle number at the
+/// PE sitting at position `pos`), derived from a generated cycle number.
+void gen_cycle_id(Machine& m, int dest, int cnum_base);
+
+/// Full processor-ID at R[base..base+dims-1] (low r rows: position, high h
+/// rows: cycle number). Needs two scratch registers above the ID block.
+void gen_processor_id(Machine& m, int base, int flag, int tmp);
+
+/// Host-computed expected patterns for validation and for DMA preloading
+/// ("these control bits can be precalculated").
+std::vector<bool> ref_pe0(const BvmConfig& cfg);
+std::vector<bool> ref_position_bit(const BvmConfig& cfg, int b);
+std::vector<bool> ref_cycle_number_bit(const BvmConfig& cfg, int t);
+std::vector<bool> ref_cycle_id(const BvmConfig& cfg);
+std::vector<bool> ref_address_bit(const BvmConfig& cfg, int t);
+
+/// DMA fast path: writes the processor-ID block without instructions.
+void load_processor_id_host(Machine& m, int base);
+
+}  // namespace ttp::bvm

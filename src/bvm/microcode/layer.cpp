@@ -1,0 +1,61 @@
+#include "bvm/microcode/layer.hpp"
+
+#include "bvm/microcode/propagate.hpp"
+#include "util/bits.hpp"
+
+namespace ttp::bvm {
+
+int LayerControl::workspace_size(int k) {
+  // flag + recv + tmp_flag + tmp + count field.
+  return 4 + util::ceil_log2(static_cast<std::uint64_t>(k) + 1);
+}
+
+LayerControl::LayerControl(LayerMode mode, std::vector<int> set_dims,
+                           int pid_base, int work_base)
+    : mode_(mode),
+      set_dims_(std::move(set_dims)),
+      pid_base_(pid_base),
+      flag_(work_base),
+      recv_(work_base + 1),
+      tmp_flag_(work_base + 2),
+      tmp_(work_base + 3),
+      count_{work_base + 4,
+             util::ceil_log2(static_cast<std::uint64_t>(set_dims_.size()) + 1)} {}
+
+void LayerControl::init(Machine& m) {
+  layer_ = 0;
+  if (mode_ == LayerMode::kPopcount) {
+    std::vector<int> bits;
+    bits.reserve(set_dims_.size());
+    for (int d : set_dims_) bits.push_back(pid_base_ + d);
+    popcount_bits(m, count_, bits);
+    equals_const(m, flag_, count_, 0, tmp_);
+    return;
+  }
+  // Propagation mode: the 0-group is S == 0, i.e. all S address bits clear.
+  // flag = AND of their complements, accumulated in B.
+  set_b_const(m, true, tmp_);
+  for (int d : set_dims_) {
+    Instr in;
+    in.dest = Reg::R(tmp_);
+    in.f = kTtZero;
+    in.g = kTtAndBNotF;  // B &= ~bit
+    in.src_f = Reg::R(pid_base_ + d);
+    m.exec(in);
+  }
+  m.exec(mov(Reg::R(flag_), Reg::MakeB()));
+  m.exec(setv(Reg::R(recv_), false));
+}
+
+void LayerControl::advance(Machine& m) {
+  ++layer_;
+  if (mode_ == LayerMode::kPopcount) {
+    equals_const(m, flag_, count_, static_cast<std::uint64_t>(layer_), tmp_);
+    return;
+  }
+  propagation1_round(m, set_dims_, flag_, recv_, Field{0, 0}, Field{0, 0},
+                     pid_base_, tmp_flag_, tmp_);
+  propagation1_promote(m, flag_, recv_);
+}
+
+}  // namespace ttp::bvm

@@ -1,0 +1,53 @@
+// Layer control for the TT program: per DP layer j the machine needs the
+// per-PE predicate #S == j ("P(S,i)" in the paper's §6 algorithm).
+//
+// Two realizations, compared in bench E14:
+//  * kPropagation — the paper's §7 choice: "the predicate P(S,i,j) can be
+//    implemented by using the propagation of the first kind": group flags
+//    walk up one popcount level per layer; no PE ever computes its
+//    popcount. Costs k one-bit dimension exchanges per layer.
+//  * kPopcount — a one-time bit-serial popcount of the S-bits of the
+//    processor-ID, then an equals-compare per layer.
+#pragma once
+
+#include <vector>
+
+#include "bvm/microcode/arith.hpp"
+
+namespace ttp::bvm {
+
+enum class LayerMode { kPropagation, kPopcount };
+
+class LayerControl {
+ public:
+  /// `set_dims`: the hypercube dimensions holding the set S (ascending).
+  /// `pid_base`: processor-ID block. Registers [work_base, work_base+len)
+  /// are claimed for internal state; len is reported by workspace_size().
+  LayerControl(LayerMode mode, std::vector<int> set_dims, int pid_base,
+               int work_base);
+
+  static int workspace_size(int k);
+
+  /// Initializes for layer 0 (flag = "S == empty"). Call once.
+  void init(Machine& m);
+
+  /// Advances to the next layer and leaves flag() = (#S == j) where j is
+  /// the number of advance() calls so far.
+  void advance(Machine& m);
+
+  /// Register holding the current layer's enable flag.
+  int flag() const { return flag_; }
+
+ private:
+  LayerMode mode_;
+  std::vector<int> set_dims_;
+  int pid_base_;
+  int flag_;
+  int recv_;
+  int tmp_flag_;
+  int tmp_;
+  Field count_;  // popcount mode
+  int layer_ = 0;
+};
+
+}  // namespace ttp::bvm

@@ -1,0 +1,105 @@
+#include "bvm/microcode/normal.hpp"
+
+#include "bvm/microcode/exchange.hpp"
+
+namespace ttp::bvm {
+
+void bitonic_sort(Machine& m, Field v, int pid_base, const NormalScratch& ws,
+                  const std::vector<Field>& payload,
+                  const std::vector<Field>& payload_scratch) {
+  if (payload.size() != payload_scratch.size()) {
+    throw std::invalid_argument("bitonic_sort: payload scratch mismatch");
+  }
+  const int dims = m.config().dims();
+  m.exec(setv(Reg::R(ws.zero), false));
+  for (int s = 1; s <= dims; ++s) {
+    // Direction bit: address bit s (constant 0 on the last stage, making
+    // the final merge fully ascending).
+    const Reg dir = s < dims ? Reg::R(pid_base + s) : Reg::R(ws.zero);
+    for (int d = s - 1; d >= 0; --d) {
+      dim_exchange_read(m, d, v, ws.x, ws.tmp);
+      less_than(m, ws.lt, ws.x, v, ws.tmp);  // lt = partner < mine
+      // Adopt the partner's value when (partner<mine) ^ (I am the high
+      // side) ^ (descending block): one XOR3 instruction, dir riding in B.
+      set_b_from(m, dir.kind == Reg::Kind::R ? dir.index : ws.zero);
+      {
+        Instr in;
+        in.dest = Reg::R(ws.take);
+        in.f = kTtXor3;
+        in.g = kTtB;
+        in.src_f = Reg::R(ws.lt);
+        in.src_d = Reg::R(pid_base + d);
+        m.exec(in);
+      }
+      // Payloads ride with their keys: same exchange, same take flag.
+      for (std::size_t i = 0; i < payload.size(); ++i) {
+        dim_exchange_read(m, d, payload[i], payload_scratch[i], ws.tmp);
+        select(m, payload[i], ws.take, payload_scratch[i], payload[i]);
+      }
+      select(m, v, ws.take, ws.x, v);
+    }
+  }
+}
+
+void concentrate(Machine& m, int flag, Field value, Field rank, int pid_base,
+                 const NormalScratch& ws, const ConcentrateScratch& cs) {
+  if (rank.len <= m.config().dims()) {
+    throw std::invalid_argument("concentrate: rank field too narrow");
+  }
+  if (cs.key.len != rank.len || cs.rank_x.len != rank.len ||
+      ws.x.len != rank.len || cs.value_x.len != value.len) {
+    throw std::invalid_argument("concentrate: scratch length mismatch");
+  }
+
+  // rank = exclusive prefix count of flags = destination of each flagged
+  // record. Inclusive prefix via the scan, then decrement where flagged.
+  set_const(m, cs.key, 0);
+  m.exec(mov(cs.key.reg(0), Reg::R(flag)));  // key temporarily holds 0/1
+  prefix_sum(m, cs.key, rank, pid_base, ws);
+  set_b_from(m, flag);  // borrow = flag: decrement-by-flag ripple
+  for (int t = 0; t < rank.len; ++t) {
+    Instr in;
+    in.dest = rank.reg(t);
+    in.f = kTtXorFB;     // bit ^= borrow
+    in.g = kTtAndBNotF;  // borrow &= ~old bit
+    in.src_f = rank.reg(t);
+    m.exec(in);
+  }
+
+  // Sort key: flagged records by rank, unflagged behind them (all-ones).
+  set_b_from(m, flag);
+  constexpr std::uint8_t kTtKey = 0xCF;  // B ? D : 1
+  for (int t = 0; t < cs.key.len; ++t) {
+    Instr in;
+    in.dest = cs.key.reg(t);
+    in.f = kTtKey;
+    in.g = kTtB;
+    in.src_d = rank.reg(t);
+    m.exec(in);
+  }
+
+  // Route: sort by key, carrying value, rank and the flag bit itself.
+  bitonic_sort(m, cs.key, pid_base, ws, {value, rank, Field{flag, 1}},
+               {cs.value_x, cs.rank_x, Field{cs.flag_x, 1}});
+}
+
+void prefix_sum(Machine& m, Field v, Field prefix, int pid_base,
+                const NormalScratch& ws) {
+  copy_field(m, prefix, v);  // prefix := own value; v becomes block totals
+  const int dims = m.config().dims();
+  for (int d = 0; d < dims; ++d) {
+    dim_exchange_read(m, d, v, ws.x, ws.tmp);
+    // Upper half of each block folds the lower half's total into its
+    // prefix: prefix += x masked by PID[d].
+    for (int t = 0; t < v.len; ++t) {
+      m.exec(binop(ws.x.reg(t), kTtAndFD, ws.x.reg(t), Reg::R(pid_base + d)));
+    }
+    add_sat(m, prefix, prefix, ws.x, ws.tmp);
+    // Either way the block total doubles up: v += partner total. Re-fetch
+    // the unmasked partner total (the mask above destroyed half of it).
+    dim_exchange_read(m, d, v, ws.x, ws.tmp);
+    add_sat(m, v, v, ws.x, ws.tmp);
+  }
+}
+
+}  // namespace ttp::bvm

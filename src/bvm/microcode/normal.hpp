@@ -1,0 +1,56 @@
+// Normal algorithms as bit-serial BVM microcode: Batcher's bitonic sort and
+// an inclusive prefix sum over p-bit per-PE values. Beyond demonstrating
+// that the TT kernel's primitives (dimension exchange, compare, select,
+// add) compose into the classic ASCEND/DESCEND repertoire, these are the
+// building blocks BVM system software would ship ([15],[16]).
+#pragma once
+
+#include <vector>
+
+#include "bvm/microcode/arith.hpp"
+
+namespace ttp::bvm {
+
+/// Workspace for the normal algorithms: one scratch field of v.len plus
+/// four flag registers.
+struct NormalScratch {
+  Field x;       ///< partner-value staging, len == v.len
+  int lt = 0;    ///< comparison flag
+  int take = 0;  ///< adoption flag
+  int zero = 0;  ///< constant-0 row (for the final sort stage's direction)
+  int tmp = 0;   ///< low-level scratch
+};
+
+/// Sorts the per-PE values in `v` ascending by PE address via bitonic
+/// stages. `pid_base` must hold the processor-ID. O(dims^2) dimension
+/// exchanges of p bits each. `payload` fields (with matching scratch
+/// fields in `payload_scratch`) travel with their keys.
+void bitonic_sort(Machine& m, Field v, int pid_base, const NormalScratch& ws,
+                  const std::vector<Field>& payload = {},
+                  const std::vector<Field>& payload_scratch = {});
+
+/// Scratch for concentrate(): a sort-key field and staging for each
+/// payload. key.len and rank_x.len must equal the rank field's length
+/// (and ws.x must too, since the key is what the sort compares).
+struct ConcentrateScratch {
+  Field key;
+  Field rank_x;
+  Field value_x;
+  int flag_x = 0;
+};
+
+/// Nassimi-Sahni data concentration (the paper's ref. [9]): routes the
+/// records whose `flag` bit is set to PEs 0..m-1 (m = number of flags),
+/// preserving PE order; unflagged records end up behind them. On return
+/// `rank` holds, at the destination PEs, the record's 0-based rank, and
+/// `flag` has moved with its record. Built from prefix_sum + the
+/// payload-carrying bitonic sort. rank.len must exceed the machine's dims.
+void concentrate(Machine& m, int flag, Field value, Field rank, int pid_base,
+                 const NormalScratch& ws, const ConcentrateScratch& cs);
+
+/// prefix := inclusive prefix sum of v over PE order; v itself ends holding
+/// the machine-wide total (saturating arithmetic, INF absorbing).
+void prefix_sum(Machine& m, Field v, Field prefix, int pid_base,
+                const NormalScratch& ws);
+
+}  // namespace ttp::bvm

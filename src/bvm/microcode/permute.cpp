@@ -1,0 +1,77 @@
+#include "bvm/microcode/permute.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "bvm/microcode/exchange.hpp"
+
+namespace ttp::bvm {
+
+void load_benes_controls(Machine& m, const net::BenesProgram& prog,
+                         int ctrl_base) {
+  if (prog.dims != m.config().dims()) {
+    throw std::invalid_argument("load_benes_controls: size mismatch");
+  }
+  for (int s = 0; s < prog.num_stages(); ++s) {
+    BitVec& row = m.row(Reg::R(ctrl_base + s));
+    for (std::size_t pe = 0; pe < m.num_pes(); ++pe) {
+      row.set(pe, prog.stages[static_cast<std::size_t>(s)][pe]);
+    }
+  }
+}
+
+void benes_permute(Machine& m, const net::BenesProgram& prog, int ctrl_base,
+                   Field v, Field x, int tmp) {
+  if (prog.dims != m.config().dims()) {
+    throw std::invalid_argument("benes_permute: size mismatch");
+  }
+  for (int s = 0; s < prog.num_stages(); ++s) {
+    const int d = prog.dim_of(s);
+    dim_exchange_read(m, d, v, x, tmp);
+    // Conditional swap: both switch ports carry the same control bit, so
+    // "adopt the partner's value where the bit is set" swaps the pair.
+    select(m, v, ctrl_base + s, x, v);
+  }
+}
+
+void benes_permute_pipelined(Machine& m, const net::BenesProgram& prog,
+                             int ctrl_base, Field v, Field x,
+                             int adopt_scratch_base, int cur, int tmp) {
+  if (prog.dims != m.config().dims()) {
+    throw std::invalid_argument("benes_permute_pipelined: size mismatch");
+  }
+  const int dims = prog.dims;
+  const int r = m.config().r;
+
+  // --- Ascending half: stages 0..dims-1, stage s = dim s. ---
+  for (int s = 0; s < std::min(r, dims); ++s) {
+    dim_exchange_read(m, s, v, x, tmp);
+    select(m, v, ctrl_base + s, x, v);
+  }
+  if (dims > r) {
+    // Lateral dims r..dims-1: controls are the contiguous rows
+    // ctrl_base+r.., already in wave order (adopt row for q = ctrl of
+    // stage r+q).
+    lateral_wave_ascend(m, 0, dims - r,
+                        {WaveField{v, ctrl_base + r, cur}});
+  }
+
+  // --- Descending half: stages dims..2*dims-2, stage s = dim 2*dims-2-s.
+  if (dims - 1 > r) {
+    // Lateral dims dims-2..r: copy their controls into ascending-q order
+    // (adopt row q <- ctrl of stage 2*dims-2-(r+q)).
+    for (int q = 0; q < dims - 1 - r; ++q) {
+      m.exec(mov(Reg::R(adopt_scratch_base + q),
+                 Reg::R(ctrl_base + 2 * dims - 2 - (r + q))));
+    }
+    lateral_wave_descend(m, 0, dims - 1 - r,
+                         {WaveField{v, adopt_scratch_base, cur}});
+  }
+  for (int d = std::min(r, dims - 1) - 1; d >= 0; --d) {
+    const int s = 2 * dims - 2 - d;
+    dim_exchange_read(m, d, v, x, tmp);
+    select(m, v, ctrl_base + s, x, v);
+  }
+}
+
+}  // namespace ttp::bvm

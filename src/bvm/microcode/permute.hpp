@@ -1,0 +1,38 @@
+// Arbitrary permutations on the BVM via precalculated Benes control bits —
+// the §2 claim verbatim: "since the BVM communication network resembles the
+// Benes permutation network, it can accomplish any permutation within
+// O(log n) time if the control bits are precalculated".
+//
+// The host computes the 2m-1 switch-setting rows (net/benes.hpp) and DMA-
+// loads them; the machine then runs 2m-1 conditional-exchange stages, each
+// one dimension exchange plus a B-mux (a swap is "both partners adopt").
+#pragma once
+
+#include "bvm/microcode/arith.hpp"
+#include "net/benes.hpp"
+
+namespace ttp::bvm {
+
+/// Loads the program's control rows at R[ctrl_base + s] (host DMA — the
+/// "precalculated control bits" mode).
+void load_benes_controls(Machine& m, const net::BenesProgram& prog,
+                         int ctrl_base);
+
+/// Permutes the p-bit per-PE values in `v`: afterwards PE perm[src] holds
+/// the value PE src had. `x` is a staging field of the same length; `tmp`
+/// one scratch row. Costs (2m-1) · (one dim exchange + p+1 mux).
+void benes_permute(Machine& m, const net::BenesProgram& prog, int ctrl_base,
+                   Field v, Field x, int tmp);
+
+/// The pipelined realization: the ascending half's lateral stages share one
+/// forward wave (their control rows double as the wave's adopt rows) and
+/// the descending half's share one backward wave (controls copied into
+/// `adopt_scratch_base + q`, one row per lateral dim, because the wave
+/// needs them in ascending-q order). This is the machine-speed version of
+/// the O(log n) claim: lateral cost O((Q + m)·p) instead of O(m·Q·p).
+/// `cur` is the wave's consolidation row.
+void benes_permute_pipelined(Machine& m, const net::BenesProgram& prog,
+                             int ctrl_base, Field v, Field x,
+                             int adopt_scratch_base, int cur, int tmp);
+
+}  // namespace ttp::bvm

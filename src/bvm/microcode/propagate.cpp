@@ -1,0 +1,72 @@
+#include "bvm/microcode/propagate.hpp"
+
+#include "bvm/microcode/exchange.hpp"
+
+namespace ttp::bvm {
+
+namespace {
+
+// value |= partner_value & take: f(F=partner_bit, D=own_bit, B=take)
+// = D | (F & B).
+constexpr std::uint8_t kTtOrMasked = 0xEC;
+
+void combine_masked(Machine& m, Field value, Field partner, int take) {
+  set_b_from(m, take);
+  for (int t = 0; t < value.len; ++t) {
+    Instr in;
+    in.dest = value.reg(t);
+    in.f = kTtOrMasked;
+    in.g = kTtB;
+    in.src_f = partner.reg(t);
+    in.src_d = value.reg(t);
+    m.exec(in);
+  }
+}
+
+}  // namespace
+
+void propagation1_round(Machine& m, const std::vector<int>& dims, int sender,
+                        int recv, Field value, Field scratch, int pid_base,
+                        int tmp_flag, int tmp) {
+  const Field sender_f{sender, 1};
+  const Field tmp_flag_f{tmp_flag, 1};
+  for (int d : dims) {
+    // take = partner_sender & own-address-bit-d (the 1-END condition): a
+    // receiver differs from its sender only in dimension d, where it has
+    // the 1. Senders never receive (their partner would need equal
+    // popcount), so reading this round's sender set is race-free.
+    dim_exchange_read(m, d, sender_f, tmp_flag_f, tmp);
+    m.exec(binop(Reg::R(tmp_flag), kTtAndFD, Reg::R(tmp_flag),
+                 Reg::R(pid_base + d)));
+    if (value.len > 0) {
+      dim_exchange_read(m, d, value, scratch, tmp);
+      combine_masked(m, value, scratch, tmp_flag);
+    }
+    m.exec(binop(Reg::R(recv), kTtOrFD, Reg::R(recv), Reg::R(tmp_flag)));
+  }
+}
+
+void propagation1_promote(Machine& m, int sender, int recv) {
+  m.exec(mov(Reg::R(sender), Reg::R(recv)));
+  m.exec(setv(Reg::R(recv), false));
+}
+
+void propagation2(Machine& m, const std::vector<int>& dims, int sender,
+                  Field value, Field scratch, int pid_base, int tmp_flag,
+                  int tmp) {
+  const Field sender_f{sender, 1};
+  const Field tmp_flag_f{tmp_flag, 1};
+  for (int d : dims) {
+    dim_exchange_read(m, d, sender_f, tmp_flag_f, tmp);
+    m.exec(binop(Reg::R(tmp_flag), kTtAndFD, Reg::R(tmp_flag),
+                 Reg::R(pid_base + d)));
+    if (value.len > 0) {
+      dim_exchange_read(m, d, value, scratch, tmp);
+      combine_masked(m, value, scratch, tmp_flag);
+    }
+    // Receivers become legal senders immediately (second kind).
+    m.exec(binop(Reg::R(sender), kTtOrFD, Reg::R(sender), Reg::R(tmp_flag)));
+  }
+}
+
+}  // namespace ttp::bvm

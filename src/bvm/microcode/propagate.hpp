@@ -1,0 +1,40 @@
+// BVM realization of the paper's §4.4 propagation algorithms.
+//
+// Propagation of the first kind moves data from the current sender group
+// (PEs whose addresses have exactly i ones over the chosen dimensions) to
+// the (i+1)-group; receivers learn their membership from the arrival itself
+// — the paper's on-the-fly solution to PE allocation. Promotion then turns
+// receivers into the next sender set.
+//
+// Propagation of the second kind floods data to all supersets in one sweep
+// (receivers become senders immediately).
+//
+// Both are parameterized by the dimension list: the TT program propagates
+// only over the k set dimensions, leaving the action-index dimensions
+// untouched.
+#pragma once
+
+#include <vector>
+
+#include "bvm/microcode/arith.hpp"
+
+namespace ttp::bvm {
+
+/// One round of propagation of the first kind over `dims` (ascending).
+/// `pid_base` must hold the processor-ID block. `value` may be empty
+/// (len == 0) when only group flags are propagated. Receivers OR-combine.
+void propagation1_round(Machine& m, const std::vector<int>& dims, int sender,
+                        int recv, Field value, Field scratch, int pid_base,
+                        int tmp_flag, int tmp);
+
+/// Promotion: sender = recv, recv = 0.
+void propagation1_promote(Machine& m, int sender, int recv);
+
+/// Propagation of the second kind over `dims` (ascending): data flows from
+/// the sender group to every superset; receivers become senders and
+/// OR-combine values.
+void propagation2(Machine& m, const std::vector<int>& dims, int sender,
+                  Field value, Field scratch, int pid_base, int tmp_flag,
+                  int tmp);
+
+}  // namespace ttp::bvm

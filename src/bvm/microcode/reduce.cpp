@@ -1,0 +1,65 @@
+#include "bvm/microcode/reduce.hpp"
+
+#include <stdexcept>
+
+#include "bvm/microcode/exchange.hpp"
+
+namespace ttp::bvm {
+
+namespace {
+
+// Folds the 1-bit register with tt (an F,D two-input table) across all
+// dimensions; afterwards every PE holds the machine-wide fold.
+void fold_all_dims(Machine& m, int flag, int scratch, int tmp,
+                   std::uint8_t tt) {
+  const Field f{flag, 1}, s{scratch, 1};
+  for (int d = 0; d < m.config().dims(); ++d) {
+    dim_exchange_read(m, d, f, s, tmp);
+    m.exec(binop(Reg::R(flag), tt, Reg::R(flag), Reg::R(scratch)));
+  }
+}
+
+// Emits PE (n-1)'s bit of `reg` through the output pin: one I-shift with A
+// as the vehicle (A is clobbered; the shift consumes one input slot, which
+// reads 0 when the queue is idle).
+bool emit_tail_bit(Machine& m, int reg) {
+  m.exec(mov(Reg::MakeA(), Reg::R(reg)));
+  m.exec(mov(Reg::MakeA(), Reg::MakeA(), Nbr::I));
+  return m.output().back();
+}
+
+}  // namespace
+
+bool global_or(Machine& m, int flag, int scratch, int tmp) {
+  fold_all_dims(m, flag, scratch, tmp, kTtOrFD);
+  return emit_tail_bit(m, flag);
+}
+
+bool global_and(Machine& m, int flag, int scratch, int tmp) {
+  fold_all_dims(m, flag, scratch, tmp, kTtAndFD);
+  return emit_tail_bit(m, flag);
+}
+
+std::uint64_t global_count(Machine& m, int flag, Field total, Field staging,
+                           int tmp) {
+  if (staging.len != total.len) {
+    throw std::invalid_argument("global_count: staging length mismatch");
+  }
+  // total = flag widened, then tree-sum across all dimensions: after the
+  // dim-d exchange both partners hold the sum of their pair, so the fold
+  // converges to the machine-wide count at every PE.
+  set_const(m, total, 0);
+  m.exec(mov(total.reg(0), Reg::R(flag)));
+  for (int d = 0; d < m.config().dims(); ++d) {
+    dim_exchange_read(m, d, total, staging, tmp);
+    add_sat(m, total, total, staging, tmp);
+  }
+  // Ship the count out through the pin, LSB first.
+  std::uint64_t out = 0;
+  for (int t = 0; t < total.len; ++t) {
+    if (emit_tail_bit(m, total.base + t)) out |= std::uint64_t{1} << t;
+  }
+  return out;
+}
+
+}  // namespace ttp::bvm

@@ -1,0 +1,26 @@
+// Machine -> host feedback: global reductions whose result leaves through
+// the architectural output pin (the I-chain's tail), the way a real SIMD
+// front end polls its array for "some/none" responses. Everything here is
+// pure ISA — the host only reads the output queue.
+#pragma once
+
+#include "bvm/microcode/arith.hpp"
+
+namespace ttp::bvm {
+
+/// Folds `flag` with OR across every PE (ASCEND over all dimensions; on
+/// return every PE holds the global OR) and emits one copy through the
+/// output pin. Returns the emitted bit. Needs one scratch row.
+bool global_or(Machine& m, int flag, int scratch, int tmp);
+
+/// Same with AND (e.g. "did every PE finish?").
+bool global_and(Machine& m, int flag, int scratch, int tmp);
+
+/// Machine-wide population count of `flag`: a prefix-free total fold —
+/// every PE ends holding the count in `total` (width total.len, saturating)
+/// and the host reads it from the output pin, one I-shift per bit. Needs a
+/// staging field of total.len.
+std::uint64_t global_count(Machine& m, int flag, Field total, Field staging,
+                           int tmp);
+
+}  // namespace ttp::bvm

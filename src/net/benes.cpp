@@ -1,0 +1,120 @@
+#include "net/benes.hpp"
+
+#include <stdexcept>
+
+#include "util/bits.hpp"
+
+namespace ttp::net {
+
+namespace {
+
+// Waksman's looping algorithm, one recursion level.
+//
+// `perm` is local over dims l..m-1 (local bit 0 <-> dim l); the element at
+// global position base + (i << l) must reach base + (perm[i] << l). The
+// level's switches pair local indices (i, i^1) on both the input and the
+// output side; the looping 2-coloring sends each pair's two elements into
+// different half-size subnetworks.
+void solve(int l, std::size_t base, const std::vector<std::size_t>& perm,
+           BenesProgram& prog) {
+  const std::size_t n = perm.size();
+  const int m = prog.dims;
+
+  if (n == 2) {
+    // Base case: the middle stage, a single switch along dim l == m-1.
+    const bool swap = perm[0] == 1;
+    prog.stages[static_cast<std::size_t>(m - 1)][base] = swap;
+    prog.stages[static_cast<std::size_t>(m - 1)]
+               [base + (std::size_t{1} << l)] = swap;
+    return;
+  }
+
+  // Subnet of each input element (by local index) and of each output slot.
+  std::vector<int> in_sub(n, -1);
+  std::vector<std::size_t> inv(n);
+  for (std::size_t i = 0; i < n; ++i) inv[perm[i]] = i;
+
+  for (std::size_t seed = 0; seed < n; ++seed) {
+    if (in_sub[seed] >= 0) continue;
+    // Walk the constraint loop: input pairs alternate subnets, and the two
+    // elements landing on an output pair must come from different subnets.
+    std::size_t cur = seed;
+    int sub = 0;
+    while (in_sub[cur] < 0) {
+      in_sub[cur] = sub;
+      // Input-pair partner takes the opposite subnet.
+      const std::size_t partner = cur ^ 1u;
+      if (in_sub[partner] >= 0) break;  // loop closed
+      in_sub[partner] = 1 - sub;
+      // The output pair that `partner` lands on forces the source of its
+      // other slot into subnet `sub` again.
+      const std::size_t other_dst = perm[partner] ^ 1u;
+      cur = inv[other_dst];
+      sub = in_sub[partner] ^ 1;  // == sub
+    }
+  }
+
+  // Record the switch settings: input stage s = l, output stage 2m-2-l.
+  const std::size_t s_in = static_cast<std::size_t>(l);
+  const std::size_t s_out = static_cast<std::size_t>(2 * m - 2 - l);
+  std::vector<std::size_t> sub_perm[2];
+  sub_perm[0].resize(n / 2);
+  sub_perm[1].resize(n / 2);
+  for (std::size_t i = 0; i < n; i += 2) {
+    // Element i enters subnet (0 ^ swap) => swap = in_sub[i].
+    const bool inswap = in_sub[i] == 1;
+    const std::size_t g0 = base + (i << l);
+    const std::size_t g1 = base + ((i + 1) << l);
+    prog.stages[s_in][g0] = inswap;
+    prog.stages[s_in][g1] = inswap;
+  }
+  for (std::size_t j = 0; j < n; j += 2) {
+    // Output slot j is fed from subnet in_sub[inv[j]]; the switch swaps
+    // when the even slot is fed from subnet 1.
+    const bool outswap = in_sub[inv[j]] == 1;
+    const std::size_t g0 = base + (j << l);
+    const std::size_t g1 = base + ((j + 1) << l);
+    prog.stages[s_out][g0] = outswap;
+    prog.stages[s_out][g1] = outswap;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    sub_perm[in_sub[i]][i >> 1] = perm[i] >> 1;
+  }
+
+  solve(l + 1, base, sub_perm[0], prog);
+  solve(l + 1, base + (std::size_t{1} << l), sub_perm[1], prog);
+}
+
+}  // namespace
+
+BenesProgram benes_route(const std::vector<std::size_t>& perm) {
+  const std::size_t n = perm.size();
+  if (n < 2 || !util::is_pow2(n)) {
+    throw std::invalid_argument("benes_route: size must be a power of two");
+  }
+  std::vector<char> seen(n, 0);
+  for (std::size_t v : perm) {
+    if (v >= n || seen[v]) {
+      throw std::invalid_argument("benes_route: not a permutation");
+    }
+    seen[v] = 1;
+  }
+  BenesProgram prog;
+  prog.dims = util::log2_exact(n);
+  prog.stages.assign(static_cast<std::size_t>(2 * prog.dims - 1),
+                     std::vector<bool>(n, false));
+  solve(0, 0, perm, prog);
+  return prog;
+}
+
+std::uint64_t benes_ctrl_word(const BenesProgram& prog, std::size_t pe) {
+  std::uint64_t w = 0;
+  for (int s = 0; s < prog.num_stages(); ++s) {
+    if (prog.stages[static_cast<std::size_t>(s)][pe]) {
+      w |= std::uint64_t{1} << s;
+    }
+  }
+  return w;
+}
+
+}  // namespace ttp::net

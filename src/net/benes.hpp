@@ -1,0 +1,66 @@
+// Benes permutation routing (paper §2: "since the BVM communication
+// network resembles the Benes permutation network, it can accomplish any
+// permutation within O(log n) time if the control bits are precalculated").
+//
+// A Benes network on 2^m elements is 2m-1 stages of 2x2 switches; stage s
+// pairs elements along hypercube dimension
+//     dim(s) = s        for s < m       (ascending half)
+//     dim(s) = 2m-2-s   for s >= m      (descending half)
+// The Waksman looping algorithm precalculates one control bit per switch
+// such that applying the conditional swaps stage by stage realizes ANY
+// permutation. On the machines both halves are normal (ascending /
+// descending) dimension runs, so the CCC executes them with its pipelined
+// waves — O(log n) parallel steps, the paper's claim.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "net/normal.hpp"
+
+namespace ttp::net {
+
+struct BenesProgram {
+  int dims = 0;
+  /// stages[s][pe]: swap control of the switch containing pe at stage s
+  /// (replicated at both pair members). stages.size() == 2*dims - 1.
+  std::vector<std::vector<bool>> stages;
+
+  int num_stages() const { return static_cast<int>(stages.size()); }
+  /// Hypercube dimension exercised by stage s.
+  int dim_of(int s) const { return s < dims ? s : 2 * dims - 2 - s; }
+};
+
+/// Precalculates control bits for `perm` (perm[src] = dst, a permutation of
+/// 0..2^m-1). Throws std::invalid_argument if perm is not a permutation of
+/// a power-of-two domain.
+BenesProgram benes_route(const std::vector<std::size_t>& perm);
+
+/// Packs an item's control bits across all stages into one word (bit s =
+/// the control of pe's switch at stage s) — what travels with the item on
+/// machines whose data physically moves (the CCC).
+std::uint64_t benes_ctrl_word(const BenesProgram& prog, std::size_t pe);
+
+/// Applies the program on any machine exposing ascend_range/descend_range
+/// over NormalItem states: key fields are permuted so that afterwards
+/// at(perm[src]).key == original at(src).key. aux is clobbered (it carries
+/// the control word). Requires init_homes() state.
+template <typename MachineT>
+void benes_apply(MachineT& m, const BenesProgram& prog) {
+  for (std::size_t pe = 0; pe < m.size(); ++pe) {
+    m.at(pe).aux = benes_ctrl_word(prog, pe);
+  }
+  const int dims = prog.dims;
+  // Ascending half: stages 0..m-1 are dims 0..m-1.
+  m.ascend_range(0, dims, [&](int d, NormalItem& lo, NormalItem& hi) {
+    if ((lo.aux >> d) & 1u) std::swap(lo.key, hi.key);
+  });
+  // Descending half: stages m..2m-2 are dims m-2..0.
+  m.descend_range(0, dims - 1, [&](int d, NormalItem& lo, NormalItem& hi) {
+    const int stage = 2 * dims - 2 - d;
+    if ((lo.aux >> stage) & 1u) std::swap(lo.key, hi.key);
+  });
+}
+
+}  // namespace ttp::net

@@ -1,0 +1,3 @@
+#include "net/ccc.hpp"
+
+// CccMachine is a class template; this TU anchors the library target.

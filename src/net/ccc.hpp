@@ -1,0 +1,329 @@
+// Word-level cube-connected-cycles simulator (paper §2-§3).
+//
+// Topology: cycles of length Q = 2^r; 2^h cycles (1 <= h <= Q). PE address
+// is cycle‖position (h + r bits). Within a cycle PE (i,j) links to its
+// successor (i, j+1 mod Q) and predecessor; positions j < h additionally
+// carry a lateral link to (i xor 2^j, j). h == Q is the paper's complete
+// CCC (the BVM); h < Q is Preparata-Vuillemin padding that admits more
+// machine sizes. Link count is n (cycle links) + n·h/(2Q) lateral pairs,
+// i.e. ~3n/2 for the complete CCC — the paper's headline connection count.
+//
+// The machine executes hypercube ASCEND/DESCEND algorithms two ways:
+//   * ascend_unpipelined: each high dimension costs a full cycle rotation;
+//   * ascend (pipelined): all high dimensions share one 2Q-step rotation
+//     wave, the Preparata-Vuillemin scheme the paper relies on (§3: a
+//     constant slowdown of 4-6 versus the hypercube).
+// Both are link-faithful: data moves only along cycle or lateral links, and
+// the step counter charges one parallel step per machine-wide move/op wave.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "util/bits.hpp"
+#include "util/counters.hpp"
+
+namespace ttp::net {
+
+struct CccConfig {
+  int r = 2;  ///< log2 of the cycle length.
+  int h = 4;  ///< number of lateral (cycle-number) dimensions, 1 <= h <= Q.
+
+  int cycle_len() const noexcept { return 1 << r; }
+  int dims() const noexcept { return r + h; }                 // hypercube dims
+  std::size_t num_cycles() const noexcept { return std::size_t{1} << h; }
+  std::size_t size() const noexcept { return std::size_t{1} << dims(); }
+  /// Complete CCC per the paper: every position has a lateral link.
+  static CccConfig complete(int r) { return CccConfig{r, 1 << r}; }
+
+  void check() const {
+    if (r < 1 || h < 1 || h > cycle_len() || dims() > 26) {
+      throw std::invalid_argument("CccConfig: invalid r/h");
+    }
+  }
+  /// Undirected link count: one succ link per PE (n) plus one lateral pair
+  /// per two PEs at positions < h.
+  std::size_t links() const noexcept {
+    const std::size_t lateral =
+        num_cycles() * static_cast<std::size_t>(h) / 2;
+    // A 2-cycle (Q=2) collapses succ and pred into one physical link.
+    const std::size_t ring = cycle_len() == 2 ? size() / 2 : size();
+    return ring + lateral;
+  }
+};
+
+template <typename State>
+class CccMachine {
+ public:
+  explicit CccMachine(CccConfig cfg, State init = State{})
+      : cfg_(cfg), pe_(cfg.size(), init), origin_(cfg.size()) {
+    cfg_.check();
+    reset_origins();
+  }
+
+  const CccConfig& config() const noexcept { return cfg_; }
+  std::size_t size() const noexcept { return pe_.size(); }
+  int dims() const noexcept { return cfg_.dims(); }
+
+  /// Addressing helpers: address = cycle * Q + pos.
+  std::size_t addr(std::size_t cycle, int pos) const noexcept {
+    return cycle * static_cast<std::size_t>(cfg_.cycle_len()) +
+           static_cast<std::size_t>(pos);
+  }
+  State& at(std::size_t i) { return pe_.at(i); }
+  const State& at(std::size_t i) const { return pe_.at(i); }
+
+  const util::StepCounter& steps() const noexcept { return steps_; }
+  void reset_steps() { steps_.reset(); }
+
+  /// Full hypercube ASCEND via the pipelined schedule (dims 0..r-1 in-cycle,
+  /// then all h lateral dims on one rotation wave).
+  template <typename Op>
+  void ascend(Op&& op) {
+    for (int b = 0; b < cfg_.r; ++b) low_dim_exchange(b, op);
+    high_dims_pipelined_ascend(op);
+  }
+
+  /// Full hypercube DESCEND (lateral dims h-1..0 on a backward rotation
+  /// wave, then in-cycle dims r-1..0).
+  template <typename Op>
+  void descend(Op&& op) {
+    high_dims_pipelined_descend(op);
+    for (int b = cfg_.r - 1; b >= 0; --b) low_dim_exchange(b, op);
+  }
+
+  /// ASCEND restricted to hypercube dims [lo_dim, hi_dim). In-cycle dims in
+  /// range are exchanged individually; if the range reaches any lateral dim
+  /// a full pipelined wave runs with the op gated to the range (the wave is
+  /// the machine's atom of lateral communication, so its cost is charged in
+  /// full). Used by the TT solver, whose layers are two ascending segments.
+  template <typename Op>
+  void ascend_range(int lo_dim, int hi_dim, Op&& op) {
+    for (int b = std::max(0, lo_dim); b < std::min(cfg_.r, hi_dim); ++b) {
+      low_dim_exchange(b, op);
+    }
+    if (hi_dim > cfg_.r) {
+      auto gated = [&](int dim, State& x, State& y) {
+        if (dim >= lo_dim && dim < hi_dim) op(dim, x, y);
+      };
+      high_dims_pipelined_ascend(gated);
+    }
+  }
+
+  /// DESCEND restricted to hypercube dims [lo_dim, hi_dim): the gated
+  /// pipelined backward wave for any lateral dims in range, then the
+  /// in-cycle dims downward.
+  template <typename Op>
+  void descend_range(int lo_dim, int hi_dim, Op&& op) {
+    if (hi_dim > cfg_.r) {
+      auto gated = [&](int dim, State& x, State& y) {
+        if (dim >= lo_dim && dim < hi_dim) op(dim, x, y);
+      };
+      high_dims_pipelined_descend(gated);
+    }
+    for (int b = std::min(cfg_.r, hi_dim) - 1; b >= std::max(0, lo_dim); --b) {
+      low_dim_exchange(b, op);
+    }
+  }
+
+  /// Naive variant: each lateral dimension pays its own full rotation.
+  template <typename Op>
+  void ascend_unpipelined(Op&& op) {
+    for (int b = 0; b < cfg_.r; ++b) low_dim_exchange(b, op);
+    for (int q = 0; q < cfg_.h; ++q) high_dim_exchange_rotating(q, op);
+  }
+
+  /// One local parallel step: f(pe_address, state).
+  template <typename F>
+  void local_step(F&& f) {
+    for (std::size_t p = 0; p < pe_.size(); ++p) f(p, pe_[p]);
+    steps_.step(pe_.size(), /*routed=*/false);
+  }
+
+  /// In-cycle exchange along position-bit b (hypercube dim b < r): two
+  /// counter-rotating copies travel 2^b hops (the CCC "lowsheaf" shuffle),
+  /// then each PE combines with its partner's value.
+  template <typename Op>
+  void low_dim_exchange(int b, Op&& op) {
+    const int Q = cfg_.cycle_len();
+    const int hop = 1 << b;
+    // Physically the exchange is two counter-rotating waves of `hop` hops
+    // (lo→hi values ride succ links while hi→lo values ride pred links in
+    // the same steps). We move one wave and compute both sides centrally;
+    // the step cost charges both directions.
+    std::vector<State> bwd = pe_;  // will appear shifted -hop
+    for (int s = 0; s < hop; ++s) {
+      rotate_copy(bwd, -1);
+      steps_.step(2 * pe_.size(), /*routed=*/true);
+    }
+    for (std::size_t c = 0; c < cfg_.num_cycles(); ++c) {
+      for (int p = 0; p < Q; ++p) {
+        if (p & hop) continue;
+        const std::size_t lo = addr(c, p);
+        op(b, pe_[lo], bwd[lo]);          // partner p+hop arrived in bwd
+        pe_[addr(c, p + hop)] = bwd[lo];  // hi PE computed symmetrically:
+      }
+    }
+    // Each pair is combined once through op (lo side); the hi result is the
+    // mirrored state op produced, written back above.
+    steps_.step(pe_.size(), /*routed=*/false);
+  }
+
+ private:
+  // Rotate a detached copy of all cycles by one hop (dir=+1: value of
+  // predecessor arrives, i.e. contents move toward higher positions).
+  void rotate_copy(std::vector<State>& v, int dir) const {
+    const int Q = cfg_.cycle_len();
+    for (std::size_t c = 0; c < cfg_.num_cycles(); ++c) {
+      const std::size_t base = addr(c, 0);
+      if (dir > 0) {
+        State last = v[base + static_cast<std::size_t>(Q - 1)];
+        for (int p = Q - 1; p > 0; --p) {
+          v[base + static_cast<std::size_t>(p)] =
+              v[base + static_cast<std::size_t>(p - 1)];
+        }
+        v[base] = last;
+      } else {
+        State first = v[base];
+        for (int p = 0; p + 1 < Q; ++p) {
+          v[base + static_cast<std::size_t>(p)] =
+              v[base + static_cast<std::size_t>(p + 1)];
+        }
+        v[base + static_cast<std::size_t>(Q - 1)] = first;
+      }
+    }
+  }
+
+  void rotate_data(int dir) {
+    rotate_copy(pe_, dir);
+    rotate_origin(dir);
+    steps_.step(pe_.size(), /*routed=*/true);
+  }
+
+  void rotate_origin(int dir) {
+    const int Q = cfg_.cycle_len();
+    for (std::size_t c = 0; c < cfg_.num_cycles(); ++c) {
+      const std::size_t base = addr(c, 0);
+      if (dir > 0) {
+        int last = origin_[base + static_cast<std::size_t>(Q - 1)];
+        for (int p = Q - 1; p > 0; --p) {
+          origin_[base + static_cast<std::size_t>(p)] =
+              origin_[base + static_cast<std::size_t>(p - 1)];
+        }
+        origin_[base] = last;
+      } else {
+        int first = origin_[base];
+        for (int p = 0; p + 1 < Q; ++p) {
+          origin_[base + static_cast<std::size_t>(p)] =
+              origin_[base + static_cast<std::size_t>(p + 1)];
+        }
+        origin_[base + static_cast<std::size_t>(Q - 1)] = first;
+      }
+    }
+  }
+
+  void reset_origins() {
+    const int Q = cfg_.cycle_len();
+    for (std::size_t c = 0; c < cfg_.num_cycles(); ++c) {
+      for (int p = 0; p < Q; ++p) origin_[addr(c, p)] = p;
+    }
+  }
+
+  // Lateral exchange for all data currently sitting at position `pos`
+  // (hypercube dim r+pos), pairing cycles that differ in cycle-bit `pos`.
+  template <typename Op>
+  void lateral_exchange_at(int pos, Op&& op) {
+    lateral_exchange_batch(std::uint64_t{1} << pos, op);
+  }
+
+  // Lateral exchanges at all positions in `pos_mask`, concurrently: they
+  // involve disjoint PEs and distinct links, so the whole batch is one
+  // machine-wide parallel step.
+  template <typename Op>
+  void lateral_exchange_batch(std::uint64_t pos_mask, Op&& op) {
+    if (pos_mask == 0) return;
+    std::size_t touched = 0;
+    for (int pos = 0; pos < cfg_.h; ++pos) {
+      if (!((pos_mask >> pos) & 1u)) continue;
+      const std::size_t bitmask = std::size_t{1} << pos;
+      for (std::size_t c = 0; c < cfg_.num_cycles(); ++c) {
+        if (c & bitmask) continue;
+        op(cfg_.r + pos, pe_[addr(c, pos)], pe_[addr(c | bitmask, pos)]);
+      }
+      touched += 2 * cfg_.num_cycles();
+    }
+    steps_.step(touched, /*routed=*/true);
+  }
+
+  // Unpipelined lateral dim q: rotate a full revolution; each datum
+  // exchanges when it passes position q.
+  template <typename Op>
+  void high_dim_exchange_rotating(int q, Op&& op) {
+    const int Q = cfg_.cycle_len();
+    for (int s = 0; s < Q; ++s) {
+      rotate_data(+1);
+      lateral_exchange_at(q, op);
+    }
+  }
+
+  // Pipelined wave (derivation in DESIGN.md / tests): rotating forward, the
+  // datum of origin j reaches position 0 at time Q-j and then performs
+  // lateral dims 0..h-1 at consecutive times t = Q-j+p. Both members of
+  // every exchanged pair share an origin, so the schedule is consistent,
+  // and each datum sees the lateral dims in ascending order.
+  template <typename Op>
+  void high_dims_pipelined_ascend(Op&& op) {
+    const int Q = cfg_.cycle_len();
+    const int T = Q + cfg_.h;  // t = 1 .. Q+h-1
+    for (int t = 1; t < T; ++t) {
+      rotate_data(+1);
+      std::uint64_t active = 0;
+      for (int p = 0; p < cfg_.h; ++p) {
+        const int j = ((p - t) % Q + Q) % Q;  // origin of data now at p
+        if (t == Q - j + p) active |= std::uint64_t{1} << p;
+      }
+      lateral_exchange_batch(active, op);
+    }
+    // Finish the lap so every datum is back at its home position.
+    for (int t = T - 1; t % Q != 0; ++t) rotate_data(+1);
+    check_home();
+  }
+
+  template <typename Op>
+  void high_dims_pipelined_descend(Op&& op) {
+    const int Q = cfg_.cycle_len();
+    const int T = 2 * Q;  // t = 1 .. 2Q-1 covers t = Q+j-p for all j, p<h
+    for (int t = 1; t < T; ++t) {
+      rotate_data(-1);
+      std::uint64_t active = 0;
+      for (int p = cfg_.h - 1; p >= 0; --p) {
+        const int j = (p + t) % Q;  // origin of data now at p
+        if (t == Q + j - p) active |= std::uint64_t{1} << p;
+      }
+      lateral_exchange_batch(active, op);
+    }
+    rotate_data(-1);  // 2Q rotations total: data back home
+    check_home();
+  }
+
+  void check_home() const {
+    const int Q = cfg_.cycle_len();
+    for (std::size_t c = 0; c < cfg_.num_cycles(); ++c) {
+      for (int p = 0; p < Q; ++p) {
+        if (origin_[addr(c, p)] != p) {
+          throw std::logic_error("CccMachine: data not back at home position");
+        }
+      }
+    }
+  }
+
+  CccConfig cfg_;
+  std::vector<State> pe_;
+  std::vector<int> origin_;  ///< current origin-position of each slot's datum
+  util::StepCounter steps_;
+};
+
+}  // namespace ttp::net

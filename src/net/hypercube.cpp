@@ -1,0 +1,4 @@
+#include "net/hypercube.hpp"
+
+// HypercubeMachine is a class template; this TU anchors the library target
+// and hosts nothing else. Topology arithmetic is constexpr in the header.

@@ -1,0 +1,95 @@
+// Word-level hypercube PE-array simulator and the ASCEND/DESCEND engine
+// (paper §3; Preparata-Vuillemin normal algorithms).
+//
+// An algorithm is in ASCEND form if it is a sequence of pairwise operations
+// on PEs whose addresses differ in bit 0, then bit 1, ..., then bit m-1
+// (DESCEND: the reverse order). The engine applies a caller-supplied op once
+// per pair per dimension and charges one routed parallel step per dimension,
+// which is the hypercube's native cost (each PE owns a link per dimension).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/bits.hpp"
+#include "util/counters.hpp"
+
+namespace ttp::net {
+
+/// Pure topology helper for tests and link-count claims (n·log n / 2 links
+/// for the hypercube vs 3n/2 for the CCC, paper §3).
+struct HypercubeTopology {
+  int dims = 0;
+
+  std::size_t size() const noexcept { return std::size_t{1} << dims; }
+  std::size_t links() const noexcept { return size() * static_cast<std::size_t>(dims) / 2; }
+  std::size_t neighbor(std::size_t pe, int d) const noexcept {
+    return pe ^ (std::size_t{1} << d);
+  }
+};
+
+template <typename State>
+class HypercubeMachine {
+ public:
+  explicit HypercubeMachine(int dims, State init = State{})
+      : dims_(dims), pe_(std::size_t{1} << dims, init) {}
+
+  int dims() const noexcept { return dims_; }
+  std::size_t size() const noexcept { return pe_.size(); }
+  State& at(std::size_t i) { return pe_.at(i); }
+  const State& at(std::size_t i) const { return pe_.at(i); }
+
+  const util::StepCounter& steps() const noexcept { return steps_; }
+  void reset_steps() { steps_.reset(); }
+
+  /// One communication step along dimension d. `op(d, lo, hi)` is invoked
+  /// once per PE pair, `lo` being the PE whose address has bit d clear.
+  template <typename Op>
+  void dim_step(int d, Op&& op) {
+    const std::size_t bitmask = std::size_t{1} << d;
+    for (std::size_t p = 0; p < pe_.size(); ++p) {
+      if (p & bitmask) continue;
+      op(d, pe_[p], pe_[p | bitmask]);
+    }
+    steps_.step(pe_.size(), /*routed=*/true);
+  }
+
+  /// Dimensions 0..m-1 in ascending order.
+  template <typename Op>
+  void ascend(Op&& op) {
+    for (int d = 0; d < dims_; ++d) dim_step(d, op);
+  }
+
+  /// Dimensions m-1..0.
+  template <typename Op>
+  void descend(Op&& op) {
+    for (int d = dims_ - 1; d >= 0; --d) dim_step(d, op);
+  }
+
+  /// Ascending run over dims [lo_dim, hi_dim).
+  template <typename Op>
+  void ascend_range(int lo_dim, int hi_dim, Op&& op) {
+    for (int d = lo_dim; d < hi_dim; ++d) dim_step(d, op);
+  }
+
+  /// Descending run over dims [lo_dim, hi_dim).
+  template <typename Op>
+  void descend_range(int lo_dim, int hi_dim, Op&& op) {
+    for (int d = hi_dim - 1; d >= lo_dim; --d) dim_step(d, op);
+  }
+
+  /// One local (no communication) parallel step: f(pe_index, state).
+  template <typename F>
+  void local_step(F&& f) {
+    for (std::size_t p = 0; p < pe_.size(); ++p) f(p, pe_[p]);
+    steps_.step(pe_.size(), /*routed=*/false);
+  }
+
+ private:
+  int dims_;
+  std::vector<State> pe_;
+  util::StepCounter steps_;
+};
+
+}  // namespace ttp::net

@@ -1,0 +1,120 @@
+// Classic "normal algorithms" (Preparata-Vuillemin's term for algorithms
+// whose communication is a sequence of ascending/descending dimension runs)
+// on any machine exposing ascend_range/descend_range — i.e. both the
+// hypercube and the CCC machines. These are the algorithms §3 of the paper
+// leans on when it argues that designing in ASCEND/DESCEND form and
+// transforming to the CCC "seems to be a reasonable way of designing an
+// efficient CCC algorithm".
+//
+// The element type must carry its fixed hypercube address in a `home`
+// member (states physically rotate inside CCC cycles, so pair operands are
+// identified by home, not by storage slot).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/bits.hpp"
+
+namespace ttp::net {
+
+/// Element for sorting/scan demos: `key` is the payload, `home` the fixed
+/// hypercube address (set by init_homes).
+struct NormalItem {
+  std::uint64_t key = 0;
+  std::uint64_t aux = 0;  ///< scan results / carried totals
+  std::size_t home = 0;
+};
+
+template <typename MachineT>
+void init_homes(MachineT& m) {
+  for (std::size_t i = 0; i < m.size(); ++i) m.at(i).home = i;
+}
+
+/// Batcher's bitonic sorter: m stages, stage s a DESCEND over dims [0, s).
+/// Sorts keys ascending by home address. O(log^2 n) dimension runs.
+template <typename MachineT>
+void bitonic_sort(MachineT& m) {
+  const int dims = m.dims();
+  for (int s = 1; s <= dims; ++s) {
+    m.descend_range(0, s, [s](int, NormalItem& lo, NormalItem& hi) {
+      // Block direction: bit s of the (lo) home address; the final stage
+      // has that bit always clear -> fully ascending.
+      const bool descending = (lo.home >> s) & 1u;
+      const bool out_of_order =
+          descending ? (lo.key < hi.key) : (lo.key > hi.key);
+      if (out_of_order) std::swap(lo.key, hi.key);
+    });
+  }
+}
+
+/// Inclusive prefix sum over home order (aux = Σ_{j<=home} key[j]) in one
+/// ASCEND: each element carries (prefix, block-total) and folds its
+/// partner's block total into the prefix when it sits in the upper half.
+template <typename MachineT>
+void prefix_sum(MachineT& m) {
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    m.at(i).aux = m.at(i).key;  // prefix := own value
+  }
+  // key doubles as the running block total during the sweep.
+  m.ascend_range(0, m.dims(), [](int d, NormalItem& lo, NormalItem& hi) {
+    const std::uint64_t lo_total = lo.key;
+    const std::uint64_t hi_total = hi.key;
+    hi.aux += lo_total;  // upper half: everything below it includes lo block
+    lo.key = hi.key = lo_total + hi_total;
+    (void)d;
+  });
+}
+
+/// bitonic_sort variant that carries `aux` alongside the key.
+template <typename MachineT>
+void bitonic_sort_with_aux(MachineT& m) {
+  const int dims = m.dims();
+  for (int s = 1; s <= dims; ++s) {
+    m.descend_range(0, s, [s](int, NormalItem& lo, NormalItem& hi) {
+      const bool descending = (lo.home >> s) & 1u;
+      const bool out_of_order =
+          descending ? (lo.key < hi.key) : (lo.key > hi.key);
+      if (out_of_order) {
+        std::swap(lo.key, hi.key);
+        std::swap(lo.aux, hi.aux);
+      }
+    });
+  }
+}
+
+
+/// Nassimi-Sahni concentration at the word level: records whose `aux` is
+/// nonzero move, in PE order, to PEs 0..m-1 (aux := their 0-based rank);
+/// the rest follow behind with aux = max. Realized as the microcode does
+/// it: exclusive prefix count of the flags, then a payload-carrying
+/// bitonic route keyed by rank-or-infinity.
+template <typename MachineT>
+void concentrate(MachineT& m) {
+  constexpr std::uint64_t kBack = ~std::uint64_t{0};
+  // Stash the payload; scan the flags.
+  std::vector<std::uint64_t> payload(m.size());
+  std::vector<bool> flagged(m.size());
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    payload[i] = m.at(i).key;
+    flagged[i] = m.at(i).aux != 0;
+    m.at(i).key = flagged[i] ? 1 : 0;
+  }
+  prefix_sum(m);  // aux = inclusive count of flags at or before each PE
+  // Route key: exclusive rank for flagged records, "infinity" otherwise.
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    NormalItem& it = m.at(i);
+    it.key = flagged[i] ? it.aux - 1 : kBack;
+    it.aux = payload[i];  // payload rides in aux through the sort
+  }
+  bitonic_sort_with_aux(m);
+  // Unpack: key <- payload, aux <- rank (kBack for the unflagged tail).
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    NormalItem& it = m.at(i);
+    const std::uint64_t rank = it.key;
+    it.key = it.aux;
+    it.aux = rank;
+  }
+}
+
+}  // namespace ttp::net

@@ -1,0 +1,115 @@
+#include "net/schedule.hpp"
+
+#include <sstream>
+
+namespace ttp::net {
+
+namespace {
+
+std::uint64_t or_combine(std::uint64_t a, std::uint64_t b) { return a | b; }
+
+}  // namespace
+
+void broadcast(HypercubeMachine<FlowState>& m, std::size_t source,
+               EventLog* log) {
+  for (std::size_t p = 0; p < m.size(); ++p) {
+    m.at(p).sender = (p == source);
+  }
+  // Addresses of lo/hi are reconstructed per pair for logging.
+  for (int d = 0; d < m.dims(); ++d) {
+    std::size_t pair_index = 0;
+    m.dim_step(d, [&](int dim, FlowState& lo, FlowState& hi) {
+      // Recover the lo address: pair_index enumerates PEs with bit d clear
+      // in ascending order.
+      std::size_t a = pair_index++;
+      const std::size_t low_mask = (std::size_t{1} << dim) - 1;
+      const std::size_t lo_addr = ((a & ~low_mask) << 1) | (a & low_mask);
+      const std::size_t hi_addr = lo_addr | (std::size_t{1} << dim);
+      if (lo.sender && !hi.sender) {
+        hi.value = lo.value;
+        hi.sender = true;
+        if (log) log->push_back({dim, lo_addr, hi_addr});
+      } else if (hi.sender && !lo.sender) {
+        lo.value = hi.value;
+        lo.sender = true;
+        if (log) log->push_back({dim, hi_addr, lo_addr});
+      }
+    });
+  }
+}
+
+void propagation1_round(
+    HypercubeMachine<FlowState>& m, EventLog* log,
+    const std::function<std::uint64_t(std::uint64_t, std::uint64_t)>& combine) {
+  const auto comb = combine ? combine
+                            : std::function<std::uint64_t(std::uint64_t,
+                                                          std::uint64_t)>(
+                                  or_combine);
+  for (int d = 0; d < m.dims(); ++d) {
+    std::size_t pair_index = 0;
+    m.dim_step(d, [&](int dim, FlowState& lo, FlowState& hi) {
+      std::size_t a = pair_index++;
+      const std::size_t low_mask = (std::size_t{1} << dim) - 1;
+      const std::size_t lo_addr = ((a & ~low_mask) << 1) | (a & low_mask);
+      const std::size_t hi_addr = lo_addr | (std::size_t{1} << dim);
+      // Only the 1-end of the link receives; only senders transmit. A sender
+      // never receives in the same round (its subset would need equal
+      // popcount), so values read here are this round's inputs.
+      if (lo.sender) {
+        hi.value = comb(hi.value, lo.value);
+        hi.received = true;
+        if (log) log->push_back({dim, lo_addr, hi_addr});
+      }
+    });
+  }
+}
+
+void propagation1_promote(HypercubeMachine<FlowState>& m) {
+  for (std::size_t p = 0; p < m.size(); ++p) {
+    FlowState& s = m.at(p);
+    s.sender = s.received;
+    s.received = false;
+  }
+}
+
+void propagation2(
+    HypercubeMachine<FlowState>& m, EventLog* log,
+    const std::function<std::uint64_t(std::uint64_t, std::uint64_t)>& combine) {
+  const auto comb = combine ? combine
+                            : std::function<std::uint64_t(std::uint64_t,
+                                                          std::uint64_t)>(
+                                  or_combine);
+  for (int d = 0; d < m.dims(); ++d) {
+    std::size_t pair_index = 0;
+    m.dim_step(d, [&](int dim, FlowState& lo, FlowState& hi) {
+      std::size_t a = pair_index++;
+      const std::size_t low_mask = (std::size_t{1} << dim) - 1;
+      const std::size_t lo_addr = ((a & ~low_mask) << 1) | (a & low_mask);
+      const std::size_t hi_addr = lo_addr | (std::size_t{1} << dim);
+      if (lo.sender) {
+        hi.value = comb(hi.value, lo.value);
+        hi.sender = true;  // receiver becomes a legal sender immediately
+        if (log) log->push_back({dim, lo_addr, hi_addr});
+      }
+    });
+  }
+}
+
+std::string format_events_fig6(const EventLog& log, int dims) {
+  std::ostringstream os;
+  for (int d = 0; d < dims; ++d) {
+    os << d + 1 << ".";
+    bool first = true;
+    for (const auto& e : log) {
+      if (e.dim != d) continue;
+      os << (first ? " " : ", ") << util::to_binary(e.from, dims) << " -> "
+         << util::to_binary(e.to, dims);
+      first = false;
+    }
+    if (first) os << " (none)";
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace ttp::net

@@ -1,0 +1,72 @@
+// The paper's §4 dataflow algorithms at the hypercube level — broadcasting
+// and the two kinds of propagation — with optional event logging so benches
+// can regenerate the paper's Fig. 6 schedule verbatim.
+//
+// These are "control-bit" algorithms: a SENDER flag travels with the data
+// and is how a PE learns, on the fly, that it has become a legal sender —
+// the paper's answer to the PE-allocation problem (no PE initially knows
+// which i-PE group it belongs to).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "net/hypercube.hpp"
+
+namespace ttp::net {
+
+/// One data movement `from -> to` during dimension step `dim`.
+struct SendEvent {
+  int dim = 0;
+  std::size_t from = 0;
+  std::size_t to = 0;
+};
+
+using EventLog = std::vector<SendEvent>;
+
+/// Per-PE payload for the §4 algorithms. `value` is opaque to the schedule;
+/// `sender` is the control bit; `received` records that this PE acquired
+/// data in the current propagation1 round (the membership signal).
+struct FlowState {
+  std::uint64_t value = 0;
+  bool sender = false;
+  bool received = false;
+};
+
+/// §4.3 Broadcasting(): broadcasts PE `source`'s value to all 2^m PEs in m
+/// ASCEND steps. Receivers adopt both value and sender bit.
+void broadcast(HypercubeMachine<FlowState>& m, std::size_t source,
+               EventLog* log = nullptr);
+
+/// §4.4 Propagation1(): one round moves data from the current sender set to
+/// PEs one popcount level up (PE j receives from PE l iff l ⊂ j, |j|=|l|+1).
+/// Receivers COMBINE (bitwise-or by default) incoming data but do NOT become
+/// senders; after the round, exactly the (level+1)-group holds combined data.
+/// `promote_receivers` then turns the receivers into the new sender set —
+/// calling the round `k` times walks data from the 0-group to the k-group.
+void propagation1_round(
+    HypercubeMachine<FlowState>& m, EventLog* log = nullptr,
+    const std::function<std::uint64_t(std::uint64_t, std::uint64_t)>& combine =
+        nullptr);
+
+/// Marks every PE that received during the last propagation1 round (i.e. any
+/// non-sender whose value is nonzero) as a sender, clearing the old senders.
+/// This is the paper's "PE in the (N+1)-group learns its membership from the
+/// fact that the sender was in the N-group" mechanism.
+void propagation1_promote(HypercubeMachine<FlowState>& m);
+
+/// §4.4 Propagation2(): data flows from the current sender set to ALL
+/// supersets in one ASCEND sweep (receivers become senders immediately and
+/// COMBINE with logical or).
+void propagation2(
+    HypercubeMachine<FlowState>& m, EventLog* log = nullptr,
+    const std::function<std::uint64_t(std::uint64_t, std::uint64_t)>& combine =
+        nullptr);
+
+/// Formats an event log the way the paper's Fig. 6 lists it: one line per
+/// dimension step, entries "from -> to" in address order, binary addresses.
+std::string format_events_fig6(const EventLog& log, int dims);
+
+}  // namespace ttp::net

@@ -1,0 +1,115 @@
+#include "tt/analysis.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace ttp::tt {
+
+namespace {
+
+// Walks object `obj` through the tree, invoking visit(node_index) per node.
+template <typename Fn>
+void walk(const Instance& ins, const Tree& tree, int obj, Fn&& visit) {
+  int cur = tree.root();
+  for (int steps = 0; steps <= tree.size(); ++steps) {
+    const TreeNode& t = tree.node(cur);
+    visit(cur);
+    const Action& a = ins.action(t.action);
+    const bool inside = util::has_bit(a.set, obj);
+    int next;
+    if (a.is_test) {
+      next = inside ? t.yes : t.no;
+    } else if (inside) {
+      return;
+    } else {
+      next = t.no;
+    }
+    if (next < 0) {
+      throw std::runtime_error("analyze: walk fell off the tree");
+    }
+    cur = next;
+  }
+  throw std::runtime_error("analyze: cycle detected");
+}
+
+}  // namespace
+
+ProcedureStats analyze(const Instance& ins, const Tree& tree) {
+  if (tree.empty()) {
+    throw std::invalid_argument("analyze: empty tree");
+  }
+  ProcedureStats st;
+  st.nodes = tree.size();
+  st.depth = tree.depth();
+  st.object_cost.resize(static_cast<std::size_t>(ins.k()), 0.0);
+  st.object_actions.resize(static_cast<std::size_t>(ins.k()), 0);
+
+  double total_weight_cost = 0.0;
+  for (int j = 0; j < ins.k(); ++j) {
+    const double w = ins.weight(j);
+    walk(ins, tree, j, [&](int node) {
+      const TreeNode& t = tree.node(node);
+      const Action& a = ins.action(t.action);
+      st.object_cost[static_cast<std::size_t>(j)] += a.cost;
+      st.object_actions[static_cast<std::size_t>(j)] += 1;
+      st.action_share[t.action] += a.cost * w;
+      if (a.is_test) {
+        st.expected_tests += w;
+      } else {
+        st.expected_treatments += w;
+      }
+    });
+    total_weight_cost += st.object_cost[static_cast<std::size_t>(j)] * w;
+  }
+  const double total_w = ins.subset_weight(ins.universe());
+  st.expected_cost = total_weight_cost;
+  st.expected_tests /= total_w;
+  st.expected_treatments /= total_w;
+  // Normalize expected_cost the same way the paper's Cost(Tree) does: it
+  // is already the weighted sum, NOT divided by total weight.
+  return st;
+}
+
+double worst_case_cost(const Instance& ins, const Tree& tree) {
+  double worst = 0.0;
+  for (int j = 0; j < ins.k(); ++j) {
+    worst = std::max(worst, tree.path_cost(ins, j));
+  }
+  return worst;
+}
+
+double expected_cost_under(const Instance& ins, const Tree& tree,
+                           const std::vector<double>& priors) {
+  if (static_cast<int>(priors.size()) != ins.k()) {
+    throw std::invalid_argument("expected_cost_under: priors size");
+  }
+  double total = 0.0;
+  for (int j = 0; j < ins.k(); ++j) {
+    if (!(priors[static_cast<std::size_t>(j)] > 0.0)) {
+      throw std::invalid_argument("expected_cost_under: priors positive");
+    }
+    total += tree.path_cost(ins, j) * priors[static_cast<std::size_t>(j)];
+  }
+  return total;
+}
+
+std::string ProcedureStats::to_string(const Instance& ins) const {
+  std::ostringstream os;
+  os << "expected cost " << expected_cost << ", depth " << depth << ", "
+     << nodes << " nodes\n";
+  os << "expected actions per case: " << expected_tests << " tests + "
+     << expected_treatments << " treatments\n";
+  os << "per-object (cost, actions):";
+  for (std::size_t j = 0; j < object_cost.size(); ++j) {
+    os << "  " << j << ":(" << object_cost[j] << "," << object_actions[j]
+       << ")";
+  }
+  os << "\ncost share by action:\n";
+  for (const auto& [i, share] : action_share) {
+    os << "  " << ins.action(i).name << ": " << share << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace ttp::tt

@@ -1,0 +1,43 @@
+// Statistics over TT procedures: what a clinician/technician planning a
+// protocol actually reads off a solved tree — expected counts, depth,
+// per-object costs, action utilization — plus comparisons between
+// procedures.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "tt/solver.hpp"
+
+namespace ttp::tt {
+
+struct ProcedureStats {
+  double expected_cost = 0.0;
+  double expected_tests = 0.0;       ///< E[# tests applied]
+  double expected_treatments = 0.0;  ///< E[# treatments applied]
+  int depth = 0;                     ///< longest action sequence
+  int nodes = 0;
+  std::vector<double> object_cost;   ///< path cost per object (unweighted)
+  std::vector<int> object_actions;   ///< path length per object
+  /// How much of the total expected cost each action contributes,
+  /// by action index (absent = unused).
+  std::map<int, double> action_share;
+
+  std::string to_string(const Instance& ins) const;
+};
+
+/// Computes the full statistics; throws like Tree::path_cost on malformed
+/// procedures.
+ProcedureStats analyze(const Instance& ins, const Tree& tree);
+
+/// The worst-case (not expected) total cost over objects — the "max bill"
+/// a single case can run up under the procedure.
+double worst_case_cost(const Instance& ins, const Tree& tree);
+
+/// Expected cost of the procedure under DIFFERENT priors than it was
+/// optimized for (robustness probing; weights must be positive, size k).
+double expected_cost_under(const Instance& ins, const Tree& tree,
+                           const std::vector<double>& priors);
+
+}  // namespace ttp::tt

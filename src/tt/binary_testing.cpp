@@ -1,0 +1,68 @@
+#include "tt/binary_testing.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/bits.hpp"
+
+namespace ttp::tt {
+
+BinaryTestingResult solve_binary_testing(const Instance& ins) {
+  ins.check();
+  const int k = ins.k();
+  const std::size_t states = std::size_t{1} << k;
+  const std::vector<double>& wt = ins.subset_weight_table();
+  BinaryTestingResult res;
+  res.state_cost.assign(states, std::numeric_limits<double>::infinity());
+  res.best_test.assign(states, -1);
+  res.state_cost[0] = 0.0;
+  for (int j = 0; j < k; ++j) res.state_cost[util::bit(j)] = 0.0;
+
+  for (int size = 2; size <= k; ++size) {
+    for (Mask s : util::layer_subsets(k, size)) {
+      double best = std::numeric_limits<double>::infinity();
+      int arg = -1;
+      for (int i = 0; i < ins.num_tests(); ++i) {
+        const Mask inter = s & ins.action(i).set;
+        const Mask minus = s & ~ins.action(i).set;
+        if (inter == 0 || minus == 0) continue;
+        const double v = ins.action(i).cost * wt[s] + res.state_cost[inter] +
+                         res.state_cost[minus];
+        if (v < best) {
+          best = v;
+          arg = i;
+        }
+      }
+      res.state_cost[s] = best;
+      res.best_test[s] = arg;
+    }
+  }
+  res.cost = res.state_cost[ins.universe()];
+  return res;
+}
+
+double entropy_lower_bound(const Instance& ins) {
+  const double total = ins.subset_weight(ins.universe());
+  double h = 0.0;
+  for (int j = 0; j < ins.k(); ++j) {
+    const double p = ins.weight(j) / total;
+    if (p > 0) h -= p * std::log2(p);
+  }
+  return h * total;
+}
+
+Instance with_singleton_treatments(const Instance& tests_only,
+                                   const std::vector<double>& fix_cost) {
+  Instance out(tests_only.k(), tests_only.weights());
+  for (const Action& a : tests_only.actions()) {
+    if (a.is_test) out.add_test(a.set, a.cost, a.name);
+  }
+  for (int j = 0; j < tests_only.k(); ++j) {
+    out.add_treatment(util::bit(j), fix_cost.at(static_cast<std::size_t>(j)),
+                      "fix" + std::to_string(j));
+  }
+  out.check();
+  return out;
+}
+
+}  // namespace ttp::tt

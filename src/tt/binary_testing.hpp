@@ -1,0 +1,43 @@
+// The binary testing problem (Garey; Loveland) that TT generalizes
+// (paper §1: "it generalizes the binary testing problem by introducing
+// treatments on an equal basis with tests").
+//
+// Binary testing: identify the unknown faulty object using tests only,
+// minimizing the expected test cost; a state is terminal when |S| = 1.
+// The relationship to TT made precise and testable:
+//   * identification-first is always a legal TT strategy, so for a TT
+//     instance whose treatments are singletons {j} with costs c_j,
+//         C_tt(U)  <=  C_bt(U) + Σ_j P_j·c_j ;
+//   * the inequality is strict whenever trying treatments early (the thing
+//     binary testing cannot express) is cheaper — e.g. when tests are dear.
+// For unit-cost tests, the expected number of tests is bounded below by the
+// Shannon entropy of the prior (each binary outcome yields ≤ 1 bit).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "tt/instance.hpp"
+
+namespace ttp::tt {
+
+struct BinaryTestingResult {
+  double cost = 0.0;  ///< expected identification cost; +inf if impossible
+  std::vector<double> state_cost;  ///< C_bt(S) per mask
+  std::vector<int> best_test;      ///< argmin test per state (-1 at leaves)
+};
+
+/// Solves binary testing over the instance's TEST actions only (treatments
+/// are ignored). Weights are the instance's priors, unnormalized.
+BinaryTestingResult solve_binary_testing(const Instance& ins);
+
+/// Shannon entropy lower bound on the expected number of unit-cost binary
+/// tests: H(P / p(U)) · p(U) in the instance's unnormalized weighting.
+double entropy_lower_bound(const Instance& ins);
+
+/// Builds the TT instance "identify then fix": the given instance's tests
+/// plus singleton treatments of cost `fix_cost[j]`.
+Instance with_singleton_treatments(const Instance& tests_only,
+                                   const std::vector<double>& fix_cost);
+
+}  // namespace ttp::tt

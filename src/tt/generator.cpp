@@ -1,0 +1,283 @@
+#include "tt/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ttp::tt {
+
+namespace {
+
+double draw_cost(const RandomOptions& opt, util::Rng& rng) {
+  if (opt.integer_costs) {
+    return static_cast<double>(
+        rng.uniform(1, static_cast<std::uint64_t>(std::max(1.0, opt.max_cost))));
+  }
+  return rng.uniform_real(opt.min_cost, opt.max_cost);
+}
+
+util::Mask density_subset(int k, double density, util::Rng& rng) {
+  util::Mask m = 0;
+  for (int j = 0; j < k; ++j) {
+    if (rng.bernoulli(density)) m |= util::bit(j);
+  }
+  return m;
+}
+
+}  // namespace
+
+Instance random_instance(int k, const RandomOptions& opt, util::Rng& rng) {
+  std::vector<double> w(static_cast<std::size_t>(k));
+  for (auto& x : w) {
+    x = opt.integer_weights ? static_cast<double>(rng.uniform(1, 8))
+                            : rng.uniform_real(0.1, 1.0);
+  }
+  Instance ins(k, std::move(w));
+  for (int i = 0; i < opt.num_tests; ++i) {
+    util::Mask s = density_subset(k, opt.test_density, rng);
+    // A test equal to ∅ or U never splits anything; resample once, then keep
+    // whatever comes (useless tests are legal, just never chosen).
+    if (s == 0 || s == ins.universe()) s = rng.nonempty_subset(ins.universe());
+    ins.add_test(s, draw_cost(opt, rng));
+  }
+  util::Mask covered = 0;
+  for (int i = 0; i < opt.num_treatments; ++i) {
+    util::Mask s = density_subset(k, opt.treat_density, rng);
+    if (s == 0) s = rng.nonempty_subset(ins.universe());
+    covered |= s;
+    ins.add_treatment(s, draw_cost(opt, rng));
+  }
+  for (int j = 0; j < k; ++j) {
+    if (!util::has_bit(covered, j)) {
+      ins.add_treatment(util::bit(j), draw_cost(opt, rng));
+    }
+  }
+  ins.check();
+  return ins;
+}
+
+Instance medical_instance(int k, int num_tests, util::Rng& rng) {
+  // Zipf-like priors: P_j ∝ 1/(j+1), shuffled so disease ids are arbitrary.
+  std::vector<double> w(static_cast<std::size_t>(k));
+  for (int j = 0; j < k; ++j) w[static_cast<std::size_t>(j)] = 1.0 / (j + 1);
+  rng.shuffle(w);
+  Instance ins(k, std::move(w));
+
+  for (int i = 0; i < num_tests; ++i) {
+    // Symptom panels implicate roughly half the diseases; lab panels that
+    // implicate more diseases cost more (more assays).
+    const util::Mask s = rng.nonempty_subset(ins.universe());
+    const double cost = 0.5 + 0.1 * util::popcount(s) + rng.uniform_real(0, 0.5);
+    ins.add_test(s, cost, "panel" + std::to_string(i));
+  }
+  // Narrow cures: one per disease, price inversely related to prevalence
+  // (rare diseases have expensive specialty drugs).
+  for (int j = 0; j < k; ++j) {
+    const double cost = 2.0 + rng.uniform_real(0.0, 3.0);
+    ins.add_treatment(util::bit(j), cost, "cure" + std::to_string(j));
+  }
+  // A few broad-spectrum treatments covering random clusters.
+  const int broad = std::max(1, k / 4);
+  for (int i = 0; i < broad; ++i) {
+    util::Mask s = rng.nonempty_subset(ins.universe());
+    s |= rng.nonempty_subset(ins.universe());
+    ins.add_treatment(s, 4.0 + rng.uniform_real(0.0, 4.0),
+                      "broad" + std::to_string(i));
+  }
+  ins.check();
+  return ins;
+}
+
+Instance machine_fault_instance(int k, util::Rng& rng) {
+  std::vector<double> w(static_cast<std::size_t>(k));
+  for (auto& x : w) x = rng.uniform_real(0.2, 1.0);  // failure rates
+  Instance ins(k, std::move(w));
+
+  // Bisection probes over contiguous module ranges (a binary structure
+  // tree): [0,k), then halves, quarters, ... Probing a bigger slice of the
+  // machine costs more technician time.
+  struct Range {
+    int lo, hi;
+  };
+  std::vector<Range> stack{{0, k}};
+  int t = 0;
+  while (!stack.empty()) {
+    const Range r = stack.back();
+    stack.pop_back();
+    if (r.hi - r.lo < 2) continue;
+    const int mid = (r.lo + r.hi) / 2;
+    util::Mask s = 0;
+    for (int j = r.lo; j < mid; ++j) s |= util::bit(j);
+    ins.add_test(s, 0.5 + 0.05 * (r.hi - r.lo), "probe" + std::to_string(t++));
+    stack.push_back({r.lo, mid});
+    stack.push_back({mid, r.hi});
+  }
+  // Replace single modules (cheap parts, variable) ...
+  for (int j = 0; j < k; ++j) {
+    ins.add_treatment(util::bit(j), 1.0 + rng.uniform_real(0.0, 2.0),
+                      "swap" + std::to_string(j));
+  }
+  // ... or whole boards = aligned power-of-two groups (dearer, fixes any
+  // fault inside the board).
+  for (int width = 2; width <= k; width *= 2) {
+    for (int lo = 0; lo + width <= k; lo += width) {
+      util::Mask s = 0;
+      for (int j = lo; j < lo + width; ++j) s |= util::bit(j);
+      ins.add_treatment(s, 1.5 * width, "board" + std::to_string(lo) + "w" +
+                                            std::to_string(width));
+    }
+  }
+  ins.check();
+  return ins;
+}
+
+Instance biology_key_instance(int k, util::Rng& rng) {
+  // Taxa equally likely a priori (field identification).
+  std::vector<double> w(static_cast<std::size_t>(k), 1.0);
+  Instance ins(k, std::move(w));
+
+  // Characters: random bipartitions biased toward taxonomy-like nesting —
+  // generate by recursive splitting of a shuffled taxon order.
+  std::vector<int> order(static_cast<std::size_t>(k));
+  for (int j = 0; j < k; ++j) order[static_cast<std::size_t>(j)] = j;
+  rng.shuffle(order);
+  int c = 0;
+  std::vector<std::pair<int, int>> ranges{{0, k}};
+  while (!ranges.empty()) {
+    auto [lo, hi] = ranges.back();
+    ranges.pop_back();
+    if (hi - lo < 2) continue;
+    const int mid =
+        lo + 1 + static_cast<int>(rng.uniform(0, static_cast<std::uint64_t>(hi - lo - 2)));
+    util::Mask s = 0;
+    for (int j = lo; j < mid; ++j) s |= util::bit(order[static_cast<std::size_t>(j)]);
+    // Observing some characters needs only a hand lens (cheap), others need
+    // dissection (dear).
+    ins.add_test(s, rng.bernoulli(0.7) ? 1.0 : 3.0, "char" + std::to_string(c++));
+    ranges.push_back({lo, mid});
+    ranges.push_back({mid, hi});
+  }
+  for (int j = 0; j < k; ++j) {
+    // Confirming an identification (e.g. a molecular check) = treatment.
+    ins.add_treatment(util::bit(j), 2.0, "confirm" + std::to_string(j));
+  }
+  ins.check();
+  return ins;
+}
+
+Instance lab_analysis_instance(int k, util::Rng& rng) {
+  // Substances with log-uniform prevalence.
+  std::vector<double> w(static_cast<std::size_t>(k));
+  for (auto& x : w) x = std::exp(rng.uniform_real(-2.0, 0.0));
+  Instance ins(k, std::move(w));
+
+  // Cheap colorimetric screens: broad panels, cost ~0.3.
+  const int screens = std::max(2, k / 2);
+  for (int i = 0; i < screens; ++i) {
+    util::Mask s = 0;
+    for (int j = 0; j < k; ++j) {
+      if (rng.bernoulli(0.5)) s |= util::bit(j);
+    }
+    if (s == 0 || s == ins.universe()) s = rng.nonempty_subset(ins.universe());
+    ins.add_test(s, 0.3 + rng.uniform_real(0.0, 0.2),
+                 "screen" + std::to_string(i));
+  }
+  // Dear chromatography: narrow (1-2 substances), cost ~2.
+  for (int i = 0; i < k / 2 + 1; ++i) {
+    util::Mask s = util::bit(static_cast<int>(rng.uniform(0, k - 1)));
+    if (rng.bernoulli(0.5)) {
+      s |= util::bit(static_cast<int>(rng.uniform(0, k - 1)));
+    }
+    ins.add_test(s, 2.0 + rng.uniform_real(0.0, 1.0),
+                 "chroma" + std::to_string(i));
+  }
+  // Confirmation workups per substance group: random pairs + singletons to
+  // guarantee adequacy.
+  for (int j = 0; j < k; ++j) {
+    ins.add_treatment(util::bit(j), 3.0 + rng.uniform_real(0.0, 2.0),
+                      "workup" + std::to_string(j));
+  }
+  for (int i = 0; i < k / 3 + 1; ++i) {
+    ins.add_treatment(rng.nonempty_subset(ins.universe()),
+                      5.0 + rng.uniform_real(0.0, 3.0),
+                      "groupwk" + std::to_string(i));
+  }
+  ins.check();
+  return ins;
+}
+
+Instance logistics_instance(int k, util::Rng& rng) {
+  // Subsystems along a route; failure rates rise with distance from the
+  // depot (less maintenance out there).
+  std::vector<double> w(static_cast<std::size_t>(k));
+  for (int j = 0; j < k; ++j) {
+    w[static_cast<std::size_t>(j)] = 0.3 + 0.1 * j + rng.uniform_real(0, 0.2);
+  }
+  Instance ins(k, std::move(w));
+
+  // Status queries over contiguous route segments [a, b).
+  int t = 0;
+  for (int a = 0; a < k; a += std::max(1, k / 4)) {
+    for (int b = a + 1; b <= k; b += std::max(1, k / 3)) {
+      util::Mask s = 0;
+      for (int j = a; j < b; ++j) s |= util::bit(j);
+      if (s == ins.universe()) continue;
+      ins.add_test(s, 0.5 + 0.05 * (b - a), "query" + std::to_string(t++));
+    }
+  }
+  // Repair crews cover contiguous blocks; cost = dispatch + per-stop work.
+  for (int width : {1, 2, 4}) {
+    for (int a = 0; a + width <= k; a += width) {
+      util::Mask s = 0;
+      for (int j = a; j < a + width; ++j) s |= util::bit(j);
+      ins.add_treatment(s, 2.0 + 0.8 * width + 0.1 * a,
+                        "crew" + std::to_string(a) + "w" +
+                            std::to_string(width));
+    }
+  }
+  // Cover a ragged tail (k not divisible by the widths).
+  for (int j = 0; j < k; ++j) {
+    bool covered = false;
+    for (int i = ins.num_tests(); i < ins.num_actions(); ++i) {
+      if (util::has_bit(ins.action(i).set, j)) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) {
+      ins.add_treatment(util::bit(j), 3.0, "crewx" + std::to_string(j));
+    }
+  }
+  ins.check();
+  return ins;
+}
+
+Instance binary_testing_instance(int k, int num_tests, util::Rng& rng) {
+  std::vector<double> w(static_cast<std::size_t>(k));
+  for (auto& x : w) x = rng.uniform_real(0.1, 1.0);
+  Instance ins(k, std::move(w));
+  for (int i = 0; i < num_tests; ++i) {
+    ins.add_test(rng.nonempty_subset(ins.universe()), 1.0,
+                 "q" + std::to_string(i));
+  }
+  for (int j = 0; j < k; ++j) {
+    ins.add_treatment(util::bit(j), 1.0, "id" + std::to_string(j));
+  }
+  ins.check();
+  return ins;
+}
+
+Instance complete_instance(int k) {
+  std::vector<double> w(static_cast<std::size_t>(k), 1.0);
+  Instance ins(k, std::move(w));
+  const util::Mask U = ins.universe();
+  for (util::Mask s = 1; s < U; ++s) {
+    ins.add_test(s, 1.0);
+  }
+  for (util::Mask s = 1; s <= U; ++s) {
+    ins.add_treatment(s, 1.0);
+  }
+  ins.check();
+  return ins;
+}
+
+}  // namespace ttp::tt

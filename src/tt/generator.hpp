@@ -1,0 +1,63 @@
+// Instance generators for the application domains the paper motivates
+// (§1: medical diagnosis, machine fault location, systematic biology) plus
+// structured families used by tests and benches.
+//
+// Every generator returns an *adequate* instance (a successful procedure
+// exists): each guarantees that the treatments cover the universe, which
+// together with single-object treatability makes the DP finite at U.
+#pragma once
+
+#include "tt/instance.hpp"
+#include "util/rng.hpp"
+
+namespace ttp::tt {
+
+struct RandomOptions {
+  int num_tests = 4;
+  int num_treatments = 4;
+  double test_density = 0.5;   ///< Pr[object ∈ test set].
+  double treat_density = 0.3;  ///< Pr[object ∈ treatment set].
+  double min_cost = 0.5;
+  double max_cost = 4.0;
+  bool integer_costs = false;  ///< Costs drawn from {1..max_cost} instead.
+  bool integer_weights = false;
+};
+
+/// Random adequate instance; if the sampled treatments leave objects
+/// uncovered, singleton treatments are appended for them.
+Instance random_instance(int k, const RandomOptions& opt, util::Rng& rng);
+
+/// Medical diagnosis: diseases with Zipf-like priors, symptom-panel tests,
+/// narrow expensive cures plus a few broad-spectrum treatments.
+Instance medical_instance(int k, int num_tests, util::Rng& rng);
+
+/// Machine fault location: modules arranged in a binary structure tree;
+/// tests probe subtrees (bisection), treatments replace single modules or
+/// whole boards (subtrees).
+Instance machine_fault_instance(int k, util::Rng& rng);
+
+/// Systematic biology identification key: binary characters aligned with a
+/// random taxonomy; "treatment" = identify/confirm a single taxon.
+Instance biology_key_instance(int k, util::Rng& rng);
+
+/// Laboratory analysis (paper §1): candidate substances identified by assay
+/// panels. Assays come in cheap colorimetric screens (broad, noisy-shaped
+/// subsets) and dear chromatography runs (narrow); "treatment" = the
+/// definitive confirmation workup for a substance group.
+Instance lab_analysis_instance(int k, util::Rng& rng);
+
+/// Logistical system breakdown correction (paper §1): failed subsystems in
+/// a supply chain; tests are status queries along routes (contiguous
+/// segments), treatments dispatch repair crews covering depots (blocks,
+/// cost ~ crew travel + block size).
+Instance logistics_instance(int k, util::Rng& rng);
+
+/// Binary testing specialization (the problem TT generalizes): every object
+/// has a unit-cost singleton treatment and the given number of random tests.
+Instance binary_testing_instance(int k, int num_tests, util::Rng& rng);
+
+/// The paper's N = O(2^k) extreme: every non-trivial subset appears as both
+/// a test and a treatment (unit costs). Only sensible for small k.
+Instance complete_instance(int k);
+
+}  // namespace ttp::tt

@@ -1,0 +1,99 @@
+#include "tt/greedy.hpp"
+
+#include <cmath>
+
+namespace ttp::tt {
+
+namespace {
+
+// Picks the next action for candidate set `s`, or -1 on a dead end.
+int pick(const Instance& ins, const std::vector<double>& wt, Mask s,
+         GreedyRule rule) {
+  const int N = ins.num_actions();
+  if (rule == GreedyRule::kCheapestFirst) {
+    // Prefer the cheapest treatment that finishes the whole branch.
+    int best = -1;
+    for (int i = ins.num_tests(); i < N; ++i) {
+      const Action& a = ins.action(i);
+      if ((s & ~a.set) == 0) {
+        if (best < 0 || a.cost < ins.action(best).cost) best = i;
+      }
+    }
+    if (best >= 0) return best;
+    // Otherwise cheapest applicable action of any kind.
+    for (int i = 0; i < N; ++i) {
+      const Action& a = ins.action(i);
+      const Mask inter = s & a.set;
+      const Mask minus = s & ~a.set;
+      const bool usable = a.is_test ? (inter != 0 && minus != 0) : (inter != 0);
+      if (!usable) continue;
+      if (best < 0 || a.cost < ins.action(best).cost) best = i;
+    }
+    return best;
+  }
+
+  // kBalancedSplit: minimize immediate cost per unit of progress.
+  double best_score = kInf;
+  int best = -1;
+  for (int i = 0; i < N; ++i) {
+    const Action& a = ins.action(i);
+    const Mask inter = s & a.set;
+    const Mask minus = s & ~a.set;
+    double score;
+    if (a.is_test) {
+      if (inter == 0 || minus == 0) continue;
+      const double lo = std::min(wt[inter], wt[minus]);
+      score = a.cost * wt[s] / lo;
+    } else {
+      if (inter == 0) continue;
+      score = a.cost * wt[s] / wt[inter];
+    }
+    if (score < best_score) {
+      best_score = score;
+      best = i;
+    }
+  }
+  return best;
+}
+
+int build(const Instance& ins, const std::vector<double>& wt, Mask s,
+          GreedyRule rule, std::vector<TreeNode>& nodes, bool& failed) {
+  const int a = pick(ins, wt, s, rule);
+  if (a < 0) {
+    failed = true;
+    return -1;
+  }
+  const Action& act = ins.action(a);
+  const int self = static_cast<int>(nodes.size());
+  nodes.push_back(TreeNode{s, a, -1, -1});
+  if (act.is_test) {
+    const int yes = build(ins, wt, s & act.set, rule, nodes, failed);
+    const int no = build(ins, wt, s & ~act.set, rule, nodes, failed);
+    nodes[static_cast<std::size_t>(self)].yes = yes;
+    nodes[static_cast<std::size_t>(self)].no = no;
+  } else {
+    const Mask minus = s & ~act.set;
+    if (minus != 0) {
+      nodes[static_cast<std::size_t>(self)].no =
+          build(ins, wt, minus, rule, nodes, failed);
+    }
+  }
+  return self;
+}
+
+}  // namespace
+
+GreedyResult greedy_solve(const Instance& ins, GreedyRule rule) {
+  ins.check();
+  GreedyResult out;
+  std::vector<TreeNode> nodes;
+  bool failed = false;
+  const int root =
+      build(ins, ins.subset_weight_table(), ins.universe(), rule, nodes, failed);
+  if (failed || root < 0) return out;
+  out.tree = Tree(std::move(nodes), root);
+  out.cost = out.tree.expected_cost(ins);
+  return out;
+}
+
+}  // namespace ttp::tt

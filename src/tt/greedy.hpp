@@ -1,0 +1,31 @@
+// Greedy baselines for solution-quality comparisons (bench E15).
+//
+// The paper motivates the DP by the NP-hardness of the problem; practical
+// systems often fall back to myopic rules. We provide two classics adapted
+// to the test-and-treatment setting; both produce valid procedure trees.
+#pragma once
+
+#include "tt/solver.hpp"
+
+namespace ttp::tt {
+
+enum class GreedyRule {
+  /// At each state pick the action with the best immediate ratio:
+  /// tests score cost / (weight-balance of the split), treatments score
+  /// cost·p(S) / weight treated. A generalization of the classic
+  /// split-half rule for binary testing.
+  kBalancedSplit,
+  /// Always treat if a treatment covers all of S cheaper than any test's
+  /// cost bound; otherwise cheapest applicable action first.
+  kCheapestFirst,
+};
+
+struct GreedyResult {
+  Tree tree;
+  double cost = kInf;  ///< Expected cost of the produced tree (kInf if the
+                       ///< rule dead-ends; cannot happen on adequate inputs).
+};
+
+GreedyResult greedy_solve(const Instance& ins, GreedyRule rule);
+
+}  // namespace ttp::tt

@@ -1,0 +1,86 @@
+#include "tt/protocol.hpp"
+
+#include <deque>
+#include <sstream>
+#include <stdexcept>
+
+namespace ttp::tt {
+
+namespace {
+
+std::string objects_of(const Instance& ins, Mask s,
+                       const ProtocolOptions& opt) {
+  std::string out;
+  bool first = true;
+  for (int j = 0; j < ins.k(); ++j) {
+    if (!util::has_bit(s, j)) continue;
+    if (!first) out += ", ";
+    first = false;
+    if (j < static_cast<int>(opt.object_names.size())) {
+      out += opt.object_names[static_cast<std::size_t>(j)];
+    } else {
+      out += "object " + std::to_string(j);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string render_protocol(const Instance& ins, const Tree& tree,
+                            const ProtocolOptions& opt) {
+  if (tree.empty()) {
+    throw std::invalid_argument("render_protocol: empty tree");
+  }
+  // Breadth-first numbering: step 1 is the root; outcomes reference later
+  // step numbers.
+  std::vector<int> order;        // node index per step (0-based)
+  std::vector<int> step_of(static_cast<std::size_t>(tree.size()), -1);
+  std::deque<int> queue{tree.root()};
+  while (!queue.empty()) {
+    const int n = queue.front();
+    queue.pop_front();
+    step_of[static_cast<std::size_t>(n)] = static_cast<int>(order.size());
+    order.push_back(n);
+    const TreeNode& t = tree.node(n);
+    if (t.yes >= 0) queue.push_back(t.yes);
+    if (t.no >= 0) queue.push_back(t.no);
+  }
+
+  std::ostringstream os;
+  os << "Protocol (" << order.size() << " steps";
+  if (opt.include_costs) {
+    os << ", expected cost " << tree.expected_cost(ins);
+  }
+  os << ")\n\n";
+  for (std::size_t s = 0; s < order.size(); ++s) {
+    const TreeNode& t = tree.node(order[s]);
+    const Action& a = ins.action(t.action);
+    os << s + 1 << ". ";
+    if (a.is_test) {
+      os << "Run test \"" << a.name << "\"";
+    } else {
+      os << "Apply treatment \"" << a.name << "\"";
+    }
+    if (opt.include_costs) os << " (cost " << a.cost << ")";
+    if (opt.include_candidates) {
+      os << "  [candidates: " << objects_of(ins, t.state, opt) << "]";
+    }
+    os << "\n";
+    if (a.is_test) {
+      os << "   - positive -> step "
+         << step_of[static_cast<std::size_t>(t.yes)] + 1 << "\n";
+      os << "   - negative -> step "
+         << step_of[static_cast<std::size_t>(t.no)] + 1 << "\n";
+    } else if (t.no >= 0) {
+      os << "   - cured -> done\n";
+      os << "   - still faulty -> step "
+         << step_of[static_cast<std::size_t>(t.no)] + 1 << "\n";
+    } else {
+      os << "   - done (covers every remaining candidate)\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace ttp::tt

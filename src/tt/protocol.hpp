@@ -1,0 +1,24 @@
+// Renders a solved TT procedure as a numbered, human-followable protocol —
+// the artifact a clinic, repair desk or lab would actually pin on the wall.
+// Each step names the action, its cost, and where each outcome leads.
+#pragma once
+
+#include <string>
+
+#include "tt/solver.hpp"
+
+namespace ttp::tt {
+
+struct ProtocolOptions {
+  bool include_candidates = true;  ///< show the candidate set per step
+  bool include_costs = true;
+  /// Names for the objects (size k); defaults to "object 0", "object 1"...
+  std::vector<std::string> object_names;
+};
+
+/// Markdown-ish numbered protocol. Steps are breadth-first so the common
+/// path comes first; every branch target is a step number.
+std::string render_protocol(const Instance& ins, const Tree& tree,
+                            const ProtocolOptions& opt = {});
+
+}  // namespace ttp::tt

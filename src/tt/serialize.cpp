@@ -1,0 +1,136 @@
+#include "tt/serialize.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace ttp::tt {
+
+namespace {
+
+Mask parse_set(const std::string& tok, int k, int line) {
+  if (tok.size() < 2 || tok.front() != '{' || tok.back() != '}') {
+    throw std::invalid_argument("line " + std::to_string(line) +
+                                ": expected {a,b,...} set, got '" + tok + "'");
+  }
+  Mask m = 0;
+  std::stringstream inner(tok.substr(1, tok.size() - 2));
+  std::string piece;
+  while (std::getline(inner, piece, ',')) {
+    if (piece.empty()) continue;
+    const int obj = std::stoi(piece);
+    if (obj < 0 || obj >= k) {
+      throw std::invalid_argument("line " + std::to_string(line) +
+                                  ": object " + piece + " outside universe");
+    }
+    m |= util::bit(obj);
+  }
+  return m;
+}
+
+std::string set_to_text(Mask m) { return util::mask_to_string(m); }
+
+}  // namespace
+
+void write_text(std::ostream& os, const Instance& ins) {
+  os.precision(17);  // lossless double round-trip
+  os << "tt " << ins.k() << "\n";
+  os << "weights";
+  for (int j = 0; j < ins.k(); ++j) os << ' ' << ins.weight(j);
+  os << "\n";
+  for (const Action& a : ins.actions()) {
+    os << (a.is_test ? "test " : "treat ") << a.name << ' '
+       << set_to_text(a.set) << ' ' << a.cost << "\n";
+  }
+}
+
+std::string to_text(const Instance& ins) {
+  std::ostringstream os;
+  write_text(os, ins);
+  return os.str();
+}
+
+Instance read_text(std::istream& is) {
+  std::string line;
+  int lineno = 0;
+  int k = -1;
+  std::vector<double> weights;
+  struct Pending {
+    bool is_test;
+    std::string name;
+    Mask set;
+    double cost;
+  };
+  std::vector<Pending> pending;
+
+  while (std::getline(is, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    std::istringstream ls(line);
+    std::string kw;
+    if (!(ls >> kw)) continue;
+    if (kw == "tt") {
+      if (!(ls >> k)) {
+        throw std::invalid_argument("line " + std::to_string(lineno) +
+                                    ": expected 'tt <k>'");
+      }
+    } else if (kw == "weights") {
+      double w;
+      while (ls >> w) weights.push_back(w);
+    } else if (kw == "test" || kw == "treat") {
+      if (k < 0) {
+        throw std::invalid_argument("line " + std::to_string(lineno) +
+                                    ": action before 'tt <k>' header");
+      }
+      Pending p;
+      p.is_test = kw == "test";
+      std::string set_tok;
+      if (!(ls >> p.name >> set_tok >> p.cost)) {
+        throw std::invalid_argument("line " + std::to_string(lineno) +
+                                    ": expected '<name> {set} <cost>'");
+      }
+      p.set = parse_set(set_tok, k, lineno);
+      pending.push_back(std::move(p));
+    } else {
+      throw std::invalid_argument("line " + std::to_string(lineno) +
+                                  ": unknown keyword '" + kw + "'");
+    }
+  }
+  if (k < 0) throw std::invalid_argument("missing 'tt <k>' header");
+  if (static_cast<int>(weights.size()) != k) {
+    throw std::invalid_argument("expected " + std::to_string(k) +
+                                " weights, got " +
+                                std::to_string(weights.size()));
+  }
+  Instance ins(k, std::move(weights));
+  for (const Pending& p : pending) {
+    if (p.is_test) {
+      ins.add_test(p.set, p.cost, p.name);
+    } else {
+      ins.add_treatment(p.set, p.cost, p.name);
+    }
+  }
+  ins.check();
+  return ins;
+}
+
+Instance from_text(const std::string& text) {
+  std::istringstream is(text);
+  return read_text(is);
+}
+
+void save_file(const std::string& path, const Instance& ins) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("cannot open for writing: " + path);
+  write_text(os, ins);
+  if (!os) throw std::runtime_error("write failed: " + path);
+}
+
+Instance load_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("cannot open: " + path);
+  return read_text(is);
+}
+
+}  // namespace ttp::tt

@@ -1,0 +1,33 @@
+// Plain-text serialization of TT instances, for tooling and data exchange:
+//
+//   # medical example
+//   tt 4
+//   weights 0.4 0.3 0.2 0.1
+//   test  testAB {0,1}   1.0
+//   test  testAC {0,2}   1.5
+//   treat cureA  {0}     2.0
+//
+// Order of actions is preserved within each kind; '#' starts a comment.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "tt/instance.hpp"
+
+namespace ttp::tt {
+
+/// Writes the canonical text form.
+std::string to_text(const Instance& ins);
+void write_text(std::ostream& os, const Instance& ins);
+
+/// Parses the text form; throws std::invalid_argument with a line-numbered
+/// message on malformed input.
+Instance from_text(const std::string& text);
+Instance read_text(std::istream& is);
+
+/// File helpers (throw std::runtime_error on I/O failure).
+void save_file(const std::string& path, const Instance& ins);
+Instance load_file(const std::string& path);
+
+}  // namespace ttp::tt

@@ -1,0 +1,35 @@
+// Machine-sizing arithmetic behind the paper's feasibility claims (§1):
+// the algorithm needs O(N·2^k) PEs; a 2^20-PE machine handles ~15 candidates
+// even with all N = O(2^k) actions; ~20 candidates when N = O(k^2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ttp::tt {
+
+struct SizingRow {
+  int k = 0;
+  std::uint64_t num_actions = 0;  ///< N (padded to a power of two).
+  int machine_dims = 0;           ///< log2 of required PEs.
+  std::uint64_t pes = 0;          ///< N_pad · 2^k.
+  bool fits_2_20 = false;
+  bool fits_2_30 = false;
+};
+
+/// PEs required for k objects and N actions (N rounded up to a power of 2).
+SizingRow size_for(int k, std::uint64_t num_actions);
+
+/// Largest k whose TT instance fits in 2^budget_log2 PEs when N is given by
+/// the supplied policy.
+enum class ActionBudget {
+  kAllSubsets,  ///< N = 2^k (every subset as both test and treatment -> 2^(k+1))
+  kQuadratic,   ///< N = k^2
+  kLinear,      ///< N = 4k
+};
+int max_k_for_machine(int budget_log2, ActionBudget policy);
+
+std::uint64_t actions_for(int k, ActionBudget policy);
+std::string budget_name(ActionBudget policy);
+
+}  // namespace ttp::tt

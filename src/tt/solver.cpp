@@ -1,0 +1,54 @@
+#include "tt/solver.hpp"
+
+#include <cmath>
+#include <functional>
+#include <stdexcept>
+
+namespace ttp::tt {
+
+Tree reconstruct_tree(const Instance& ins, const DpTable& table) {
+  const Mask U = ins.universe();
+  if (std::isinf(table.cost.at(U))) return Tree{};
+
+  std::vector<TreeNode> nodes;
+  std::function<int(Mask)> build = [&](Mask s) -> int {
+    const int a = table.best_action.at(s);
+    if (a < 0) {
+      throw std::runtime_error("reconstruct_tree: no action for feasible state");
+    }
+    const Action& act = ins.action(a);
+    const int self = static_cast<int>(nodes.size());
+    nodes.push_back(TreeNode{s, a, -1, -1});
+    if (act.is_test) {
+      const Mask inter = s & act.set;
+      const Mask minus = s & ~act.set;
+      nodes[static_cast<std::size_t>(self)].yes = build(inter);
+      nodes[static_cast<std::size_t>(self)].no = build(minus);
+    } else {
+      const Mask minus = s & ~act.set;
+      if (minus != 0) {
+        nodes[static_cast<std::size_t>(self)].no = build(minus);
+      }
+    }
+    return self;
+  };
+  const int root = build(U);
+  return Tree(std::move(nodes), root);
+}
+
+double max_table_diff(const DpTable& a, const DpTable& b) {
+  if (a.cost.size() != b.cost.size()) {
+    throw std::invalid_argument("max_table_diff: size mismatch");
+  }
+  double worst = 0.0;
+  for (std::size_t s = 0; s < a.cost.size(); ++s) {
+    const double ca = a.cost[s];
+    const double cb = b.cost[s];
+    if (std::isinf(ca) && std::isinf(cb)) continue;
+    const double d = std::fabs(ca - cb);
+    if (d > worst) worst = d;
+  }
+  return worst;
+}
+
+}  // namespace ttp::tt

@@ -1,0 +1,50 @@
+// Common result types shared by all five TT solvers, plus tree
+// reconstruction from a solved DP table.
+//
+// Every solver fills a DpTable (C(S) and the argmin action per state) and a
+// StepCounter whose meaning is solver-specific but documented per solver:
+//   - sequential: parallel_steps == total_ops == # of M[S,i] evaluations
+//   - threads:    parallel_steps == critical-path chunk steps
+//   - hypercube/CCC/BVM: simulated machine steps (the paper's cost model)
+// Tie-breaking is uniform: among equal-cost actions the lowest index wins,
+// so all solvers reconstruct identical trees.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "tt/instance.hpp"
+#include "tt/tree.hpp"
+#include "util/counters.hpp"
+
+namespace ttp::tt {
+
+inline constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct DpTable {
+  int k = 0;
+  std::vector<double> cost;      ///< C(S), indexed by mask; size 2^k.
+  std::vector<int> best_action;  ///< argmin_i M[S,i]; -1 for ∅ or infeasible.
+
+  double root_cost() const {
+    return cost.at((std::size_t{1} << k) - 1);
+  }
+};
+
+struct SolveResult {
+  DpTable table;
+  double cost = kInf;        ///< C(U); kInf when the instance is inadequate.
+  Tree tree;                 ///< Empty when infeasible.
+  util::StepCounter steps;   ///< Solver-specific cost model, see above.
+  util::CounterMap breakdown;
+};
+
+/// Rebuilds the optimal procedure tree by following best_action pointers.
+/// Requires a table where best_action is consistent with cost (all solvers
+/// guarantee this); returns an empty tree when C(U) is infinite.
+Tree reconstruct_tree(const Instance& ins, const DpTable& table);
+
+/// Max |C_a(S) - C_b(S)| over all states; used by cross-solver tests.
+double max_table_diff(const DpTable& a, const DpTable& b);
+
+}  // namespace ttp::tt

@@ -1,0 +1,168 @@
+#include "tt/solver_bnb.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace ttp::tt {
+
+namespace {
+
+struct Ctx {
+  const Instance& ins;
+  const std::vector<double>& wt;
+  std::vector<double> min_treat;  ///< per object: cheapest covering treatment
+  std::unordered_map<Mask, double> memo;
+  std::unordered_map<Mask, int> memo_arg;
+  std::uint64_t pruned = 0;
+};
+
+double lower_bound(const Ctx& ctx, Mask s) {
+  double lb = 0.0;
+  for (int j = 0; j < ctx.ins.k(); ++j) {
+    if (util::has_bit(s, j)) {
+      lb += ctx.ins.weight(j) * ctx.min_treat[static_cast<std::size_t>(j)];
+    }
+  }
+  return lb;
+}
+
+// Exact C(S); `budget` is the best already-known way to pay for S from the
+// caller's perspective — used only to prune WITHIN the action loop, never
+// to taint the memoized value (we always finish the loop with the
+// state-local best, which is exact).
+double solve_state(Ctx& ctx, Mask s);
+
+double action_cost(Ctx& ctx, Mask s, int i, double best_so_far) {
+  const Action& a = ctx.ins.action(i);
+  const Mask inter = s & a.set;
+  const Mask minus = s & ~a.set;
+  const double base = a.cost * ctx.wt[s];
+  if (a.is_test) {
+    if (inter == 0 || minus == 0) return kInf;
+    // Prune: optimistic completion via bounds before recursing.
+    if (base + lower_bound(ctx, inter) + lower_bound(ctx, minus) >=
+        best_so_far) {
+      ++ctx.pruned;
+      return kInf;
+    }
+    const double left = solve_state(ctx, inter);
+    if (base + left + lower_bound(ctx, minus) >= best_so_far) {
+      ++ctx.pruned;
+      return kInf;
+    }
+    return base + left + solve_state(ctx, minus);
+  }
+  if (inter == 0) return kInf;
+  if (base + lower_bound(ctx, minus) >= best_so_far) {
+    ++ctx.pruned;
+    return kInf;
+  }
+  return base + solve_state(ctx, minus);
+}
+
+double solve_state(Ctx& ctx, Mask s) {
+  if (s == 0) return 0.0;
+  if (auto it = ctx.memo.find(s); it != ctx.memo.end()) return it->second;
+
+  // Order actions by optimistic estimate so good incumbents arrive early.
+  const int N = ctx.ins.num_actions();
+  std::vector<std::pair<double, int>> order;
+  order.reserve(static_cast<std::size_t>(N));
+  for (int i = 0; i < N; ++i) {
+    const Action& a = ctx.ins.action(i);
+    const Mask inter = s & a.set;
+    const Mask minus = s & ~a.set;
+    double opt;
+    if (a.is_test) {
+      if (inter == 0 || minus == 0) continue;
+      opt = a.cost * ctx.wt[s] + lower_bound(ctx, s);
+    } else {
+      if (inter == 0) continue;
+      opt = a.cost * ctx.wt[s] + lower_bound(ctx, minus);
+    }
+    order.emplace_back(opt, i);
+  }
+  std::sort(order.begin(), order.end());
+
+  double best = kInf;
+  int arg = -1;
+  for (const auto& [opt, i] : order) {
+    if (opt >= best) {
+      ++ctx.pruned;
+      continue;  // later entries are worse-or-equal optimistically, but
+                 // their true costs are incomparable -> keep scanning
+    }
+    const double v = action_cost(ctx, s, i, best);
+    if (v < best || (v == best && i < arg)) {
+      best = v;
+      arg = i;
+    }
+  }
+  ctx.memo.emplace(s, best);
+  ctx.memo_arg.emplace(s, arg);
+  return best;
+}
+
+}  // namespace
+
+SolveResult BnbSolver::solve(const Instance& ins) const {
+  ins.check();
+  Ctx ctx{ins, ins.subset_weight_table(), {}, {}, {}, 0};
+  ctx.min_treat.assign(static_cast<std::size_t>(ins.k()), kInf);
+  for (int i = ins.num_tests(); i < ins.num_actions(); ++i) {
+    const Action& a = ins.action(i);
+    for (int j = 0; j < ins.k(); ++j) {
+      if (util::has_bit(a.set, j)) {
+        ctx.min_treat[static_cast<std::size_t>(j)] =
+            std::min(ctx.min_treat[static_cast<std::size_t>(j)], a.cost);
+      }
+    }
+  }
+
+  SolveResult res;
+  const std::size_t states = std::size_t{1} << ins.k();
+  res.table.k = ins.k();
+  res.table.cost.assign(states, kInf);
+  res.table.best_action.assign(states, -1);
+  res.table.cost[0] = 0.0;
+
+  res.cost = solve_state(ctx, ins.universe());
+  for (const auto& [s, v] : ctx.memo) {
+    res.table.cost[s] = v;
+    res.table.best_action[s] = ctx.memo_arg[s];
+  }
+  // Tree reconstruction only walks optimal branches, which pruning never
+  // cuts (a pruned branch is never optimal), so the pointers are complete.
+  res.tree = reconstruct_tree(ins, res.table);
+  res.steps.total_ops = ctx.memo.size();
+  res.breakdown.add("visited_states", ctx.memo.size());
+  res.breakdown.add("pruned_actions", ctx.pruned);
+  return res;
+}
+
+std::size_t BnbSolver::count_reachable(const Instance& ins) {
+  std::unordered_set<Mask> seen{0};
+  std::vector<Mask> stack{ins.universe()};
+  seen.insert(ins.universe());
+  while (!stack.empty()) {
+    const Mask s = stack.back();
+    stack.pop_back();
+    if (s == 0) continue;
+    for (const Action& a : ins.actions()) {
+      const Mask inter = s & a.set;
+      const Mask minus = s & ~a.set;
+      if (a.is_test) {
+        if (inter == 0 || minus == 0) continue;
+        if (seen.insert(inter).second) stack.push_back(inter);
+        if (seen.insert(minus).second) stack.push_back(minus);
+      } else {
+        if (inter == 0) continue;
+        if (seen.insert(minus).second) stack.push_back(minus);
+      }
+    }
+  }
+  return seen.size();
+}
+
+}  // namespace ttp::tt

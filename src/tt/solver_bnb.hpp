@@ -1,0 +1,37 @@
+// Top-down branch-and-bound solver.
+//
+// The layered DP (and the paper's parallel machine) evaluates all 2^k
+// states. A top-down recursion only ever touches states REACHABLE from U
+// under the instance's action set — often far fewer for structured
+// instances (bisection probes, hierarchical keys) — and prunes with an
+// admissible lower bound:
+//
+//   LB(S) = Σ_{j∈S} P_j · (cost of the cheapest treatment covering j)
+//
+// (every object's path ends with a treatment containing it). Within a
+// state, actions are tried most-promising-first and a child recursion is
+// skipped when the accumulated cost plus the sibling's bound already
+// reaches the best known value. Results are exact and identical to
+// SequentialSolver on the visited states.
+#pragma once
+
+#include <unordered_map>
+
+#include "tt/solver.hpp"
+
+namespace ttp::tt {
+
+class BnbSolver {
+ public:
+  /// Solves `ins`. The result's table is sparse in spirit: unvisited
+  /// states keep C = kInf / action -1, but cost/tree/best_action along all
+  /// reachable optimal paths match SequentialSolver exactly.
+  /// breakdown: "visited_states" (memo size), "pruned_actions".
+  SolveResult solve(const Instance& ins) const;
+
+  /// Number of states reachable from U (no pruning) — the solver's search
+  /// space upper bound; exposed for tests and benches.
+  static std::size_t count_reachable(const Instance& ins);
+};
+
+}  // namespace ttp::tt

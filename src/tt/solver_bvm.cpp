@@ -1,0 +1,258 @@
+#include "tt/solver_bvm.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "bvm/io.hpp"
+#include "bvm/microcode/arith.hpp"
+#include "bvm/microcode/exchange.hpp"
+#include "bvm/microcode/ids.hpp"
+#include "tt/solver_hypercube.hpp"
+
+namespace ttp::tt {
+
+namespace {
+
+using bvm::Field;
+using bvm::Machine;
+using bvm::Reg;
+
+// Loads one register row from a per-PE bit function, via DMA or the serial
+// I-chain depending on options.
+template <typename Fn>
+void load_row(Machine& m, bool serial, Reg dst, Fn&& bit_of_pe) {
+  std::vector<bool> bits(m.num_pes());
+  for (std::size_t pe = 0; pe < bits.size(); ++pe) bits[pe] = bit_of_pe(pe);
+  if (serial) {
+    bvm::load_register_serial(m, dst, bits);
+  } else {
+    bvm::load_register_host(m, dst, bits);
+  }
+}
+
+}  // namespace
+
+int BvmSolver::registers_needed(const Instance& ins, int value_bits) {
+  const int a = HypercubeSolver::action_dims(ins);
+  // Worst-case fractional width for budgeting: half the value bits.
+  return TtRegisterMap(ins.k() + a, ins.k(), a, value_bits, value_bits / 2)
+      .total;
+}
+
+SolveResult BvmSolver::solve(const Instance& ins) const {
+  ins.check();
+  const int k = ins.k();
+  const int N = ins.num_actions();
+  const int a = HypercubeSolver::action_dims(ins);
+  const int npad = 1 << a;
+  const int dims = k + a;
+  const util::Fixed::Format fmt = opt_.format;
+  const int p = fmt.bits;
+  if (p < 4 || p > 60) {
+    throw std::invalid_argument("BvmSolver: value bits out of range");
+  }
+
+  const bvm::BvmConfig cfg = bvm::BvmConfig::for_dims(dims);
+  const TtRegisterMap rm(dims, k, a, p, fmt.frac, opt_.pipelined_laterals);
+  if (rm.total > cfg.regs) {
+    throw std::invalid_argument(
+        "BvmSolver: register budget exceeds the machine's L rows");
+  }
+
+  Machine mach(cfg);
+  if (opt_.record_program != nullptr) mach.set_recorder(opt_.record_program);
+  SolveResult res;
+
+  auto count_phase = [&, last = std::uint64_t{0}](const char* name) mutable {
+    const std::uint64_t now = mach.instr_count();
+    res.breakdown.add(name, now - last);
+    last = now;
+  };
+
+  // --- Processor-ID: on the fly or precalculated (both sanctioned). ---
+  if (opt_.on_machine_ids) {
+    bvm::gen_processor_id(mach, rm.pid, rm.take, rm.tmp);
+  } else {
+    bvm::load_processor_id_host(mach, rm.pid);
+  }
+  count_phase("init_ids");
+
+  // --- Per-action data: T_i membership bits, test flag, cost t_i. ---
+  auto action_of = [&](std::size_t pe) { return static_cast<int>(pe) & (npad - 1); };
+  for (int e = 0; e < k; ++e) {
+    load_row(mach, opt_.serial_io, Reg::R(rm.tmask + e), [&](std::size_t pe) {
+      const int i = action_of(pe);
+      const Mask t = i < N ? ins.action(i).set : ins.universe();
+      return util::has_bit(t, e);
+    });
+  }
+  load_row(mach, opt_.serial_io, Reg::R(rm.istest), [&](std::size_t pe) {
+    const int i = action_of(pe);
+    return i < N && ins.action(i).is_test;
+  });
+  for (int t = 0; t < p; ++t) {
+    load_row(mach, opt_.serial_io, Reg::R(rm.ct + t), [&](std::size_t pe) {
+      const int i = action_of(pe);
+      const std::uint64_t raw =
+          i < N ? util::Fixed::from_double(fmt, ins.action(i).cost).raw()
+                : fmt.inf_raw();
+      return ((raw >> t) & 1u) != 0;
+    });
+  }
+  count_phase("init_load");
+
+  // --- WT = p(S) on the machine: sum of the weight constants of the
+  //     objects whose PID set-bit is on. ---
+  set_const(mach, rm.fWT(), 0);
+  for (int j = 0; j < k; ++j) {
+    const std::uint64_t wraw = util::Fixed::from_double(fmt, ins.weight(j)).raw();
+    // X = weight_j masked by membership bit (0 where bit j of S is 0).
+    for (int t = 0; t < p; ++t) {
+      if ((wraw >> t) & 1u) {
+        mach.exec(bvm::mov(rm.fX().reg(t), Reg::R(rm.pid + a + j)));
+      } else {
+        mach.exec(bvm::setv(rm.fX().reg(t), false));
+      }
+    }
+    add_sat(mach, rm.fWT(), rm.fWT(), rm.fX(), rm.tmp);
+  }
+  count_phase("init_ps");
+
+  // --- TP = t_i * p(S); S = empty gives 0, pad actions give INF. Both
+  //     operands carry `frac` fractional bits, so the product is shifted
+  //     back down through a wide accumulator. ---
+  multiply_shift_sat(mach, rm.fTP(), rm.fCT(), rm.fWT(), fmt.frac,
+                     rm.fMULS(), rm.ovf, rm.tmp);
+  // INF cost times a sub-unit weight would come out finite under pure
+  // fixed-point; pin TP to INF wherever the cost was the INF sentinel and
+  // p(S) is nonzero, so infeasibility can never masquerade as a huge cost.
+  equals_const(mach, rm.lt, rm.fCT(), fmt.inf_raw(), rm.tmp);
+  equals_const(mach, rm.eq, rm.fWT(), 0, rm.tmp);
+  mach.exec(bvm::binop(bvm::Reg::R(rm.take), bvm::kTtAndFNotD,
+                       bvm::Reg::R(rm.lt), bvm::Reg::R(rm.eq)));
+  or_bit_into(mach, rm.fTP(), rm.take);
+  count_phase("init_tp");
+
+  // --- M = INF except M[empty,i] = 0; BEST = own action index. ---
+  set_const(mach, rm.fM(), fmt.inf_raw());
+  equals_const(mach, rm.eq, rm.fPidSet(), 0, rm.tmp);
+  set_const(mach, rm.fX(), 0);
+  select(mach, rm.fM(), rm.eq, rm.fX(), rm.fM());
+  copy_field(mach, rm.fBEST(), rm.fPidLow());
+
+  bvm::LayerControl layers(opt_.layer_mode, [&] {
+    std::vector<int> sd(static_cast<std::size_t>(k));
+    for (int e = 0; e < k; ++e) sd[static_cast<std::size_t>(e)] = a + e;
+    return sd;
+  }(), rm.pid, rm.layer_work);
+  layers.init(mach);
+  count_phase("init_m");
+
+  // --- The §6 layer loop. ---
+  for (int j = 1; j <= k; ++j) {
+    layers.advance(mach);
+    mach.exec(bvm::mov(Reg::R(rm.layerj), Reg::R(layers.flag())));
+
+    copy_field(mach, rm.fR(), rm.fM());
+    copy_field(mach, rm.fQ(), rm.fM());
+
+    // The e-loop. In-cycle set dimensions go one at a time; the lateral
+    // ones either pay a rotation lap each (the paper's cost claim then
+    // carries an extra Q factor) or share one pipelined wave.
+    const int lateral_e0 = std::max(0, cfg.r - a);
+    const int e_end = opt_.pipelined_laterals ? lateral_e0 : k;
+    for (int e = 0; e < e_end; ++e) {
+      const int d = a + e;
+      // R[S,i] = R[S-{e},i] where e in S∩T_i.
+      bvm::dim_exchange_read(mach, d, rm.fR(), rm.fX(), rm.tmp);
+      mach.exec(bvm::binop(Reg::R(rm.take), bvm::kTtAndFD,
+                           Reg::R(rm.pid + d), Reg::R(rm.tmask + e)));
+      select(mach, rm.fR(), rm.take, rm.fX(), rm.fR());
+      // Q[S,i] = Q[S-{e},i] where e in S-T_i.
+      bvm::dim_exchange_read(mach, d, rm.fQ(), rm.fX(), rm.tmp);
+      mach.exec(bvm::binop(Reg::R(rm.take2), bvm::kTtAndFNotD,
+                           Reg::R(rm.pid + d), Reg::R(rm.tmask + e)));
+      select(mach, rm.fQ(), rm.take2, rm.fX(), rm.fQ());
+    }
+    if (opt_.pipelined_laterals && lateral_e0 < k) {
+      // Adopt rows: receiver has the address bit set AND the membership
+      // condition (e ∈ T_i for R, e ∉ T_i for Q).
+      for (int e = lateral_e0; e < k; ++e) {
+        const int d = a + e;
+        const int q = d - cfg.r;
+        const int slot = q - (a + lateral_e0 - cfg.r);
+        mach.exec(bvm::binop(Reg::R(rm.wave_adr + slot), bvm::kTtAndFD,
+                             Reg::R(rm.pid + d), Reg::R(rm.tmask + e)));
+        mach.exec(bvm::binop(Reg::R(rm.wave_adq + slot), bvm::kTtAndFNotD,
+                             Reg::R(rm.pid + d), Reg::R(rm.tmask + e)));
+      }
+      const int q_lo = a + lateral_e0 - cfg.r;
+      const int q_hi = a + k - cfg.r;
+      bvm::lateral_wave_ascend(
+          mach, q_lo, q_hi,
+          {bvm::WaveField{rm.fR(), rm.wave_adr - q_lo, rm.wave_cur_r},
+           bvm::WaveField{rm.fQ(), rm.wave_adq - q_lo, rm.wave_cur_q}});
+    }
+
+    // M = R + TP (+ Q for tests) on layer-j PEs.
+    copy_field(mach, rm.fX(), rm.fR());
+    add_sat(mach, rm.fX(), rm.fX(), rm.fTP(), rm.tmp);
+    // MULS = Q masked by the test flag (treatments add zero).
+    for (int t = 0; t < p; ++t) {
+      mach.exec(bvm::binop(rm.fMULS().reg(t), bvm::kTtAndFD, rm.fQ().reg(t),
+                           Reg::R(rm.istest)));
+    }
+    add_sat(mach, rm.fX(), rm.fX(), rm.fMULS(), rm.tmp);
+    select(mach, rm.fM(), rm.layerj, rm.fX(), rm.fM());
+    select(mach, rm.fBEST(), rm.layerj, rm.fPidLow(), rm.fBEST());
+
+    // ASCEND min over the action dimensions, argmin carried, ties to the
+    // lower action index (lexicographic (M, best) minimum on both sides).
+    for (int t = 0; t < a; ++t) {
+      bvm::dim_exchange_read(mach, t, rm.fM(), rm.fX(), rm.tmp);
+      bvm::dim_exchange_read(mach, t, rm.fBEST(), rm.fBX(), rm.tmp);
+      less_than(mach, rm.lt, rm.fX(), rm.fM(), rm.tmp);
+      equals_field(mach, rm.eq, rm.fX(), rm.fM(), rm.tmp);
+      less_than(mach, rm.ltb, rm.fBX(), rm.fBEST(), rm.tmp);
+      // take = (lt | (eq & ltb)) & layerj
+      mach.exec(bvm::binop(Reg::R(rm.take), bvm::kTtAndFD, Reg::R(rm.eq),
+                           Reg::R(rm.ltb)));
+      mach.exec(bvm::binop(Reg::R(rm.take), bvm::kTtOrFD, Reg::R(rm.take),
+                           Reg::R(rm.lt)));
+      mach.exec(bvm::binop(Reg::R(rm.take), bvm::kTtAndFD, Reg::R(rm.take),
+                           Reg::R(rm.layerj)));
+      select(mach, rm.fM(), rm.take, rm.fX(), rm.fM());
+      select(mach, rm.fBEST(), rm.take, rm.fBX(), rm.fBEST());
+    }
+  }
+  count_phase("layers");
+
+  // --- Host extraction from PE (S, 0). ---
+  const std::size_t states = std::size_t{1} << k;
+  res.table.k = k;
+  res.table.cost.assign(states, kInf);
+  res.table.best_action.assign(states, -1);
+  res.table.cost[0] = 0.0;
+  for (std::size_t s = 1; s < states; ++s) {
+    const std::size_t pe = s << a;
+    const std::uint64_t raw = mach.peek_value(rm.m, p, pe);
+    const util::Fixed v(fmt, raw);
+    res.table.cost[s] = v.is_inf() ? kInf : v.to_double();
+    if (!v.is_inf()) {
+      const int best = static_cast<int>(mach.peek_value(rm.best, a, pe));
+      res.table.best_action[s] = best < N ? best : -1;
+    }
+  }
+
+  res.steps.parallel_steps = mach.instr_count();
+  res.steps.total_ops = mach.instr_count() * mach.num_pes();
+  res.cost = res.table.root_cost();
+  res.tree = reconstruct_tree(ins, res.table);
+  res.breakdown.add("bvm_instructions", mach.instr_count());
+  res.breakdown.add("bvm_pes", mach.num_pes());
+  res.breakdown.add("bvm_registers", static_cast<std::uint64_t>(rm.total));
+  res.breakdown.add("value_bits", static_cast<std::uint64_t>(p));
+  return res;
+}
+
+}  // namespace ttp::tt

@@ -1,0 +1,146 @@
+// The paper's end goal: the TT dynamic program as a bit-serial microprogram
+// on the Boolean Vector Machine (§6 algorithm + §7 implementation scheme).
+//
+// PE address = S‖i (set high, action index low), values are p-bit saturating
+// fixed-point spread over register rows, INF = all-ones. Every step of the
+// §6 listing maps onto microcode:
+//   copy R=Q=M            row moves
+//   e-loop                dim_exchange_read along set dims + B-mux adoption
+//                         gated by e∈S∩T_i / e∈S−T_i (processor-ID + T_i)
+//   M=R+TP(+Q)            bit-serial saturating adds, layer-gated B-mux
+//   min over i            dim exchanges along action dims + bit-serial
+//                         compare/select, argmin bits carried alongside
+// Layer control (#S == j) runs in either of the paper's two styles
+// (propagation of the first kind, or popcount) — bench E14.
+//
+// The machine's instruction count is the paper's T_par: measured, not
+// modeled; bench E9 fits it against O(k·p·(k + log N)).
+#pragma once
+
+#include <algorithm>
+
+#include "bvm/machine.hpp"
+#include "bvm/microcode/arith.hpp"
+#include "bvm/microcode/layer.hpp"
+#include "tt/solver.hpp"
+#include "util/fixed.hpp"
+
+namespace ttp::tt {
+
+/// Register-row allocation of the TT microprogram (public so recorded
+/// programs can be replayed against externally loaded data, and so the
+/// budget is auditable against the machine's L = 256 rows).
+struct TtRegisterMap {
+  int dims, k, a, p;
+  int frac;    // fractional bits of the fixed-point format
+  int pid;     // [pid, pid+dims)
+  int tmask;   // [tmask, tmask+k)
+  int istest;  // 1 row
+  int m, r, q, tp, x, muls;  // p rows each
+  int wt, ct;                // p rows each
+  int best, bx;              // a rows each
+  int layerj, take, take2, lt, eq, ltb, ovf, tmp;  // 1 row each
+  int layer_work;  // LayerControl workspace
+  // Pipelined-wave workspace (claimed only with with_wave): per lateral
+  // e-dim one adopt row for R and one for Q, plus two CUR scratch rows.
+  int wave_span = 0;
+  int wave_adr = 0, wave_adq = 0, wave_cur_r = 0, wave_cur_q = 0;
+  int total;
+
+  TtRegisterMap(int dims_, int k_, int a_, int p_, int frac_,
+                bool with_wave = false)
+      : dims(dims_), k(k_), a(a_), p(p_), frac(frac_) {
+    int at = 0;
+    auto claim = [&at](int n) {
+      const int base = at;
+      at += n;
+      return base;
+    };
+    pid = claim(dims);
+    tmask = claim(k);
+    istest = claim(1);
+    m = claim(p);
+    r = claim(p);
+    q = claim(p);
+    tp = claim(p);
+    x = claim(p);
+    muls = claim(p);
+    wt = claim(p);
+    ct = claim(p);
+    best = claim(a);
+    bx = claim(a);
+    layerj = claim(1);
+    take = claim(1);
+    take2 = claim(1);
+    lt = claim(1);
+    eq = claim(1);
+    ltb = claim(1);
+    ovf = claim(1);
+    tmp = claim(1);
+    layer_work = claim(bvm::LayerControl::workspace_size(k));
+    if (with_wave) {
+      const bvm::BvmConfig cfg = bvm::BvmConfig::for_dims(dims);
+      wave_span = std::max(0, (a + k) - std::max(cfg.r, a));
+      wave_adr = claim(wave_span);
+      wave_adq = claim(wave_span);
+      wave_cur_r = claim(1);
+      wave_cur_q = claim(1);
+    }
+    total = at;
+  }
+
+  bvm::Field fM() const { return {m, p}; }
+  bvm::Field fR() const { return {r, p}; }
+  bvm::Field fQ() const { return {q, p}; }
+  bvm::Field fTP() const { return {tp, p}; }
+  bvm::Field fX() const { return {x, p}; }
+  bvm::Field fMULS() const { return {muls, p}; }
+  bvm::Field fWT() const { return {wt, p}; }
+  bvm::Field fCT() const { return {ct, p}; }
+  bvm::Field fBEST() const { return {best, a}; }
+  bvm::Field fBX() const { return {bx, a}; }
+  bvm::Field fPidLow() const { return {pid, a}; }
+  bvm::Field fPidSet() const { return {pid + a, k}; }
+};
+
+struct BvmSolverOptions {
+  util::Fixed::Format format{20, 6};  ///< p bits, fractional scaling
+  bvm::LayerMode layer_mode = bvm::LayerMode::kPropagation;
+  /// Generate processor-ID on the machine (paper's on-the-fly control
+  /// bits); false = host DMA preload ("these control bits can be
+  /// precalculated").
+  bool on_machine_ids = true;
+  /// Load per-action data through the serial I-chain instead of host DMA
+  /// (faithful but n instructions per register row; keep for small runs).
+  bool serial_io = false;
+  /// Run the e-loop's lateral dimensions as one Preparata-Vuillemin
+  /// pipelined wave per pass instead of one rotation lap per dimension —
+  /// the realization the paper's T = O(k·p·(k+log N)) bound assumes.
+  /// Results are identical; bench E9/E13 quantify the saving.
+  bool pipelined_laterals = false;
+  /// When set, every executed instruction is appended here. The BVM is
+  /// SIMD: the stream is static given (k, N, p, weights, layer mode), so
+  /// the recording can be replayed on a fresh machine against different
+  /// action data loaded at the TtRegisterMap rows (see the replay test).
+  std::vector<bvm::Instr>* record_program = nullptr;
+};
+
+class BvmSolver {
+ public:
+  explicit BvmSolver(BvmSolverOptions opt = {}) : opt_(opt) {}
+
+  /// Solves on a simulated BVM sized BvmConfig::for_dims(k + ceil_log2 N).
+  /// Table costs are the fixed-point values converted to double (quantized;
+  /// integer-cost instances with format.frac == 0 reproduce the sequential
+  /// solver exactly). steps.parallel_steps = executed BVM instructions.
+  SolveResult solve(const Instance& ins) const;
+
+  /// Register budget the microprogram needs for an instance; must be within
+  /// the machine's L = 256 rows.
+  static int registers_needed(const Instance& ins, int value_bits);
+
+ private:
+  BvmSolverOptions opt_;
+};
+
+}  // namespace ttp::tt

@@ -1,0 +1,109 @@
+#include "tt/solver_ccc.hpp"
+
+#include <cmath>
+
+namespace ttp::tt {
+
+net::CccConfig CccSolver::machine_shape(const Instance& ins) {
+  const int dims = HypercubeSolver::machine_dims(ins);
+  for (int r = 1; r < dims; ++r) {
+    if (dims - r <= (1 << r)) return net::CccConfig{r, dims - r};
+  }
+  return net::CccConfig{dims - 1, 1};
+}
+
+SolveResult CccSolver::solve(const Instance& ins) const {
+  ins.check();
+  SolveResult res;
+  const int k = ins.k();
+  const int N = ins.num_actions();
+  const int a = HypercubeSolver::action_dims(ins);
+  const int npad = 1 << a;
+  const std::vector<double>& wt = ins.subset_weight_table();
+
+  net::CccMachine<TtPeState> m(machine_shape(ins));
+
+  m.local_step([&](std::size_t pe, TtPeState& st) {
+    const int i = static_cast<int>(pe) & (npad - 1);
+    const Mask s = static_cast<Mask>(pe >> a);
+    st.s = s;
+    st.layer = util::popcount(s);
+    st.best = i;
+    if (i < N) {
+      const Action& act = ins.action(i);
+      st.t = act.set;
+      st.is_test = act.is_test;
+      st.pad = false;
+      st.tp = s == 0 ? 0.0 : act.cost * wt[s];
+    } else {
+      st.t = ins.universe();
+      st.is_test = false;
+      st.pad = true;
+      st.tp = kInf;
+    }
+    st.m = (s == 0) ? 0.0 : kInf;
+    st.r = st.q = kInf;
+  });
+
+  for (int j = 1; j <= k; ++j) {
+    m.local_step([&](std::size_t, TtPeState& st) {
+      st.r = st.m;
+      st.q = st.m;
+    });
+
+    // e-loop over set dimensions a..a+k-1; one wave carries both the R and
+    // the Q register (the CCC moves whole operands per step, so this is the
+    // natural packing; the BVM solver pays the two passes the paper writes).
+    m.ascend_range(a, a + k, [&](int dim, TtPeState& lo, TtPeState& hi) {
+      const int e = dim - a;
+      if (util::has_bit(hi.t, e)) {
+        hi.r = lo.r;  // e ∈ S∩T_i
+      } else {
+        hi.q = lo.q;  // e ∈ S−T_i
+      }
+    });
+
+    m.local_step([&](std::size_t pe, TtPeState& st) {
+      if (st.layer != j) return;
+      const int i = static_cast<int>(pe) & (npad - 1);
+      // Same association order as action_value(): (TP + C(S∩T)) + C(S−T),
+      // so doubles come out bitwise identical to the sequential solver.
+      st.m = st.is_test ? (st.tp + st.q) + st.r : st.tp + st.r;
+      st.best = i;
+    });
+
+    m.ascend_range(0, a, [&](int, TtPeState& lo, TtPeState& hi) {
+      if (lo.layer != j) return;
+      double bm = lo.m;
+      int bi = lo.best;
+      if (hi.m < bm || (hi.m == bm && hi.best < bi)) {
+        bm = hi.m;
+        bi = hi.best;
+      }
+      lo.m = hi.m = bm;
+      lo.best = hi.best = bi;
+    });
+  }
+
+  const std::size_t states = std::size_t{1} << k;
+  res.table.k = k;
+  res.table.cost.assign(states, kInf);
+  res.table.best_action.assign(states, -1);
+  res.table.cost[0] = 0.0;
+  for (std::size_t s = 1; s < states; ++s) {
+    const TtPeState& st = m.at(s << a);
+    res.table.cost[s] = st.m;
+    res.table.best_action[s] = std::isinf(st.m) ? -1 : st.best;
+  }
+
+  res.steps = m.steps();
+  res.cost = res.table.root_cost();
+  res.tree = reconstruct_tree(ins, res.table);
+  res.breakdown.add("ccc_r", static_cast<std::uint64_t>(m.config().r));
+  res.breakdown.add("ccc_h", static_cast<std::uint64_t>(m.config().h));
+  res.breakdown.add("pes", m.size());
+  res.breakdown.add("links", m.config().links());
+  return res;
+}
+
+}  // namespace ttp::tt

@@ -1,0 +1,23 @@
+// The paper's TT algorithm executed on the cube-connected-cycles machine —
+// the step the paper actually cares about ("this algorithm is realized on
+// the Boolean Vector Machine, a fully designed cube-connected-cycle
+// system"). Word-level: operands move whole, so steps() here isolates the
+// CCC communication cost from the bit-serial cost (the BVM solver pays
+// both). Produces tables identical to HypercubeSolver / SequentialSolver.
+#pragma once
+
+#include "net/ccc.hpp"
+#include "tt/solver_hypercube.hpp"
+
+namespace ttp::tt {
+
+class CccSolver {
+ public:
+  SolveResult solve(const Instance& ins) const;
+
+  /// The machine shape used for an instance: minimal cycle-size exponent r
+  /// with k + a - r <= 2^r lateral dimensions.
+  static net::CccConfig machine_shape(const Instance& ins);
+};
+
+}  // namespace ttp::tt

@@ -1,0 +1,108 @@
+#include "tt/solver_exhaustive.hpp"
+
+#include <cmath>
+#include <functional>
+
+namespace ttp::tt {
+
+SolveResult RecursiveSolver::solve(const Instance& ins) const {
+  ins.check();
+  SolveResult res;
+  const int k = ins.k();
+  const int N = ins.num_actions();
+  const std::size_t states = std::size_t{1} << k;
+  const std::vector<double>& wt = ins.subset_weight_table();
+
+  res.table.k = k;
+  res.table.cost.assign(states, kInf);
+  res.table.best_action.assign(states, -1);
+  std::vector<char> done(states, 0);
+  res.table.cost[0] = 0.0;
+  done[0] = 1;
+
+  std::function<double(Mask)> C = [&](Mask s) -> double {
+    if (done[s]) return res.table.cost[s];
+    done[s] = 1;  // safe: all recursive calls are on strictly smaller sets
+    double best = kInf;
+    int arg = -1;
+    for (int i = 0; i < N; ++i) {
+      const Action& a = ins.action(i);
+      const Mask inter = s & a.set;
+      const Mask minus = s & ~a.set;
+      double v;
+      if (a.is_test) {
+        if (inter == 0 || minus == 0) continue;
+        v = a.cost * wt[s] + C(inter) + C(minus);
+      } else {
+        if (inter == 0) continue;
+        v = a.cost * wt[s] + C(minus);
+      }
+      res.steps.step(1);
+      if (v < best) {
+        best = v;
+        arg = i;
+      }
+    }
+    res.table.cost[s] = best;
+    res.table.best_action[s] = arg;
+    return best;
+  };
+
+  C(ins.universe());
+  // Fill in states the root never touched, so table comparisons are total.
+  for (std::size_t s = 1; s < states; ++s) {
+    if (!done[s]) C(static_cast<Mask>(s));
+  }
+
+  res.cost = res.table.root_cost();
+  res.tree = reconstruct_tree(ins, res.table);
+  return res;
+}
+
+namespace {
+
+// Cheapest expected cost of any procedure for candidate set `s` using at
+// most `budget` tree nodes (kInf if none succeeds). Pure enumeration over
+// root action and node-budget splits — exponential, tiny inputs only.
+double enum_rec(const Instance& ins, const std::vector<double>& wt, Mask s,
+                int budget) {
+  if (s == 0) return 0.0;
+  if (budget <= 0) return kInf;
+  double best = kInf;
+  for (int i = 0; i < ins.num_actions(); ++i) {
+    const Action& a = ins.action(i);
+    const Mask inter = s & a.set;
+    const Mask minus = s & ~a.set;
+    if (a.is_test) {
+      if (inter == 0 || minus == 0) continue;
+      // Try every split of the remaining node budget between the subtrees.
+      for (int left = 1; left <= budget - 2; ++left) {
+        const double lv = enum_rec(ins, wt, inter, left);
+        if (std::isinf(lv)) continue;
+        const double rv = enum_rec(ins, wt, minus, budget - 1 - left);
+        if (std::isinf(rv)) continue;
+        const double v = a.cost * wt[s] + lv + rv;
+        if (v < best) best = v;
+      }
+    } else {
+      if (inter == 0) continue;
+      const double rv = enum_rec(ins, wt, minus, budget - 1);
+      if (std::isinf(rv)) continue;
+      const double v = a.cost * wt[s] + rv;
+      if (v < best) best = v;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::optional<double> enumerate_min_cost(const Instance& ins, int max_nodes) {
+  ins.check();
+  const std::vector<double>& wt = ins.subset_weight_table();
+  const double v = enum_rec(ins, wt, ins.universe(), max_nodes);
+  if (std::isinf(v)) return std::nullopt;
+  return v;
+}
+
+}  // namespace ttp::tt

@@ -1,0 +1,30 @@
+// Independent reference solvers used only for verification.
+//
+// RecursiveSolver re-derives C(S) top-down (memoized recursion on candidate
+// sets, no layer schedule) — an implementation deliberately unlike the
+// layered solvers, to catch ordering bugs.
+//
+// enumerate_min_cost() enumerates *every* procedure tree up to a node budget
+// and returns the cheapest successful one. Exponential; only for tiny
+// instances in tests, where it certifies that the DP recurrence really
+// captures the first-principles tree-cost minimum of paper §1.
+#pragma once
+
+#include <optional>
+
+#include "tt/solver.hpp"
+
+namespace ttp::tt {
+
+class RecursiveSolver {
+ public:
+  SolveResult solve(const Instance& ins) const;
+};
+
+/// Minimum expected cost over all successful procedure trees whose node
+/// count is at most `max_nodes`, or nullopt if none succeeds within the
+/// budget. An optimal tree never repeats a state on a path, so
+/// max_nodes >= 2^k - 1 is always sufficient.
+std::optional<double> enumerate_min_cost(const Instance& ins, int max_nodes);
+
+}  // namespace ttp::tt

@@ -1,0 +1,117 @@
+#include "tt/solver_hypercube.hpp"
+
+#include <cmath>
+
+namespace ttp::tt {
+
+int HypercubeSolver::action_dims(const Instance& ins) {
+  return util::ceil_log2(static_cast<std::uint64_t>(
+      std::max(2, ins.num_actions())));
+}
+
+int HypercubeSolver::machine_dims(const Instance& ins) {
+  return ins.k() + action_dims(ins);
+}
+
+SolveResult HypercubeSolver::solve(const Instance& ins) const {
+  ins.check();
+  SolveResult res;
+  const int k = ins.k();
+  const int N = ins.num_actions();
+  const int a = action_dims(ins);
+  const int npad = 1 << a;
+  const std::vector<double>& wt = ins.subset_weight_table();
+
+  net::HypercubeMachine<TtPeState> m(k + a);
+
+  // --- Initialization (paper §5 first loop + §7 PE configuration). ---
+  m.local_step([&](std::size_t pe, TtPeState& st) {
+    const int i = static_cast<int>(pe) & (npad - 1);
+    const Mask s = static_cast<Mask>(pe >> a);
+    st.s = s;
+    st.layer = util::popcount(s);
+    st.best = i;
+    if (i < N) {
+      const Action& act = ins.action(i);
+      st.t = act.set;
+      st.is_test = act.is_test;
+      st.pad = false;
+      st.tp = s == 0 ? 0.0 : act.cost * wt[s];
+    } else {
+      st.t = ins.universe();  // paper: T_N..T_{2^a-1} = U, treatments, INF
+      st.is_test = false;
+      st.pad = true;
+      st.tp = kInf;
+    }
+    st.m = (s == 0) ? 0.0 : kInf;
+    st.r = st.q = kInf;
+  });
+
+  for (int j = 1; j <= k; ++j) {
+    // Copy: R = Q = M on every PE (predicate P1 has no layer restriction).
+    m.local_step([&](std::size_t, TtPeState& st) {
+      st.r = st.m;
+      st.q = st.m;
+    });
+
+    // e-loop: conditional subset broadcast along the set dimensions. The
+    // receiver is the hi PE (bit a+e of the address, i.e. e ∈ S); both pair
+    // members share i, hence T_i.
+    for (int e = 0; e < k; ++e) {
+      m.dim_step(a + e, [&](int, TtPeState& lo, TtPeState& hi) {
+        if (util::has_bit(hi.t, e)) hi.r = lo.r;  // e ∈ S∩T_i
+      });
+      m.dim_step(a + e, [&](int, TtPeState& lo, TtPeState& hi) {
+        if (!util::has_bit(hi.t, e)) hi.q = lo.q;  // e ∈ S−T_i
+      });
+    }
+
+    // Combine on layer-j PEs: M = R + TP (+ Q for tests).
+    m.local_step([&](std::size_t pe, TtPeState& st) {
+      if (st.layer != j) return;
+      const int i = static_cast<int>(pe) & (npad - 1);
+      // Same association order as action_value(): (TP + C(S∩T)) + C(S−T),
+      // so doubles come out bitwise identical to the sequential solver.
+      st.m = st.is_test ? (st.tp + st.q) + st.r : st.tp + st.r;
+      st.best = i;  // reset argmin carrier before the reduction
+    });
+
+    // ASCEND min over the action dimensions; ties keep the lower index so
+    // the reconstruction matches the sequential solver exactly.
+    for (int t = 0; t < a; ++t) {
+      m.dim_step(t, [&](int, TtPeState& lo, TtPeState& hi) {
+        if (lo.layer != j) return;
+        double bm = lo.m;
+        int bi = lo.best;
+        if (hi.m < bm || (hi.m == bm && hi.best < bi)) {
+          bm = hi.m;
+          bi = hi.best;
+        }
+        lo.m = hi.m = bm;
+        lo.best = hi.best = bi;
+      });
+    }
+  }
+
+  // --- Extraction: PE (S, 0) holds C(S) and the argmin. ---
+  const std::size_t states = std::size_t{1} << k;
+  res.table.k = k;
+  res.table.cost.assign(states, kInf);
+  res.table.best_action.assign(states, -1);
+  res.table.cost[0] = 0.0;
+  for (std::size_t s = 1; s < states; ++s) {
+    const TtPeState& st = m.at(s << a);
+    res.table.cost[s] = st.m;
+    res.table.best_action[s] =
+        std::isinf(st.m) ? -1 : st.best;
+  }
+
+  res.steps = m.steps();
+  res.cost = res.table.root_cost();
+  res.tree = reconstruct_tree(ins, res.table);
+  res.breakdown.add("machine_dims", static_cast<std::uint64_t>(k + a));
+  res.breakdown.add("pes", m.size());
+  return res;
+}
+
+}  // namespace ttp::tt

@@ -1,0 +1,50 @@
+// The paper's parallel TT algorithm (§5-§6) on the word-level hypercube
+// machine: one PE per (S, i) pair, address = S‖i (set bits high, action
+// index low, N padded to a power of two with INF-cost treatments T = U).
+//
+// Per layer j = 1..k:
+//   copy      R = Q = M                                  (local)
+//   e-loop    R[S,i] = R[S∖{e},i]  when e ∈ S∩T_i        (dim a+e)
+//             Q[S,i] = Q[S∖{e},i]  when e ∈ S−T_i        (dim a+e)
+//   combine   M = R + TP (+ Q for tests), layer-j PEs    (local)
+//   min       M[S,i] = min(M[S,i], M[S,i#t]), t < a      (dims 0..a-1)
+//
+// After layer j the PEs of every |S| = j state all hold C(S) (the ASCEND
+// min-reduction leaves the minimum in both halves), which is exactly what
+// the next layer's e-loop gathers. steps() on the machine is the paper's
+// parallel time; one M-width operand move per step (the bit-serial factor p
+// is applied analytically in bench E9/E11 and measured for real by the BVM
+// solver).
+#pragma once
+
+#include "net/hypercube.hpp"
+#include "tt/solver.hpp"
+
+namespace ttp::tt {
+
+/// Per-PE state of the TT microprogram.
+struct TtPeState {
+  double m = kInf;   ///< M[S,i]
+  double r = kInf;   ///< R[S,i]
+  double q = kInf;   ///< Q[S,i]
+  double tp = kInf;  ///< TP[S,i] = t_i·p(S)
+  int best = -1;     ///< argmin index carried by the min-reduction
+  // Static per-PE configuration (the BVM loads these through the I-chain;
+  // here they are initialized host-side):
+  Mask s = 0;        ///< the set S this PE represents
+  Mask t = 0;        ///< T_i of this PE's action
+  bool is_test = false;
+  bool pad = false;  ///< padding action (treatment T=U at INF cost)
+  int layer = 0;     ///< #S, the paper's propagation-computed group index
+};
+
+class HypercubeSolver {
+ public:
+  SolveResult solve(const Instance& ins) const;
+
+  /// Exposed for tests/benches: dims of the machine a given instance needs.
+  static int machine_dims(const Instance& ins);
+  static int action_dims(const Instance& ins);
+};
+
+}  // namespace ttp::tt

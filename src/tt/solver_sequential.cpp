@@ -1,0 +1,54 @@
+#include "tt/solver_sequential.hpp"
+
+namespace ttp::tt {
+
+double action_value(const Instance& ins, const std::vector<double>& cost,
+                    const std::vector<double>& weight_table, Mask s, int i) {
+  const Action& a = ins.action(i);
+  const Mask inter = s & a.set;
+  const Mask minus = s & ~a.set;
+  if (a.is_test) {
+    if (inter == 0 || minus == 0) return kInf;  // test does not split S
+    return a.cost * weight_table[s] + cost[inter] + cost[minus];
+  }
+  if (inter == 0) return kInf;  // treatment treats nobody in S
+  return a.cost * weight_table[s] + cost[minus];
+}
+
+SolveResult SequentialSolver::solve(const Instance& ins) const {
+  ins.check();
+  SolveResult res;
+  const int k = ins.k();
+  const int N = ins.num_actions();
+  const std::size_t states = std::size_t{1} << k;
+  const std::vector<double>& wt = ins.subset_weight_table();
+
+  res.table.k = k;
+  res.table.cost.assign(states, kInf);
+  res.table.best_action.assign(states, -1);
+  res.table.cost[0] = 0.0;
+
+  for (int j = 1; j <= k; ++j) {
+    for (Mask s : util::layer_subsets(k, j)) {
+      double best = kInf;
+      int arg = -1;
+      for (int i = 0; i < N; ++i) {
+        const double v = action_value(ins, res.table.cost, wt, s, i);
+        res.steps.step(1);
+        if (v < best) {  // strict: ties keep the lower action index
+          best = v;
+          arg = i;
+        }
+      }
+      res.table.cost[s] = best;
+      res.table.best_action[s] = arg;
+    }
+  }
+
+  res.cost = res.table.root_cost();
+  res.tree = reconstruct_tree(ins, res.table);
+  res.breakdown.add("m_evaluations", res.steps.total_ops);
+  return res;
+}
+
+}  // namespace ttp::tt

@@ -1,0 +1,23 @@
+// Sequential backward-induction DP for the TT problem — the paper's baseline
+// ("the known sequential algorithm ... obtained by modifying the backward
+// induction algorithm given by Garey"). Layers |S| = 1..k; within a layer
+// every (S, i) pair is evaluated once, so T_1 = Θ(N·2^k) M-evaluations.
+#pragma once
+
+#include "tt/solver.hpp"
+
+namespace ttp::tt {
+
+class SequentialSolver {
+ public:
+  /// Solves `ins`; steps.total_ops counts M[S,i] evaluations (the paper's T_1).
+  SolveResult solve(const Instance& ins) const;
+};
+
+/// Shared inner kernel: computes M[S,i] given finalized costs for strictly
+/// smaller states. Returns kInf for useless/inapplicable actions. All host
+/// solvers call this one function so their arithmetic is bitwise identical.
+double action_value(const Instance& ins, const std::vector<double>& cost,
+                    const std::vector<double>& weight_table, Mask s, int i);
+
+}  // namespace ttp::tt

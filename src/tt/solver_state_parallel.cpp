@@ -1,0 +1,88 @@
+#include "tt/solver_state_parallel.hpp"
+
+#include <cmath>
+
+namespace ttp::tt {
+
+SolveResult StateParallelSolver::solve(const Instance& ins) const {
+  ins.check();
+  SolveResult res;
+  const int k = ins.k();
+  const int N = ins.num_actions();
+  const std::vector<double>& wt = ins.subset_weight_table();
+
+  net::HypercubeMachine<StatePeState> m(k);
+
+  m.local_step([&](std::size_t pe, StatePeState& st) {
+    const Mask s = static_cast<Mask>(pe);
+    st.layer = util::popcount(s);
+    st.ps = wt[s];
+    st.c = s == 0 ? 0.0 : kInf;
+    st.best = -1;
+  });
+
+  for (int j = 1; j <= k; ++j) {
+    for (int i = 0; i < N; ++i) {
+      const Action& act = ins.action(i);
+      // R := C, propagated along the dimensions in T_i only: after the
+      // sweep R[S] = C(S - T_i) (for e ∉ T_i the identity already holds).
+      // Q := C along dims outside T_i: Q[S] = C(S ∩ T_i). Both receivers
+      // are the bit-set sides, exactly the paper's e-loop restricted to
+      // the dimension subsets this action touches.
+      m.local_step([&](std::size_t, StatePeState& st) {
+        st.r = st.c;
+        st.q = st.c;
+      });
+      for (int e = 0; e < k; ++e) {
+        if (util::has_bit(act.set, e)) {
+          m.dim_step(e, [](int, StatePeState& lo, StatePeState& hi) {
+            hi.r = lo.r;
+          });
+        } else if (act.is_test) {
+          m.dim_step(e, [](int, StatePeState& lo, StatePeState& hi) {
+            hi.q = lo.q;
+          });
+        }
+      }
+      // Local fold: C(S) = min(C(S), M[S,i]) on layer-j PEs. Same
+      // association order as action_value() for bitwise-identical tables.
+      m.local_step([&](std::size_t pe, StatePeState& st) {
+        if (st.layer != j) return;
+        const Mask s = static_cast<Mask>(pe);
+        const Mask inter = s & act.set;
+        const Mask minus = s & ~act.set;
+        double v;
+        if (act.is_test) {
+          if (inter == 0 || minus == 0) return;
+          v = (act.cost * st.ps + st.q) + st.r;
+        } else {
+          if (inter == 0) return;
+          v = act.cost * st.ps + st.r;
+        }
+        if (v < st.c) {
+          st.c = v;
+          st.best = i;
+        }
+      });
+    }
+  }
+
+  const std::size_t states = std::size_t{1} << k;
+  res.table.k = k;
+  res.table.cost.assign(states, kInf);
+  res.table.best_action.assign(states, -1);
+  res.table.cost[0] = 0.0;
+  for (std::size_t s = 1; s < states; ++s) {
+    const StatePeState& st = m.at(s);
+    res.table.cost[s] = st.c;
+    res.table.best_action[s] = std::isinf(st.c) ? -1 : st.best;
+  }
+
+  res.steps = m.steps();
+  res.cost = res.table.root_cost();
+  res.tree = reconstruct_tree(ins, res.table);
+  res.breakdown.add("pes", m.size());
+  return res;
+}
+
+}  // namespace ttp::tt

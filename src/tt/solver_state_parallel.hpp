@@ -1,0 +1,38 @@
+// The processor-time tradeoff the paper's §1 hints at: "Our algorithm was
+// designed to optimize performance for relatively few tests and
+// treatments, e.g. N = O(k^b) ... Other approaches are reasonable if
+// N = O(2^k) is commonly used."
+//
+// This solver uses ONE PE PER STATE (2^k PEs instead of N·2^k) and loops
+// over the actions at the host: per layer, for each action i, the subset
+// broadcast runs only along the dimensions inside T_i (for R) or outside
+// (for Q) — every dimension exactly once per action — and the minimization
+// is a LOCAL update (no reduction dimensions at all, since each PE sees
+// every action in turn). Parallel time grows from O(k(k + log N)) to
+// O(N·k·k) while the PE count shrinks by the factor N: a Brent-style
+// rebalancing that wins exactly when N is large relative to the PE budget.
+// Bench E20 measures the tradeoff against the (S, i)-parallel solver.
+#pragma once
+
+#include "net/hypercube.hpp"
+#include "tt/solver.hpp"
+
+namespace ttp::tt {
+
+struct StatePeState {
+  double c = kInf;   ///< C(S) (being accumulated as min over actions)
+  double next = kInf;  ///< M[S,i] scratch for the current action
+  double r = kInf;
+  double q = kInf;
+  double ps = 0.0;   ///< p(S)
+  int best = -1;
+  int layer = 0;
+};
+
+class StateParallelSolver {
+ public:
+  /// Solves on a 2^k-PE hypercube machine, actions serialized at the host.
+  SolveResult solve(const Instance& ins) const;
+};
+
+}  // namespace ttp::tt

@@ -1,0 +1,86 @@
+#include "tt/solver_threads.hpp"
+
+#include "tt/solver_sequential.hpp"
+
+namespace ttp::tt {
+
+SolveResult ThreadsSolver::solve(const Instance& ins) const {
+  ins.check();
+  SolveResult res;
+  const int k = ins.k();
+  const int N = ins.num_actions();
+  const std::size_t states = std::size_t{1} << k;
+  const std::vector<double>& wt = ins.subset_weight_table();
+
+  res.table.k = k;
+  res.table.cost.assign(states, kInf);
+  res.table.best_action.assign(states, -1);
+  res.table.cost[0] = 0.0;
+
+  std::vector<double> m_buffer;
+  if (mode_ == Mode::kPairParallel) {
+    m_buffer.resize(states * static_cast<std::size_t>(N));
+  }
+
+  for (int j = 1; j <= k; ++j) {
+    const std::vector<Mask> layer = util::layer_subsets(k, j);
+    if (mode_ == Mode::kStateParallel) {
+      // Reads touch only layers < j (finalized); writes per-state disjoint.
+      pool_.parallel_for(layer.size(), [&](std::size_t b, std::size_t e) {
+        for (std::size_t idx = b; idx < e; ++idx) {
+          const Mask s = layer[idx];
+          double best = kInf;
+          int arg = -1;
+          for (int i = 0; i < N; ++i) {
+            const double v = action_value(ins, res.table.cost, wt, s, i);
+            if (v < best) {
+              best = v;
+              arg = i;
+            }
+          }
+          res.table.cost[s] = best;
+          res.table.best_action[s] = arg;
+        }
+      });
+    } else {
+      // Phase 1: every (S, i) pair independently, like the paper's PEs.
+      const std::size_t pairs = layer.size() * static_cast<std::size_t>(N);
+      pool_.parallel_for(pairs, [&](std::size_t b, std::size_t e) {
+        for (std::size_t idx = b; idx < e; ++idx) {
+          const Mask s = layer[idx / static_cast<std::size_t>(N)];
+          const int i = static_cast<int>(idx % static_cast<std::size_t>(N));
+          m_buffer[static_cast<std::size_t>(s) * N + i] =
+              action_value(ins, res.table.cost, wt, s, i);
+        }
+      });
+      // Phase 2: per-state minimization (ascending i: identical ties).
+      pool_.parallel_for(layer.size(), [&](std::size_t b, std::size_t e) {
+        for (std::size_t idx = b; idx < e; ++idx) {
+          const Mask s = layer[idx];
+          double best = kInf;
+          int arg = -1;
+          for (int i = 0; i < N; ++i) {
+            const double v = m_buffer[static_cast<std::size_t>(s) * N + i];
+            if (v < best) {
+              best = v;
+              arg = i;
+            }
+          }
+          res.table.cost[s] = best;
+          res.table.best_action[s] = arg;
+        }
+      });
+    }
+    const std::uint64_t rounds =
+        (layer.size() + pool_.size() - 1) / pool_.size();
+    for (std::uint64_t r = 0; r < rounds; ++r) {
+      res.steps.step(static_cast<std::uint64_t>(N) * pool_.size());
+    }
+  }
+
+  res.cost = res.table.root_cost();
+  res.tree = reconstruct_tree(ins, res.table);
+  return res;
+}
+
+}  // namespace ttp::tt

@@ -1,0 +1,44 @@
+// Shared-memory parallel DP (the hardware-substitute baseline, bench E12).
+//
+// The layer schedule is the same as the paper's parallel algorithm — all
+// (S, i) pairs inside layer |S| = j are independent once layers < j are
+// final — so a thread pool sweeps each layer with parallel_for. Results are
+// bitwise identical to SequentialSolver (same kernel, same tie-breaking,
+// disjoint writes).
+//
+// steps.parallel_steps models a `width`-wide PRAM: per layer,
+// ceil(layer_states/width) rounds of N-way minimization.
+#pragma once
+
+#include <cstddef>
+
+#include "tt/solver.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ttp::tt {
+
+class ThreadsSolver {
+ public:
+  /// Work decomposition per DP layer.
+  enum class Mode {
+    kStateParallel,  ///< one task per state S; each scans all N actions
+    kPairParallel,   ///< one task per (S, i) pair into an M buffer, then a
+                     ///< parallel per-state min — the paper's decomposition
+                     ///< transplanted to shared memory
+  };
+
+  /// `workers` == 0 -> hardware concurrency.
+  explicit ThreadsSolver(std::size_t workers = 0,
+                         Mode mode = Mode::kStateParallel)
+      : pool_(workers), mode_(mode) {}
+
+  SolveResult solve(const Instance& ins) const;
+
+  std::size_t workers() const noexcept { return pool_.size(); }
+
+ private:
+  mutable util::ThreadPool pool_;
+  Mode mode_;
+};
+
+}  // namespace ttp::tt

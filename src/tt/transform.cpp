@@ -1,0 +1,134 @@
+#include "tt/transform.hpp"
+
+#include <stdexcept>
+
+namespace ttp::tt {
+
+namespace {
+
+Instance rebuild(const Instance& ins,
+                 const std::function<double(const Action&)>& cost_of,
+                 const std::function<Mask(Mask)>& set_of,
+                 std::vector<double> weights,
+                 const std::function<bool(int, const Action&)>& keep) {
+  // Take the size before the move: argument evaluation order is
+  // unspecified, and std::move(weights) may be consumed first.
+  const int k = static_cast<int>(weights.size());
+  Instance out(k, std::move(weights));
+  for (int i = 0; i < ins.num_actions(); ++i) {
+    const Action& a = ins.action(i);
+    if (!keep(i, a)) continue;
+    if (a.is_test) {
+      out.add_test(set_of(a.set), cost_of(a), a.name);
+    } else {
+      out.add_treatment(set_of(a.set), cost_of(a), a.name);
+    }
+  }
+  out.check();
+  return out;
+}
+
+const auto kKeepAll = [](int, const Action&) { return true; };
+
+}  // namespace
+
+Instance scale_costs(const Instance& ins, double c) {
+  if (!(c > 0)) throw std::invalid_argument("scale_costs: c must be > 0");
+  return rebuild(
+      ins, [c](const Action& a) { return a.cost * c; },
+      [](Mask s) { return s; }, ins.weights(), kKeepAll);
+}
+
+Instance scale_weights(const Instance& ins, double w) {
+  if (!(w > 0)) throw std::invalid_argument("scale_weights: w must be > 0");
+  std::vector<double> weights = ins.weights();
+  for (double& x : weights) x *= w;
+  return rebuild(
+      ins, [](const Action& a) { return a.cost; }, [](Mask s) { return s; },
+      std::move(weights), kKeepAll);
+}
+
+Instance permute_objects(const Instance& ins, const std::vector<int>& perm) {
+  const int k = ins.k();
+  if (static_cast<int>(perm.size()) != k) {
+    throw std::invalid_argument("permute_objects: perm size != k");
+  }
+  std::vector<char> seen(static_cast<std::size_t>(k), 0);
+  for (int p : perm) {
+    if (p < 0 || p >= k || seen[static_cast<std::size_t>(p)]) {
+      throw std::invalid_argument("permute_objects: not a permutation");
+    }
+    seen[static_cast<std::size_t>(p)] = 1;
+  }
+  std::vector<double> weights(static_cast<std::size_t>(k));
+  for (int j = 0; j < k; ++j) {
+    weights[static_cast<std::size_t>(perm[static_cast<std::size_t>(j)])] =
+        ins.weight(j);
+  }
+  auto map_mask = [&](Mask m) {
+    Mask out = 0;
+    for (int j = 0; j < k; ++j) {
+      if (util::has_bit(m, j)) {
+        out |= util::bit(perm[static_cast<std::size_t>(j)]);
+      }
+    }
+    return out;
+  };
+  return rebuild(
+      ins, [](const Action& a) { return a.cost; }, map_mask,
+      std::move(weights), kKeepAll);
+}
+
+Instance restrict_to(const Instance& ins, Mask s) {
+  if (s == 0 || (s & ~ins.universe()) != 0) {
+    throw std::invalid_argument("restrict_to: bad candidate set");
+  }
+  // Dense renumbering of the surviving objects.
+  std::vector<int> dense(static_cast<std::size_t>(ins.k()), -1);
+  std::vector<double> weights;
+  int next = 0;
+  for (int j = 0; j < ins.k(); ++j) {
+    if (util::has_bit(s, j)) {
+      dense[static_cast<std::size_t>(j)] = next++;
+      weights.push_back(ins.weight(j));
+    }
+  }
+  auto map_mask = [&](Mask m) {
+    Mask out = 0;
+    for (int j = 0; j < ins.k(); ++j) {
+      if (util::has_bit(m & s, j)) {
+        out |= util::bit(dense[static_cast<std::size_t>(j)]);
+      }
+    }
+    return out;
+  };
+  return rebuild(
+      ins, [](const Action& a) { return a.cost; }, map_mask,
+      std::move(weights), kKeepAll);
+}
+
+Instance filter_actions(
+    const Instance& ins,
+    const std::function<bool(int, const Action&)>& keep) {
+  return rebuild(
+      ins, [](const Action& a) { return a.cost; }, [](Mask s) { return s; },
+      ins.weights(), keep);
+}
+
+Instance scale_test_costs(const Instance& ins, double c) {
+  if (!(c > 0)) throw std::invalid_argument("scale_test_costs: c > 0");
+  return rebuild(
+      ins,
+      [c](const Action& a) { return a.is_test ? a.cost * c : a.cost; },
+      [](Mask s) { return s; }, ins.weights(), kKeepAll);
+}
+
+Instance scale_treatment_costs(const Instance& ins, double c) {
+  if (!(c > 0)) throw std::invalid_argument("scale_treatment_costs: c > 0");
+  return rebuild(
+      ins,
+      [c](const Action& a) { return a.is_test ? a.cost : a.cost * c; },
+      [](Mask s) { return s; }, ins.weights(), kKeepAll);
+}
+
+}  // namespace ttp::tt

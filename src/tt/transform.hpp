@@ -1,0 +1,41 @@
+// Instance transformations — the algebra behind the DP's invariance
+// properties (cost/weight linearity, relabeling isomorphism) and the
+// practical tooling for what-if analyses (restriction to a sub-universe,
+// action filtering, cost inflation of an action class).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "tt/instance.hpp"
+
+namespace ttp::tt {
+
+/// Every action cost multiplied by c > 0 (scales C(S) by c).
+Instance scale_costs(const Instance& ins, double c);
+
+/// Every prior multiplied by w > 0 (scales C(S) by w).
+Instance scale_weights(const Instance& ins, double w);
+
+/// Objects relabeled by `perm` (perm[old] = new); C is permuted, C(U)
+/// unchanged. perm must be a permutation of 0..k-1.
+Instance permute_objects(const Instance& ins, const std::vector<int>& perm);
+
+/// The sub-problem induced by candidate set `s`: objects of `s` renumbered
+/// densely, each action's set intersected with `s` (empty-intersection
+/// treatments and non-splitting tests are kept — the DP ignores them).
+/// C_restricted(full set) equals C_original(s) — the DP's sub-problem.
+Instance restrict_to(const Instance& ins, Mask s);
+
+/// Keeps only the actions for which `keep(index, action)` returns true
+/// (order preserved; C can only increase).
+Instance filter_actions(
+    const Instance& ins,
+    const std::function<bool(int, const Action&)>& keep);
+
+/// Multiplies the cost of every TEST by c (e.g. "what if probing got
+/// dearer") — treatments untouched; `scale_treatment_costs` is the mirror.
+Instance scale_test_costs(const Instance& ins, double c);
+Instance scale_treatment_costs(const Instance& ins, double c);
+
+}  // namespace ttp::tt

@@ -1,0 +1,104 @@
+#include "tt/tree.hpp"
+
+#include <functional>
+#include <sstream>
+#include <stdexcept>
+
+namespace ttp::tt {
+
+Tree::Tree(std::vector<TreeNode> nodes, int root)
+    : nodes_(std::move(nodes)), root_(root) {
+  if (root_ < -1 || root_ >= static_cast<int>(nodes_.size())) {
+    throw std::invalid_argument("Tree: root out of range");
+  }
+}
+
+int Tree::depth() const {
+  if (root_ < 0) return 0;
+  std::function<int(int)> rec = [&](int n) -> int {
+    if (n < 0) return 0;
+    const TreeNode& t = nodes_[static_cast<std::size_t>(n)];
+    return 1 + std::max(rec(t.yes), rec(t.no));
+  };
+  return rec(root_);
+}
+
+double Tree::path_cost(const Instance& ins, int object) const {
+  if (root_ < 0) throw std::runtime_error("Tree::path_cost: empty tree");
+  double cost = 0.0;
+  int cur = root_;
+  // A successful procedure visits each state at most once; bound the walk to
+  // detect cyclic/malformed trees instead of looping forever.
+  for (int steps = 0; steps <= size(); ++steps) {
+    const TreeNode& t = nodes_[static_cast<std::size_t>(cur)];
+    const Action& a = ins.action(t.action);
+    cost += a.cost;
+    const bool inside = util::has_bit(a.set, object);
+    if (a.is_test) {
+      cur = inside ? t.yes : t.no;
+    } else {
+      if (inside) return cost;  // treated
+      cur = t.no;               // failure continuation
+    }
+    if (cur < 0) {
+      throw std::runtime_error(
+          "Tree::path_cost: walk fell off the tree before object " +
+          std::to_string(object) + " was treated");
+    }
+  }
+  throw std::runtime_error("Tree::path_cost: cycle detected");
+}
+
+double Tree::expected_cost(const Instance& ins) const {
+  double total = 0.0;
+  for (int j = 0; j < ins.k(); ++j) {
+    total += path_cost(ins, j) * ins.weight(j);
+  }
+  return total;
+}
+
+std::string Tree::to_dot(const Instance& ins) const {
+  std::ostringstream os;
+  os << "digraph tt_procedure {\n  node [fontname=\"monospace\"];\n";
+  for (int i = 0; i < size(); ++i) {
+    const TreeNode& t = nodes_[static_cast<std::size_t>(i)];
+    const Action& a = ins.action(t.action);
+    os << "  n" << i << " [label=\"" << a.name << "\\n"
+       << util::mask_to_string(a.set) << "  c=" << a.cost << "\\nS="
+       << util::mask_to_string(t.state) << "\", shape="
+       << (a.is_test ? "box" : "doublecircle") << "];\n";
+    if (a.is_test) {
+      if (t.yes >= 0) os << "  n" << i << " -> n" << t.yes << " [label=\"+\"];\n";
+      if (t.no >= 0) os << "  n" << i << " -> n" << t.no << " [label=\"-\"];\n";
+    } else if (t.no >= 0) {
+      os << "  n" << i << " -> n" << t.no
+         << " [label=\"fail\", style=dashed];\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string Tree::to_string(const Instance& ins) const {
+  std::ostringstream os;
+  std::function<void(int, std::string, std::string)> rec =
+      [&](int n, std::string prefix, std::string tag) {
+        if (n < 0) return;
+        const TreeNode& t = nodes_[static_cast<std::size_t>(n)];
+        const Action& a = ins.action(t.action);
+        os << prefix << tag << (a.is_test ? "TEST " : "TREAT ") << a.name
+           << " " << util::mask_to_string(a.set) << "  [S="
+           << util::mask_to_string(t.state) << ", cost=" << a.cost << "]\n";
+        const std::string childPrefix = prefix + "  ";
+        if (a.is_test) {
+          rec(t.yes, childPrefix, "+ ");
+          rec(t.no, childPrefix, "- ");
+        } else if (t.no >= 0) {
+          rec(t.no, childPrefix, "f ");  // treatment failure arc
+        }
+      };
+  rec(root_, "", "");
+  return os.str();
+}
+
+}  // namespace ttp::tt

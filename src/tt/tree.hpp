@@ -1,0 +1,61 @@
+// TT procedure trees (paper Fig. 1).
+//
+// A procedure is a binary decision tree over candidate sets. A test node has
+// a positive-outcome child (candidate set S∩T_i) and a negative child
+// (S-T_i). A treatment node treats S∩T_i; its only outgoing arc is the
+// failure continuation on S-T_i (absent when S ⊆ T_i, i.e. the branch
+// terminates — the paper's double arc).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tt/instance.hpp"
+
+namespace ttp::tt {
+
+struct TreeNode {
+  Mask state = 0;    ///< Candidate set S at this node.
+  int action = -1;   ///< Index into Instance::actions().
+  int yes = -1;      ///< Test: child for positive outcome. Treatments: -1.
+  int no = -1;       ///< Test: negative child. Treatment: failure arc or -1.
+};
+
+class Tree {
+ public:
+  Tree() = default;
+
+  /// Builds the node array; `root` indexes into `nodes`.
+  Tree(std::vector<TreeNode> nodes, int root);
+
+  bool empty() const noexcept { return nodes_.empty(); }
+  int root() const noexcept { return root_; }
+  const std::vector<TreeNode>& nodes() const noexcept { return nodes_; }
+  const TreeNode& node(int i) const { return nodes_.at(static_cast<std::size_t>(i)); }
+  int size() const noexcept { return static_cast<int>(nodes_.size()); }
+  int depth() const;
+
+  /// Expected cost under the instance, from first principles: for each
+  /// object, the sum of the costs of all actions encountered on its path,
+  /// weighted by P_j. This is the paper's Cost(Tree) definition and is
+  /// computed independently of any DP table.
+  double expected_cost(const Instance& ins) const;
+
+  /// Cost charged to a single object's path (unweighted); throws if the walk
+  /// does not end with the object treated (unsuccessful procedure).
+  double path_cost(const Instance& ins, int object) const;
+
+  /// ASCII rendering with action names, one node per line.
+  std::string to_string(const Instance& ins) const;
+
+  /// Graphviz DOT rendering: test nodes as boxes with +/- arcs, treatment
+  /// nodes as double circles with a dashed failure arc (the paper's single
+  /// vs double arc convention).
+  std::string to_dot(const Instance& ins) const;
+
+ private:
+  std::vector<TreeNode> nodes_;
+  int root_ = -1;
+};
+
+}  // namespace ttp::tt

@@ -1,0 +1,136 @@
+#include "tt/validate.hpp"
+
+#include <cmath>
+
+#include "tt/solver_sequential.hpp"
+
+namespace ttp::tt {
+
+namespace {
+
+void check_node(const Instance& ins, const Tree& tree, int idx, Mask expect,
+                ValidationReport& rep) {
+  const TreeNode& t = tree.node(idx);
+  if (t.state != expect) {
+    rep.fail("node " + std::to_string(idx) + ": state " +
+             util::mask_to_string(t.state) + " != expected " +
+             util::mask_to_string(expect));
+    return;
+  }
+  if (t.action < 0 || t.action >= ins.num_actions()) {
+    rep.fail("node " + std::to_string(idx) + ": bad action index");
+    return;
+  }
+  const Action& a = ins.action(t.action);
+  const Mask inter = t.state & a.set;
+  const Mask minus = t.state & ~a.set;
+  if (a.is_test) {
+    if (inter == 0 || minus == 0) {
+      rep.fail("node " + std::to_string(idx) + ": test does not split");
+      return;
+    }
+    if (t.yes < 0 || t.no < 0) {
+      rep.fail("node " + std::to_string(idx) + ": test missing a child");
+      return;
+    }
+    check_node(ins, tree, t.yes, inter, rep);
+    check_node(ins, tree, t.no, minus, rep);
+  } else {
+    if (inter == 0) {
+      rep.fail("node " + std::to_string(idx) + ": treatment treats nobody");
+      return;
+    }
+    if (t.yes >= 0) {
+      rep.fail("node " + std::to_string(idx) + ": treatment has a yes-child");
+      return;
+    }
+    if (minus == 0) {
+      if (t.no >= 0) {
+        rep.fail("node " + std::to_string(idx) +
+                 ": terminal treatment has a continuation");
+      }
+    } else {
+      if (t.no < 0) {
+        rep.fail("node " + std::to_string(idx) +
+                 ": failed treatment lacks a continuation");
+        return;
+      }
+      check_node(ins, tree, t.no, minus, rep);
+    }
+  }
+}
+
+}  // namespace
+
+ValidationReport validate_tree(const Instance& ins, const Tree& tree,
+                               double expected_cost, double tol) {
+  ValidationReport rep;
+  if (tree.empty()) {
+    rep.fail("empty tree");
+    return rep;
+  }
+  check_node(ins, tree, tree.root(), ins.universe(), rep);
+  if (!rep.ok) return rep;
+
+  for (int j = 0; j < ins.k(); ++j) {
+    try {
+      (void)tree.path_cost(ins, j);
+    } catch (const std::exception& e) {
+      rep.fail("object " + std::to_string(j) + ": " + e.what());
+    }
+  }
+  if (!rep.ok) return rep;
+
+  const double actual = tree.expected_cost(ins);
+  if (std::fabs(actual - expected_cost) > tol) {
+    rep.fail("expected cost " + std::to_string(expected_cost) +
+             " but tree costs " + std::to_string(actual));
+  }
+  return rep;
+}
+
+ValidationReport validate_table(const Instance& ins, const DpTable& table,
+                                double tol) {
+  ValidationReport rep;
+  const std::size_t states = std::size_t{1} << ins.k();
+  if (table.cost.size() != states || table.best_action.size() != states) {
+    rep.fail("table size mismatch");
+    return rep;
+  }
+  if (table.cost[0] != 0.0) rep.fail("C(empty) != 0");
+
+  const std::vector<double>& wt = ins.subset_weight_table();
+  for (std::size_t s = 1; s < states; ++s) {
+    const Mask m = static_cast<Mask>(s);
+    double best = kInf;
+    int arg = -1;
+    for (int i = 0; i < ins.num_actions(); ++i) {
+      const double v = action_value(ins, table.cost, wt, m, i);
+      if (v < best) {
+        best = v;
+        arg = i;
+      }
+    }
+    const double have = table.cost[s];
+    if (std::isinf(best) != std::isinf(have) ||
+        (!std::isinf(best) && std::fabs(best - have) > tol)) {
+      rep.fail("state " + util::mask_to_string(m) + ": recurrence gives " +
+               std::to_string(best) + " table has " + std::to_string(have));
+    }
+    if (arg != table.best_action[s] && !std::isinf(best)) {
+      // Accept any argmin that achieves the cost (solvers promise the lowest
+      // index; the recurrence check above already pins the value).
+      const double v =
+          table.best_action[s] < 0
+              ? kInf
+              : action_value(ins, table.cost, wt, m, table.best_action[s]);
+      if (std::isinf(v) || std::fabs(v - have) > tol) {
+        rep.fail("state " + util::mask_to_string(m) +
+                 ": best_action does not achieve the cost");
+      }
+    }
+  }
+  return rep;
+}
+
+}  // namespace ttp::tt

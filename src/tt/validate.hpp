@@ -1,0 +1,36 @@
+// Structural and semantic validation of TT procedures and DP tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tt/solver.hpp"
+
+namespace ttp::tt {
+
+struct ValidationReport {
+  bool ok = true;
+  std::vector<std::string> errors;
+
+  void fail(std::string msg) {
+    ok = false;
+    errors.push_back(std::move(msg));
+  }
+};
+
+/// Checks that `tree` is a well-formed *successful* procedure for `ins`:
+/// states are consistent along arcs (yes-child state == S∩T_i etc.), tests
+/// genuinely split, treatments treat someone, every object's walk terminates
+/// treated, and the tree's expected cost equals `expected_cost` (exact
+/// comparison when tol == 0).
+ValidationReport validate_tree(const Instance& ins, const Tree& tree,
+                               double expected_cost, double tol = 1e-9);
+
+/// Checks internal consistency of a DP table: C(∅)=0, monotone under the
+/// recurrence (recomputing each layer from the table reproduces the table),
+/// best_action achieves the stated cost, and every singleton's cost matches
+/// the cheapest covering treatment.
+ValidationReport validate_table(const Instance& ins, const DpTable& table,
+                                double tol = 1e-9);
+
+}  // namespace ttp::tt

@@ -1,0 +1,62 @@
+#include "util/bits.hpp"
+
+namespace ttp::util {
+
+Mask next_same_popcount(Mask m, int k) noexcept {
+  if (m == 0) return 0;
+  const Mask c = m & (0u - m);  // lowest set bit
+  const Mask r = m + c;
+  Mask next = (((r ^ m) >> 2) / c) | r;
+  if (next >= (Mask{1} << k)) return 0;
+  return next;
+}
+
+std::vector<Mask> all_subsets(Mask space) {
+  std::vector<Mask> out;
+  Mask s = 0;
+  while (true) {
+    out.push_back(s);
+    if (s == space) break;
+    s = (s - space) & space;  // enumerate sub-masks ascending
+  }
+  return out;
+}
+
+std::vector<Mask> layer_subsets(int k, int j) {
+  std::vector<Mask> out;
+  if (j == 0) {
+    out.push_back(0);
+    return out;
+  }
+  if (j > k) return out;
+  Mask m = (Mask{1} << j) - 1;
+  while (m != 0) {
+    out.push_back(m);
+    m = next_same_popcount(m, k);
+  }
+  return out;
+}
+
+std::string mask_to_string(Mask m) {
+  std::string s = "{";
+  bool first = true;
+  for (int b = 0; b < 32; ++b) {
+    if (has_bit(m, b)) {
+      if (!first) s += ',';
+      s += std::to_string(b);
+      first = false;
+    }
+  }
+  s += '}';
+  return s;
+}
+
+std::string to_binary(std::uint64_t v, int width) {
+  std::string s(static_cast<std::size_t>(width), '0');
+  for (int b = 0; b < width; ++b) {
+    if ((v >> b) & 1u) s[static_cast<std::size_t>(width - 1 - b)] = '1';
+  }
+  return s;
+}
+
+}  // namespace ttp::util

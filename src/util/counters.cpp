@@ -1,0 +1,4 @@
+#include "util/counters.hpp"
+
+// Counters are header-only at present; this TU anchors the library target
+// and will hold aggregation helpers if they grow out-of-line state.

@@ -1,0 +1,52 @@
+// Deterministic cost accounting shared by the machine simulators and the
+// solvers. Every reproduction claim in EXPERIMENTS.md is stated in terms of
+// these counters, never wall-clock, because the paper's results are
+// step-count results.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace ttp::util {
+
+/// Parallel-machine cost model: `parallel_steps` advances once per
+/// machine-wide SIMD step regardless of width; `total_ops` accumulates the
+/// number of PE-operations performed (work); `route_steps` counts the subset
+/// of parallel steps that moved data between PEs.
+struct StepCounter {
+  std::uint64_t parallel_steps = 0;
+  std::uint64_t route_steps = 0;
+  std::uint64_t total_ops = 0;
+
+  void step(std::uint64_t ops, bool routed = false) {
+    parallel_steps += 1;
+    total_ops += ops;
+    if (routed) route_steps += 1;
+  }
+  void reset() { *this = StepCounter{}; }
+
+  StepCounter& operator+=(const StepCounter& o) {
+    parallel_steps += o.parallel_steps;
+    route_steps += o.route_steps;
+    total_ops += o.total_ops;
+    return *this;
+  }
+};
+
+/// Named counters for ad-hoc breakdowns (per-phase instruction counts etc).
+class CounterMap {
+ public:
+  void add(const std::string& name, std::uint64_t v) { counters_[name] += v; }
+  std::uint64_t get(const std::string& name) const {
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+  }
+  const std::map<std::string, std::uint64_t>& all() const { return counters_; }
+  void reset() { counters_.clear(); }
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+};
+
+}  // namespace ttp::util

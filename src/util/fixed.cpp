@@ -1,0 +1,34 @@
+#include "util/fixed.hpp"
+
+#include <cmath>
+
+namespace ttp::util {
+
+Fixed Fixed::from_double(Format fmt, double v) {
+  if (v < 0) throw std::invalid_argument("Fixed::from_double: negative value");
+  if (std::isinf(v)) return inf(fmt);
+  const double raw = std::round(v * fmt.scale());
+  if (raw >= static_cast<double>(fmt.inf_raw())) return inf(fmt);
+  return Fixed(fmt, static_cast<std::uint64_t>(raw));
+}
+
+Fixed operator+(const Fixed& a, const Fixed& b) {
+  if (a.is_inf() || b.is_inf()) return Fixed::inf(a.fmt_);
+  const std::uint64_t sum = a.raw_ + b.raw_;
+  if (sum >= a.fmt_.inf_raw() || sum < a.raw_) return Fixed::inf(a.fmt_);
+  return Fixed(a.fmt_, sum);
+}
+
+Fixed Fixed::scaled_by(double w) const {
+  if (is_inf()) return *this;
+  const double raw = std::round(static_cast<double>(raw_) * w);
+  if (raw >= static_cast<double>(fmt_.inf_raw())) return inf(fmt_);
+  return Fixed(fmt_, static_cast<std::uint64_t>(raw));
+}
+
+std::string Fixed::to_string() const {
+  if (is_inf()) return "INF";
+  return std::to_string(to_double());
+}
+
+}  // namespace ttp::util

@@ -1,0 +1,70 @@
+// Saturating unsigned fixed-point values, mirroring the BVM's p-bit
+// bit-serial number representation.
+//
+// The BVM stores a p-bit unsigned integer per PE (one register row per bit).
+// INF is the all-ones value and is sticky: INF + x == INF. Host-side solvers
+// use the same representation when cross-checking the bit-serial machine so
+// the comparison is exact, not within-epsilon.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace ttp::util {
+
+class Fixed {
+ public:
+  /// A fixed-point system: `bits` total bits, `frac` of them fractional.
+  struct Format {
+    int bits = 32;
+    int frac = 8;
+
+    constexpr std::uint64_t max_raw() const noexcept {
+      return bits >= 64 ? ~std::uint64_t{0}
+                        : (std::uint64_t{1} << bits) - 1;
+    }
+    /// INF is the all-ones encoding.
+    constexpr std::uint64_t inf_raw() const noexcept { return max_raw(); }
+    constexpr double scale() const noexcept {
+      return static_cast<double>(std::uint64_t{1} << frac);
+    }
+  };
+
+  Fixed() = default;
+  Fixed(Format fmt, std::uint64_t raw) : fmt_(fmt), raw_(raw & fmt.max_raw()) {}
+
+  static Fixed from_double(Format fmt, double v);
+  static Fixed inf(Format fmt) { return Fixed(fmt, fmt.inf_raw()); }
+  static Fixed zero(Format fmt) { return Fixed(fmt, 0); }
+
+  std::uint64_t raw() const noexcept { return raw_; }
+  Format format() const noexcept { return fmt_; }
+  bool is_inf() const noexcept { return raw_ == fmt_.inf_raw(); }
+  double to_double() const noexcept {
+    return is_inf() ? std::numeric_limits<double>::infinity()
+                    : static_cast<double>(raw_) / fmt_.scale();
+  }
+
+  /// Saturating add; INF is absorbing. Saturation (overflow) also pins to
+  /// INF, matching the BVM microcode's sticky-overflow flag behaviour.
+  friend Fixed operator+(const Fixed& a, const Fixed& b);
+  friend bool operator<(const Fixed& a, const Fixed& b) noexcept {
+    return a.raw_ < b.raw_;
+  }
+  friend bool operator==(const Fixed& a, const Fixed& b) noexcept {
+    return a.raw_ == b.raw_;
+  }
+
+  /// raw = round(a_raw * w) where w is a plain real weight; saturates.
+  Fixed scaled_by(double w) const;
+
+  std::string to_string() const;
+
+ private:
+  Format fmt_{};
+  std::uint64_t raw_ = 0;
+};
+
+}  // namespace ttp::util

@@ -1,0 +1,36 @@
+#include "util/rng.hpp"
+
+namespace ttp::util {
+
+std::uint64_t Rng::uniform(std::uint64_t lo, std::uint64_t hi) {
+  const std::uint64_t span = hi - lo + 1;
+  if (span == 0) return engine_();  // full range
+  const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % span);
+  std::uint64_t x;
+  do {
+    x = engine_();
+  } while (x >= limit && limit != 0);
+  return lo + (x % span);
+}
+
+double Rng::uniform_real(double lo, double hi) {
+  // 53 high bits -> double in [0,1).
+  const double u =
+      static_cast<double>(engine_() >> 11) * (1.0 / 9007199254740992.0);
+  return lo + u * (hi - lo);
+}
+
+Mask Rng::nonempty_subset(Mask space) {
+  if (space == 0) return 0;
+  Mask s;
+  do {
+    s = subset(space);
+  } while (s == 0);
+  return s;
+}
+
+Mask Rng::subset(Mask space) {
+  return static_cast<Mask>(next_u64()) & space;
+}
+
+}  // namespace ttp::util

@@ -1,0 +1,51 @@
+// Deterministic, seedable RNG wrapper used by all instance generators and
+// property tests. A thin layer over a fixed-algorithm engine so results are
+// reproducible across standard libraries (std::mt19937_64 is fully
+// specified; the distributions here are hand-rolled for the same reason).
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "util/bits.hpp"
+
+namespace ttp::util {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  std::uint64_t next_u64() { return engine_(); }
+
+  /// Uniform integer in [lo, hi] inclusive; rejection-sampled for
+  /// cross-platform determinism.
+  std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform double in [lo, hi).
+  double uniform_real(double lo, double hi);
+
+  /// True with probability p.
+  bool bernoulli(double p) { return uniform_real(0.0, 1.0) < p; }
+
+  /// Uniform non-empty subset of the given space.
+  Mask nonempty_subset(Mask space);
+
+  /// Uniform subset (possibly empty) of the given space.
+  Mask subset(Mask space);
+
+  /// Shuffle a vector in place (Fisher-Yates with this engine).
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j =
+          static_cast<std::size_t>(uniform(0, static_cast<std::uint64_t>(i - 1)));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace ttp::util

@@ -1,0 +1,36 @@
+// Aligned plain-text tables for bench output. Every bench binary prints the
+// rows the corresponding paper artifact reports (EXPERIMENTS.md E1-E15)
+// through this one formatter so outputs stay uniform and diffable.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ttp::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; must match the header width.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats arithmetic cells with %g-style precision.
+  static std::string num(double v, int precision = 6);
+  static std::string num(std::uint64_t v);
+  static std::string num(std::int64_t v);
+
+  void print(std::ostream& os) const;
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a titled section banner around a table (bench output style).
+void print_section(std::ostream& os, const std::string& title);
+
+}  // namespace ttp::util

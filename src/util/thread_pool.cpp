@@ -1,0 +1,70 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace ttp::util {
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  if (workers == 0) {
+    workers = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  tasks_.resize(workers);
+  threads_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  const std::size_t w = threads_.size();
+  std::unique_lock<std::mutex> lock(mu_);
+  const std::size_t chunk = (n + w - 1) / w;
+  std::size_t active = 0;
+  for (std::size_t i = 0; i < w; ++i) {
+    const std::size_t b = std::min(n, i * chunk);
+    const std::size_t e = std::min(n, b + chunk);
+    tasks_[i] = {b, e};
+    if (b < e) ++active;
+  }
+  fn_ = &fn;
+  pending_ = w;
+  ++epoch_;
+  cv_start_.notify_all();
+  cv_done_.wait(lock, [this] { return pending_ == 0; });
+  fn_ = nullptr;
+  (void)active;
+}
+
+void ThreadPool::worker_loop(std::size_t id) {
+  std::uint64_t seen = 0;
+  while (true) {
+    Task task;
+    const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_start_.wait(lock, [&] { return stop_ || epoch_ != seen; });
+      if (stop_) return;
+      seen = epoch_;
+      task = tasks_[id];
+      fn = fn_;
+    }
+    if (task.begin < task.end) (*fn)(task.begin, task.end);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--pending_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+}  // namespace ttp::util

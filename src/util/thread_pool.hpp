@@ -1,0 +1,51 @@
+// A small fixed-size thread pool with a blocking parallel_for, used by the
+// shared-memory TT solver. Work is partitioned into contiguous chunks, one
+// per worker, to keep the DP layer loop cache-friendly and deterministic.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ttp::util {
+
+class ThreadPool {
+ public:
+  /// Creates `workers` threads (>=1). 0 means hardware_concurrency().
+  explicit ThreadPool(std::size_t workers = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const noexcept { return threads_.size(); }
+
+  /// Runs fn(begin, end) over [0, n) split into size() contiguous chunks and
+  /// blocks until all chunks complete. Chunk boundaries depend only on n and
+  /// size(), so any run with the same pool width touches the same ranges.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t, std::size_t)>& fn);
+
+ private:
+  struct Task {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+  };
+
+  void worker_loop(std::size_t id);
+
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  const std::function<void(std::size_t, std::size_t)>* fn_ = nullptr;
+  std::vector<Task> tasks_;
+  std::uint64_t epoch_ = 0;
+  std::size_t pending_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace ttp::util

@@ -1,0 +1,82 @@
+// The grand cross-check: every solver in the repository run on the same
+// instances, one sweep — sequential, recursive, threads, hypercube, CCC,
+// state-parallel, branch-and-bound (all bitwise identical) and the BVM
+// (exact on integer formats). This is the test that makes "N solvers, one
+// table" a checked invariant rather than a README claim.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tt/generator.hpp"
+#include "tt/solver_bnb.hpp"
+#include "tt/solver_bvm.hpp"
+#include "tt/solver_ccc.hpp"
+#include "tt/solver_exhaustive.hpp"
+#include "tt/solver_hypercube.hpp"
+#include "tt/solver_sequential.hpp"
+#include "tt/solver_state_parallel.hpp"
+#include "tt/solver_threads.hpp"
+#include "tt/validate.hpp"
+#include "util/rng.hpp"
+
+namespace ttp::tt {
+namespace {
+
+class AllSolvers : public ::testing::TestWithParam<int> {};
+
+TEST_P(AllSolvers, OneInstanceOneTable) {
+  const int seed = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(seed) * 31 + 5);
+  RandomOptions ropt;
+  ropt.num_tests = 3 + seed % 3;
+  ropt.num_treatments = 3 + seed % 2;
+  ropt.integer_costs = true;
+  ropt.integer_weights = true;
+  ropt.max_cost = 4.0;
+  const Instance ins = random_instance(4 + seed % 3, ropt, rng);
+
+  const auto seq = SequentialSolver().solve(ins);
+
+  // Bitwise-identical family.
+  const auto rec = RecursiveSolver().solve(ins);
+  const auto thr = ThreadsSolver(2).solve(ins);
+  const auto hyp = HypercubeSolver().solve(ins);
+  const auto ccc = CccSolver().solve(ins);
+  const auto spp = StateParallelSolver().solve(ins);
+  for (const auto* r : {&rec, &thr, &hyp, &ccc, &spp}) {
+    EXPECT_EQ(max_table_diff(seq.table, r->table), 0.0) << seed;
+  }
+  EXPECT_EQ(seq.table.best_action, thr.table.best_action);
+  EXPECT_EQ(seq.table.best_action, hyp.table.best_action);
+  EXPECT_EQ(seq.table.best_action, ccc.table.best_action);
+  EXPECT_EQ(seq.table.best_action, spp.table.best_action);
+
+  // B&B: exact cost, consistent sparse table.
+  const auto bnb = BnbSolver().solve(ins);
+  EXPECT_EQ(bnb.cost, seq.cost);
+
+  // BVM, both lateral realizations: exact on integer formats.
+  BvmSolverOptions bopt;
+  bopt.format = util::Fixed::Format{20, 0};
+  const auto bvm_laps = BvmSolver(bopt).solve(ins);
+  bopt.pipelined_laterals = true;
+  const auto bvm_wave = BvmSolver(bopt).solve(ins);
+  EXPECT_EQ(max_table_diff(seq.table, bvm_laps.table), 0.0) << seed;
+  EXPECT_EQ(max_table_diff(seq.table, bvm_wave.table), 0.0) << seed;
+  EXPECT_EQ(seq.table.best_action, bvm_laps.table.best_action);
+  EXPECT_EQ(seq.table.best_action, bvm_wave.table.best_action);
+
+  // And the winning procedure is a valid, correctly-priced tree.
+  if (!std::isinf(seq.cost)) {
+    const auto rep = validate_tree(ins, seq.tree, seq.cost);
+    EXPECT_TRUE(rep.ok) << (rep.errors.empty() ? "" : rep.errors[0]);
+    for (const auto* r : {&thr, &hyp, &ccc, &spp, &bnb, &bvm_wave}) {
+      EXPECT_EQ(r->tree.size(), seq.tree.size()) << seed;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AllSolvers, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace ttp::tt

@@ -1,0 +1,98 @@
+// Procedure statistics: consistency with the tree's own cost computation
+// and with hand-checked values on the worked example.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "tt/analysis.hpp"
+#include "tt/generator.hpp"
+#include "tt/solver_sequential.hpp"
+#include "util/rng.hpp"
+
+namespace ttp::tt {
+namespace {
+
+TEST(Analysis, Fig1HandChecked) {
+  const Instance ins = fig1_example();
+  const auto res = SequentialSolver().solve(ins);
+  const auto st = analyze(ins, res.tree);
+
+  EXPECT_NEAR(st.expected_cost, res.cost, 1e-12);
+  EXPECT_EQ(st.nodes, res.tree.size());
+  EXPECT_EQ(st.depth, res.tree.depth());
+  // Per-object path costs agree with the tree's own walker.
+  for (int j = 0; j < ins.k(); ++j) {
+    EXPECT_NEAR(st.object_cost[static_cast<std::size_t>(j)],
+                res.tree.path_cost(ins, j), 1e-12)
+        << j;
+  }
+  // Action shares sum to the expected cost.
+  double share_sum = 0.0;
+  for (const auto& [i, s] : st.action_share) {
+    EXPECT_GE(i, 0);
+    share_sum += s;
+  }
+  EXPECT_NEAR(share_sum, res.cost, 1e-12);
+  // Every case gets exactly one successful treatment; failed treatments
+  // add more, so the expected treatment count is >= 1.
+  EXPECT_GE(st.expected_treatments, 1.0 - 1e-12);
+  const std::string rendered = st.to_string(ins);
+  EXPECT_NE(rendered.find("expected cost"), std::string::npos);
+}
+
+TEST(Analysis, WorstCaseAtLeastExpectedPerUnitWeight) {
+  util::Rng rng(8);
+  for (int seed = 0; seed < 10; ++seed) {
+    const Instance ins = random_instance(5, RandomOptions{}, rng);
+    const auto res = SequentialSolver().solve(ins);
+    if (res.tree.empty()) continue;
+    const double wc = worst_case_cost(ins, res.tree);
+    for (int j = 0; j < ins.k(); ++j) {
+      EXPECT_GE(wc + 1e-12, res.tree.path_cost(ins, j));
+    }
+  }
+}
+
+TEST(Analysis, ExpectedCostUnderOriginalPriorsMatches) {
+  util::Rng rng(9);
+  const Instance ins = medical_instance(6, 5, rng);
+  const auto res = SequentialSolver().solve(ins);
+  EXPECT_NEAR(expected_cost_under(ins, res.tree, ins.weights()), res.cost,
+              1e-9);
+}
+
+TEST(Analysis, ShiftedPriorsNeverBeatReoptimization) {
+  // A procedure optimized for priors w evaluated under priors w' costs at
+  // least the optimum for w' — re-optimizing can only help.
+  util::Rng rng(10);
+  const Instance ins = medical_instance(6, 5, rng);
+  const auto res = SequentialSolver().solve(ins);
+
+  std::vector<double> shifted = ins.weights();
+  std::rotate(shifted.begin(), shifted.begin() + 1, shifted.end());
+  Instance shifted_ins(ins.k(), shifted);
+  for (const Action& a : ins.actions()) {
+    if (a.is_test) {
+      shifted_ins.add_test(a.set, a.cost, a.name);
+    } else {
+      shifted_ins.add_treatment(a.set, a.cost, a.name);
+    }
+  }
+  const auto reopt = SequentialSolver().solve(shifted_ins);
+  const double stale = expected_cost_under(ins, res.tree, shifted);
+  EXPECT_GE(stale + 1e-9, reopt.cost);
+}
+
+TEST(Analysis, RejectsBadInput) {
+  const Instance ins = fig1_example();
+  EXPECT_THROW(analyze(ins, Tree{}), std::invalid_argument);
+  const auto res = SequentialSolver().solve(ins);
+  EXPECT_THROW(expected_cost_under(ins, res.tree, {1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      expected_cost_under(ins, res.tree, {1.0, 1.0, 0.0, 1.0}),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ttp::tt

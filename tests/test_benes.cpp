@@ -1,0 +1,206 @@
+// Benes permutation routing: the looping algorithm's control bits must
+// realize ANY permutation, on the hypercube machine, the CCC machine (in
+// O(log n) normal runs), and the bit-serial BVM with precalculated rows.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "bvm/microcode/permute.hpp"
+#include "net/benes.hpp"
+#include "net/ccc.hpp"
+#include "net/hypercube.hpp"
+#include "util/rng.hpp"
+
+namespace ttp {
+namespace {
+
+std::vector<std::size_t> random_perm(std::size_t n, std::uint64_t seed) {
+  std::vector<std::size_t> p(n);
+  std::iota(p.begin(), p.end(), std::size_t{0});
+  util::Rng rng(seed);
+  rng.shuffle(p);
+  return p;
+}
+
+// Applies the program on the hypercube machine and checks the permutation.
+template <typename MachineT>
+void expect_realizes(MachineT& m, const std::vector<std::size_t>& perm) {
+  const net::BenesProgram prog = net::benes_route(perm);
+  for (std::size_t i = 0; i < m.size(); ++i) m.at(i).key = 1000 + i;
+  net::init_homes(m);
+  net::benes_apply(m, prog);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    ASSERT_EQ(m.at(perm[i]).key, 1000 + i) << "src " << i;
+  }
+}
+
+TEST(Benes, RejectsBadInput) {
+  EXPECT_THROW(net::benes_route({0, 1, 2}), std::invalid_argument);   // not 2^m
+  EXPECT_THROW(net::benes_route({0, 0, 1, 1}), std::invalid_argument);  // dup
+  EXPECT_THROW(net::benes_route({0, 1, 2, 9}), std::invalid_argument);  // range
+}
+
+TEST(Benes, StageCountIsTwoLogMinusOne) {
+  const auto prog = net::benes_route(random_perm(64, 1));
+  EXPECT_EQ(prog.num_stages(), 11);  // 2*6 - 1
+  EXPECT_EQ(prog.dim_of(0), 0);
+  EXPECT_EQ(prog.dim_of(5), 5);
+  EXPECT_EQ(prog.dim_of(10), 0);
+}
+
+TEST(Benes, ControlBitsArePairReplicated) {
+  const auto prog = net::benes_route(random_perm(32, 2));
+  for (int s = 0; s < prog.num_stages(); ++s) {
+    const std::size_t mask = std::size_t{1} << prog.dim_of(s);
+    for (std::size_t pe = 0; pe < 32; ++pe) {
+      ASSERT_EQ(prog.stages[static_cast<std::size_t>(s)][pe],
+                prog.stages[static_cast<std::size_t>(s)][pe ^ mask])
+          << "stage " << s << " pe " << pe;
+    }
+  }
+}
+
+class BenesHypercube : public ::testing::TestWithParam<int> {};
+
+TEST_P(BenesHypercube, RealizesRandomPermutations) {
+  const int dims = GetParam();
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    net::HypercubeMachine<net::NormalItem> m(dims);
+    expect_realizes(m, random_perm(m.size(), seed));
+  }
+}
+
+TEST_P(BenesHypercube, RealizesStructuredPermutations) {
+  const int dims = GetParam();
+  const std::size_t n = std::size_t{1} << dims;
+  // Identity.
+  std::vector<std::size_t> ident(n);
+  std::iota(ident.begin(), ident.end(), std::size_t{0});
+  {
+    net::HypercubeMachine<net::NormalItem> m(dims);
+    expect_realizes(m, ident);
+  }
+  // Reversal.
+  std::vector<std::size_t> rev(n);
+  for (std::size_t i = 0; i < n; ++i) rev[i] = n - 1 - i;
+  {
+    net::HypercubeMachine<net::NormalItem> m(dims);
+    expect_realizes(m, rev);
+  }
+  // Rotation by 1 (the worst case for naive dimension routing).
+  std::vector<std::size_t> rot(n);
+  for (std::size_t i = 0; i < n; ++i) rot[i] = (i + 1) % n;
+  {
+    net::HypercubeMachine<net::NormalItem> m(dims);
+    expect_realizes(m, rot);
+  }
+  // Perfect shuffle.
+  std::vector<std::size_t> shuf(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    shuf[i] = ((i << 1) | (i >> (dims - 1))) & (n - 1);
+  }
+  {
+    net::HypercubeMachine<net::NormalItem> m(dims);
+    expect_realizes(m, shuf);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, BenesHypercube, ::testing::Values(1, 2, 3, 5, 8));
+
+class BenesCcc : public ::testing::TestWithParam<net::CccConfig> {};
+
+TEST_P(BenesCcc, RealizesRandomPermutationsInNormalRuns) {
+  net::CccMachine<net::NormalItem> m(GetParam());
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    expect_realizes(m, random_perm(m.size(), 100 + seed));
+  }
+  // O(log n): both halves are single pipelined runs; total steps bounded
+  // by a constant multiple of dims.
+  m.reset_steps();
+  const auto prog = net::benes_route(random_perm(m.size(), 7));
+  net::benes_apply(m, prog);
+  EXPECT_LT(m.steps().parallel_steps,
+            40u * static_cast<std::uint64_t>(m.dims()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BenesCcc,
+    ::testing::Values(net::CccConfig{1, 2}, net::CccConfig{2, 3},
+                      net::CccConfig::complete(2), net::CccConfig{3, 5},
+                      net::CccConfig::complete(3)),
+    [](const ::testing::TestParamInfo<net::CccConfig>& info) {
+      return "r" + std::to_string(info.param.r) + "h" +
+             std::to_string(info.param.h);
+    });
+
+class BenesBvm : public ::testing::TestWithParam<bvm::BvmConfig> {};
+
+TEST_P(BenesBvm, BitSerialPermutationWithPrecalculatedControls) {
+  const bvm::BvmConfig cfg = GetParam();
+  bvm::Machine m(cfg);
+  const int p = 7;
+  const bvm::Field v{0, p}, x{p, p};
+  const int ctrl_base = 2 * p, tmp = 60;
+
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const auto perm = random_perm(m.num_pes(), 200 + seed);
+    const auto prog = net::benes_route(perm);
+    bvm::load_benes_controls(m, prog, ctrl_base);
+    for (std::size_t pe = 0; pe < m.num_pes(); ++pe) {
+      m.poke_value(v.base, p, pe, pe % 100);
+    }
+    bvm::benes_permute(m, prog, ctrl_base, v, x, tmp);
+    for (std::size_t pe = 0; pe < m.num_pes(); ++pe) {
+      ASSERT_EQ(m.peek_value(v.base, p, perm[pe]), pe % 100)
+          << "seed " << seed << " src " << pe;
+    }
+  }
+}
+
+TEST_P(BenesBvm, PipelinedMatchesPerDimAndCostsLess) {
+  const bvm::BvmConfig cfg = GetParam();
+  const int p = 6;
+  const bvm::Field v{0, p}, x{p, p};
+  const int ctrl_base = 2 * p;
+  const int stages = 2 * cfg.dims() - 1;
+  const int adopt_scratch = ctrl_base + stages;
+  const int cur = adopt_scratch + cfg.h, tmp = cur + 1;
+
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const auto perm = random_perm(
+        (std::size_t{1} << cfg.dims()), 300 + seed);
+    const auto prog = net::benes_route(perm);
+    bvm::Machine a(cfg), b(cfg);
+    bvm::load_benes_controls(a, prog, ctrl_base);
+    bvm::load_benes_controls(b, prog, ctrl_base);
+    for (std::size_t pe = 0; pe < a.num_pes(); ++pe) {
+      a.poke_value(v.base, p, pe, pe % 61);
+      b.poke_value(v.base, p, pe, pe % 61);
+    }
+    bvm::benes_permute(a, prog, ctrl_base, v, x, tmp);
+    bvm::benes_permute_pipelined(b, prog, ctrl_base, v, x, adopt_scratch,
+                                 cur, tmp);
+    for (std::size_t pe = 0; pe < a.num_pes(); ++pe) {
+      ASSERT_EQ(b.peek_value(v.base, p, pe), a.peek_value(v.base, p, pe))
+          << "seed " << seed << " pe " << pe;
+      ASSERT_EQ(b.peek_value(v.base, p, perm[pe]), pe % 61);
+    }
+    if (cfg.h >= 4) {
+      EXPECT_LT(b.instr_count(), a.instr_count())
+          << "waves must beat per-dimension laps once several laterals "
+             "share the rotation";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BenesBvm,
+    ::testing::Values(bvm::BvmConfig{1, 1}, bvm::BvmConfig{2, 2},
+                      bvm::BvmConfig::complete(2), bvm::BvmConfig{3, 4}),
+    [](const ::testing::TestParamInfo<bvm::BvmConfig>& info) {
+      return "r" + std::to_string(info.param.r) + "h" +
+             std::to_string(info.param.h);
+    });
+
+}  // namespace
+}  // namespace ttp

@@ -1,0 +1,109 @@
+// Binary testing vs TT: the generalization relationship the paper's title
+// problem rests on, made executable.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tt/binary_testing.hpp"
+#include "tt/generator.hpp"
+#include "tt/solver_sequential.hpp"
+#include "util/rng.hpp"
+
+namespace ttp::tt {
+namespace {
+
+Instance tests_only_instance(std::uint64_t seed, int k, int num_tests) {
+  util::Rng rng(seed);
+  Instance full = binary_testing_instance(k, num_tests, rng);
+  Instance out(full.k(), full.weights());
+  for (const Action& a : full.actions()) {
+    if (a.is_test) out.add_test(a.set, a.cost, a.name);
+  }
+  return out;
+}
+
+TEST(BinaryTesting, TwoObjectHandComputed) {
+  Instance ins(2, {0.7, 0.3});
+  ins.add_test(0b01, 2.0);
+  const auto res = solve_binary_testing(ins);
+  EXPECT_DOUBLE_EQ(res.cost, 2.0);  // one test, paid by total weight 1.0
+}
+
+TEST(BinaryTesting, ImpossibleWithoutDistinguishingTests) {
+  Instance ins(3, {1, 1, 1});
+  ins.add_test(0b001, 1.0);  // objects 1 and 2 never separated
+  const auto res = solve_binary_testing(ins);
+  EXPECT_TRUE(std::isinf(res.cost));
+}
+
+TEST(BinaryTesting, EntropyBoundsUnitCostTesting) {
+  // For unit-cost tests the expected test count is >= the prior's entropy.
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const Instance ins = tests_only_instance(seed, 5, 8);
+    const auto res = solve_binary_testing(ins);
+    if (std::isinf(res.cost)) continue;
+    EXPECT_GE(res.cost + 1e-9, entropy_lower_bound(ins)) << seed;
+  }
+}
+
+TEST(BinaryTesting, CompleteSplitsAchieveCeilLogForUniform) {
+  // With every subset available as a unit test and uniform priors over
+  // 2^m objects, optimal testing is a balanced tree: exactly m tests.
+  const int k = 8;
+  Instance ins(k, std::vector<double>(k, 1.0 / k));
+  for (Mask s = 1; s < util::universe(k); ++s) ins.add_test(s, 1.0);
+  const auto res = solve_binary_testing(ins);
+  EXPECT_NEAR(res.cost, 3.0, 1e-9);  // log2(8) tests, total weight 1
+}
+
+TEST(BinaryTesting, IdentifyFirstUpperBoundsTt) {
+  // C_tt(U) <= C_bt(U) + Σ P_j c_j for singleton-treatment instances.
+  for (std::uint64_t seed = 0; seed < 15; ++seed) {
+    const Instance tests = tests_only_instance(seed, 5, 7);
+    util::Rng rng(seed + 100);
+    std::vector<double> fix(5);
+    for (auto& c : fix) c = rng.uniform_real(0.5, 4.0);
+    const Instance tt = with_singleton_treatments(tests, fix);
+
+    const auto bt = solve_binary_testing(tests);
+    const auto full = SequentialSolver().solve(tt);
+    if (std::isinf(bt.cost)) continue;
+    double treat_constant = 0.0;
+    for (int j = 0; j < 5; ++j) {
+      treat_constant += tests.weight(j) * fix[static_cast<std::size_t>(j)];
+    }
+    EXPECT_LE(full.cost, bt.cost + treat_constant + 1e-9) << seed;
+  }
+}
+
+TEST(BinaryTesting, EarlyTreatmentBeatsIdentificationWhenTestsAreDear) {
+  // Two equally likely faults, a ruinously dear test, cheap fixes: the
+  // optimal TT procedure just tries fixes in sequence — strictly cheaper
+  // than identify-then-fix. This is exactly the expressive power
+  // treatments add over binary testing.
+  Instance tests(2, {0.5, 0.5});
+  tests.add_test(0b01, 10.0);
+  const Instance tt = with_singleton_treatments(tests, {1.0, 1.0});
+
+  const auto bt = solve_binary_testing(tests);
+  const auto full = SequentialSolver().solve(tt);
+  const double identify_then_fix = bt.cost + 0.5 * 1.0 + 0.5 * 1.0;
+  EXPECT_LT(full.cost, identify_then_fix - 1e-9);
+  // Optimal: try fix0 (1.0), on failure fix1 (0.5): total 1.5.
+  EXPECT_NEAR(full.cost, 1.5, 1e-12);
+  // And the TT optimum uses no test at all.
+  EXPECT_FALSE(tt.action(full.tree.node(full.tree.root()).action).is_test);
+}
+
+TEST(BinaryTesting, TtEqualsBtPlusConstantWhenTreatmentsForceLeaves) {
+  // When fixes are free, identification-first costs nothing extra, so
+  // C_tt <= C_bt; and trying free fixes blind is even better or equal —
+  // C_tt is 0 here because free singleton treatments can be chained.
+  Instance tests = tests_only_instance(3, 4, 6);
+  const Instance tt = with_singleton_treatments(tests, {0, 0, 0, 0});
+  const auto full = SequentialSolver().solve(tt);
+  EXPECT_DOUBLE_EQ(full.cost, 0.0);
+}
+
+}  // namespace
+}  // namespace ttp::tt

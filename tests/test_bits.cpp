@@ -1,0 +1,94 @@
+#include "util/bits.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace ttp::util {
+namespace {
+
+TEST(Bits, PopcountAndBitHelpers) {
+  EXPECT_EQ(popcount(0u), 0);
+  EXPECT_EQ(popcount(0b1011u), 3);
+  EXPECT_TRUE(has_bit(0b100u, 2));
+  EXPECT_FALSE(has_bit(0b100u, 1));
+  EXPECT_EQ(bit(3), 8u);
+  EXPECT_EQ(universe(4), 0b1111u);
+  EXPECT_EQ(universe(1), 1u);
+}
+
+TEST(Bits, BitOfAndFlip) {
+  EXPECT_EQ(bit_of(0, 5), 1);
+  EXPECT_EQ(bit_of(1, 5), 0);
+  EXPECT_EQ(bit_of(2, 5), 1);
+  EXPECT_EQ(flip_bit(0b101, 1), 0b111u);
+  EXPECT_EQ(flip_bit(0b101, 0), 0b100u);
+}
+
+TEST(Bits, Log2Helpers) {
+  EXPECT_EQ(log2_exact(1), 0);
+  EXPECT_EQ(log2_exact(64), 6);
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(1024));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(12));
+  EXPECT_EQ(ceil_log2(1), 0);
+  EXPECT_EQ(ceil_log2(2), 1);
+  EXPECT_EQ(ceil_log2(3), 2);
+  EXPECT_EQ(ceil_log2(8), 3);
+  EXPECT_EQ(ceil_log2(9), 4);
+}
+
+TEST(Bits, LayerSubsetsCoverEveryMaskExactlyOnce) {
+  const int k = 6;
+  std::set<Mask> seen;
+  std::size_t total = 0;
+  for (int j = 0; j <= k; ++j) {
+    for (Mask s : layer_subsets(k, j)) {
+      EXPECT_EQ(popcount(s), j);
+      EXPECT_TRUE(seen.insert(s).second) << "duplicate mask " << s;
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, std::size_t{1} << k);
+}
+
+TEST(Bits, LayerSubsetsAscending) {
+  for (int j = 1; j <= 5; ++j) {
+    const auto layer = layer_subsets(5, j);
+    for (std::size_t i = 1; i < layer.size(); ++i) {
+      EXPECT_LT(layer[i - 1], layer[i]);
+    }
+  }
+}
+
+TEST(Bits, LayerSubsetsEdges) {
+  EXPECT_EQ(layer_subsets(4, 0).size(), 1u);
+  EXPECT_EQ(layer_subsets(4, 0)[0], 0u);
+  EXPECT_EQ(layer_subsets(4, 4).size(), 1u);
+  EXPECT_EQ(layer_subsets(4, 4)[0], 0b1111u);
+  EXPECT_TRUE(layer_subsets(4, 5).empty());
+}
+
+TEST(Bits, AllSubsetsOfSparseSpace) {
+  const auto subs = all_subsets(0b101u);
+  ASSERT_EQ(subs.size(), 4u);
+  EXPECT_EQ(subs[0], 0u);
+  EXPECT_EQ(subs[1], 0b001u);
+  EXPECT_EQ(subs[2], 0b100u);
+  EXPECT_EQ(subs[3], 0b101u);
+}
+
+TEST(Bits, MaskToString) {
+  EXPECT_EQ(mask_to_string(0), "{}");
+  EXPECT_EQ(mask_to_string(0b1011), "{0,1,3}");
+}
+
+TEST(Bits, ToBinary) {
+  EXPECT_EQ(to_binary(0b1010, 4), "1010");
+  EXPECT_EQ(to_binary(1, 4), "0001");
+  EXPECT_EQ(to_binary(0, 3), "000");
+}
+
+}  // namespace
+}  // namespace ttp::util

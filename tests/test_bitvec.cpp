@@ -1,0 +1,69 @@
+// BitVec storage invariants: the padding bits above size() must stay zero
+// under every operation (the word-parallel routing depends on it).
+#include <gtest/gtest.h>
+
+#include "bvm/bitvec.hpp"
+
+namespace ttp::bvm {
+namespace {
+
+TEST(BitVec, ConstructionAndAccess) {
+  BitVec v(10);
+  EXPECT_EQ(v.size(), 10u);
+  EXPECT_EQ(v.words(), 1u);
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_FALSE(v.get(i));
+  v.set(3, true);
+  v.set(9, true);
+  EXPECT_TRUE(v.get(3));
+  EXPECT_TRUE(v.get(9));
+  v.set(3, false);
+  EXPECT_FALSE(v.get(3));
+}
+
+TEST(BitVec, FillRespectsSizeBoundary) {
+  BitVec v(10, true);
+  EXPECT_EQ(v.word(0), 0x3FFu);  // only the low 10 bits
+  v.fill(false);
+  EXPECT_EQ(v.word(0), 0u);
+  v.fill(true);
+  EXPECT_EQ(v.word(0), 0x3FFu);
+}
+
+TEST(BitVec, TrimClearsSpill) {
+  BitVec v(10);
+  v.word(0) = ~std::uint64_t{0};
+  v.trim();
+  EXPECT_EQ(v.word(0), 0x3FFu);
+}
+
+TEST(BitVec, MultiWordSizes) {
+  BitVec v(130, true);
+  EXPECT_EQ(v.words(), 3u);
+  EXPECT_EQ(v.word(0), ~std::uint64_t{0});
+  EXPECT_EQ(v.word(1), ~std::uint64_t{0});
+  EXPECT_EQ(v.word(2), 0x3u);
+  EXPECT_TRUE(v.get(129));
+  v.set(129, false);
+  EXPECT_FALSE(v.get(129));
+  EXPECT_TRUE(v.get(128));
+}
+
+TEST(BitVec, ExactWordSizeHasNoPadding) {
+  BitVec v(128, true);
+  EXPECT_EQ(v.words(), 2u);
+  EXPECT_EQ(v.word(1), ~std::uint64_t{0});
+  v.trim();  // must be a no-op
+  EXPECT_EQ(v.word(1), ~std::uint64_t{0});
+}
+
+TEST(BitVec, Equality) {
+  BitVec a(12), b(12), c(13);
+  a.set(5, true);
+  EXPECT_FALSE(a == b);
+  b.set(5, true);
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+}  // namespace
+}  // namespace ttp::bvm

@@ -1,0 +1,243 @@
+// Bit-serial arithmetic microcode vs host arithmetic, across every PE
+// simultaneously (each PE gets different operand values).
+#include <gtest/gtest.h>
+
+#include "bvm/microcode/arith.hpp"
+#include "util/rng.hpp"
+
+namespace ttp::bvm {
+namespace {
+
+constexpr int kBits = 10;
+
+struct ArithFixture : ::testing::Test {
+  ArithFixture() : m(BvmConfig{2, 3}) {}  // 32 PEs
+
+  // Loads per-PE values into a field.
+  void load(Field f, const std::vector<std::uint64_t>& vals) {
+    for (std::size_t pe = 0; pe < m.num_pes(); ++pe) {
+      m.poke_value(f.base, f.len, pe, vals[pe]);
+    }
+  }
+  std::uint64_t read(Field f, std::size_t pe) {
+    return m.peek_value(f.base, f.len, pe);
+  }
+  std::vector<std::uint64_t> random_vals(std::uint64_t seed) {
+    util::Rng rng(seed);
+    std::vector<std::uint64_t> v(m.num_pes());
+    for (auto& x : v) x = rng.uniform(0, field_inf(kBits));
+    return v;
+  }
+
+  Machine m;
+  Field x{0, kBits}, y{kBits, kBits}, z{2 * kBits, kBits};
+  Field scratch{3 * kBits, kBits};
+  int flag = 4 * kBits, tmp = 4 * kBits + 1, ovf = 4 * kBits + 2;
+};
+
+TEST_F(ArithFixture, SetConstAndCopy) {
+  set_const(m, x, 0x2A5);
+  copy_field(m, y, x);
+  for (std::size_t pe = 0; pe < m.num_pes(); ++pe) {
+    EXPECT_EQ(read(x, pe), 0x2A5u);
+    EXPECT_EQ(read(y, pe), 0x2A5u);
+  }
+}
+
+TEST_F(ArithFixture, AddSatMatchesHost) {
+  const auto xv = random_vals(1), yv = random_vals(2);
+  load(x, xv);
+  load(y, yv);
+  add_sat(m, z, x, y, tmp);
+  for (std::size_t pe = 0; pe < m.num_pes(); ++pe) {
+    EXPECT_EQ(read(z, pe), sat_add_host(xv[pe], yv[pe], kBits)) << pe;
+  }
+}
+
+TEST_F(ArithFixture, AddSatAliasing) {
+  const auto xv = random_vals(3), yv = random_vals(4);
+  load(x, xv);
+  load(y, yv);
+  add_sat(m, x, x, y, tmp);  // dst aliases x
+  for (std::size_t pe = 0; pe < m.num_pes(); ++pe) {
+    EXPECT_EQ(read(x, pe), sat_add_host(xv[pe], yv[pe], kBits)) << pe;
+  }
+}
+
+TEST_F(ArithFixture, InfIsAbsorbing) {
+  std::vector<std::uint64_t> xv(m.num_pes(), field_inf(kBits));
+  const auto yv = random_vals(5);
+  load(x, xv);
+  load(y, yv);
+  add_sat(m, z, x, y, tmp);
+  for (std::size_t pe = 0; pe < m.num_pes(); ++pe) {
+    EXPECT_EQ(read(z, pe), field_inf(kBits)) << pe;
+  }
+}
+
+TEST_F(ArithFixture, LessThanMatchesHost) {
+  const auto xv = random_vals(6), yv = random_vals(7);
+  load(x, xv);
+  load(y, yv);
+  less_than(m, flag, x, y, tmp);
+  for (std::size_t pe = 0; pe < m.num_pes(); ++pe) {
+    EXPECT_EQ(m.peek(Reg::R(flag), pe), xv[pe] < yv[pe]) << pe;
+  }
+}
+
+TEST_F(ArithFixture, LessThanEqualOperands) {
+  const auto xv = random_vals(8);
+  load(x, xv);
+  load(y, xv);
+  less_than(m, flag, x, y, tmp);
+  for (std::size_t pe = 0; pe < m.num_pes(); ++pe) {
+    EXPECT_FALSE(m.peek(Reg::R(flag), pe)) << pe;
+  }
+}
+
+TEST_F(ArithFixture, EqualsFieldAndConst) {
+  auto xv = random_vals(9);
+  xv[3] = 0x155;
+  load(x, xv);
+  equals_const(m, flag, x, 0x155, tmp);
+  for (std::size_t pe = 0; pe < m.num_pes(); ++pe) {
+    EXPECT_EQ(m.peek(Reg::R(flag), pe), xv[pe] == 0x155u) << pe;
+  }
+  auto yv = xv;
+  yv[7] ^= 0x20;
+  load(y, yv);
+  equals_field(m, flag, x, y, tmp);
+  for (std::size_t pe = 0; pe < m.num_pes(); ++pe) {
+    EXPECT_EQ(m.peek(Reg::R(flag), pe), xv[pe] == yv[pe]) << pe;
+  }
+}
+
+TEST_F(ArithFixture, SelectByFlag) {
+  const auto xv = random_vals(10), yv = random_vals(11);
+  load(x, xv);
+  load(y, yv);
+  for (std::size_t pe = 0; pe < m.num_pes(); ++pe) {
+    m.poke(Reg::R(flag), pe, pe % 3 == 0);
+  }
+  select(m, z, flag, x, y);
+  for (std::size_t pe = 0; pe < m.num_pes(); ++pe) {
+    EXPECT_EQ(read(z, pe), pe % 3 == 0 ? xv[pe] : yv[pe]) << pe;
+  }
+}
+
+TEST_F(ArithFixture, MinViaCompareSelect) {
+  const auto xv = random_vals(12), yv = random_vals(13);
+  load(x, xv);
+  load(y, yv);
+  less_than(m, flag, y, x, tmp);      // flag = y < x
+  select(m, x, flag, y, x);           // x = min(x, y)
+  for (std::size_t pe = 0; pe < m.num_pes(); ++pe) {
+    EXPECT_EQ(read(x, pe), std::min(xv[pe], yv[pe])) << pe;
+  }
+}
+
+TEST_F(ArithFixture, PopcountBits) {
+  // Use registers 60..65 as input bits.
+  const std::vector<int> bits{60, 61, 62, 63, 64};
+  util::Rng rng(77);
+  std::vector<int> expect(m.num_pes(), 0);
+  for (int b : bits) {
+    for (std::size_t pe = 0; pe < m.num_pes(); ++pe) {
+      const bool v = rng.bernoulli(0.5);
+      m.poke(Reg::R(b), pe, v);
+      expect[pe] += v ? 1 : 0;
+    }
+  }
+  Field cnt{70, 3};
+  popcount_bits(m, cnt, bits);
+  for (std::size_t pe = 0; pe < m.num_pes(); ++pe) {
+    EXPECT_EQ(read(cnt, pe), static_cast<std::uint64_t>(expect[pe])) << pe;
+  }
+}
+
+TEST_F(ArithFixture, MultiplySatMatchesHost) {
+  util::Rng rng(14);
+  std::vector<std::uint64_t> xv(m.num_pes()), yv(m.num_pes());
+  for (std::size_t pe = 0; pe < m.num_pes(); ++pe) {
+    // Mix small products and guaranteed overflows.
+    xv[pe] = rng.uniform(0, pe % 4 == 0 ? field_inf(kBits) : 40);
+    yv[pe] = rng.uniform(0, pe % 4 == 0 ? field_inf(kBits) : 25);
+  }
+  load(x, xv);
+  load(y, yv);
+  multiply_sat(m, z, x, y, scratch, ovf, tmp);
+  for (std::size_t pe = 0; pe < m.num_pes(); ++pe) {
+    EXPECT_EQ(read(z, pe), sat_mul_host(xv[pe], yv[pe], kBits))
+        << pe << ": " << xv[pe] << " * " << yv[pe];
+  }
+}
+
+TEST_F(ArithFixture, MultiplyShiftMatchesHostModel) {
+  util::Rng rng(21);
+  for (int shift : {0, 3, 5}) {
+    std::vector<std::uint64_t> xv(m.num_pes()), yv(m.num_pes());
+    for (std::size_t pe = 0; pe < m.num_pes(); ++pe) {
+      xv[pe] = rng.uniform(0, field_inf(kBits));
+      yv[pe] = rng.uniform(0, field_inf(kBits));
+    }
+    load(x, xv);
+    load(y, yv);
+    multiply_shift_sat(m, z, x, y, shift, scratch, ovf, tmp);
+    for (std::size_t pe = 0; pe < m.num_pes(); ++pe) {
+      EXPECT_EQ(read(z, pe), sat_mulshift_host(xv[pe], yv[pe], shift, kBits))
+          << "shift=" << shift << " pe=" << pe << ": " << xv[pe] << " * "
+          << yv[pe];
+    }
+  }
+}
+
+TEST_F(ArithFixture, MultiplyShiftTruncationErrorBounded) {
+  // |machine - true| <= shift ulps (per-partial truncation bound).
+  const int shift = 4;
+  std::vector<std::uint64_t> xv(m.num_pes()), yv(m.num_pes());
+  util::Rng rng(22);
+  for (std::size_t pe = 0; pe < m.num_pes(); ++pe) {
+    // Keep true products below the 10-bit saturation point.
+    xv[pe] = rng.uniform(0, 120);
+    yv[pe] = rng.uniform(0, 100);
+  }
+  load(x, xv);
+  load(y, yv);
+  multiply_shift_sat(m, z, x, y, shift, scratch, ovf, tmp);
+  for (std::size_t pe = 0; pe < m.num_pes(); ++pe) {
+    const double truth =
+        static_cast<double>(xv[pe]) * static_cast<double>(yv[pe]) /
+        static_cast<double>(1 << shift);
+    EXPECT_LE(std::abs(static_cast<double>(read(z, pe)) - truth),
+              static_cast<double>(shift) + 1.0)
+        << pe;
+  }
+}
+
+TEST_F(ArithFixture, MultiplyByZeroAndInf) {
+  std::vector<std::uint64_t> xv(m.num_pes(), field_inf(kBits));
+  std::vector<std::uint64_t> yv(m.num_pes(), 0);
+  yv[1] = 1;
+  load(x, xv);
+  load(y, yv);
+  multiply_sat(m, z, x, y, scratch, ovf, tmp);
+  EXPECT_EQ(read(z, 0), 0u);                 // INF * 0 = 0 (p(S)=0 case)
+  EXPECT_EQ(read(z, 1), field_inf(kBits));   // INF * 1 = INF
+}
+
+TEST_F(ArithFixture, InstructionBudgets) {
+  // The paper's cost claims hinge on the p-instruction scaling of the
+  // bit-serial primitives; pin the exact counts.
+  const auto base = m.instr_count();
+  add_sat(m, z, x, y, tmp);
+  EXPECT_EQ(m.instr_count() - base, static_cast<std::uint64_t>(2 * kBits + 1));
+  const auto base2 = m.instr_count();
+  less_than(m, flag, x, y, tmp);
+  EXPECT_EQ(m.instr_count() - base2, static_cast<std::uint64_t>(kBits + 2));
+  const auto base3 = m.instr_count();
+  select(m, z, flag, x, y);
+  EXPECT_EQ(m.instr_count() - base3, static_cast<std::uint64_t>(kBits + 1));
+}
+
+}  // namespace
+}  // namespace ttp::bvm

@@ -1,0 +1,105 @@
+// Assembler: parse the paper's §2 instruction syntax, round-trip with the
+// disassembler, and execute an assembled program.
+#include <gtest/gtest.h>
+
+#include "bvm/assembler.hpp"
+#include "bvm/machine.hpp"
+
+namespace ttp::bvm {
+namespace {
+
+TEST(Assembler, ParsesBasicInstruction) {
+  const Instr in = parse_instr("R[5],B = f:0xCA,g:0xF0 (R[3], A.L, B)");
+  EXPECT_EQ(in.dest, Reg::R(5));
+  EXPECT_EQ(in.f, kTtMux);
+  EXPECT_EQ(in.g, kTtB);
+  EXPECT_EQ(in.src_f, Reg::R(3));
+  EXPECT_EQ(in.src_d, Reg::MakeA());
+  EXPECT_EQ(in.d_nbr, Nbr::L);
+  EXPECT_EQ(in.act, Act::All);
+}
+
+TEST(Assembler, ParsesActivationSets) {
+  const Instr a = parse_instr("A,B = f:0xAA,g:0xF0 (A, A, B) IF {0,2,5}");
+  EXPECT_EQ(a.act, Act::If);
+  EXPECT_EQ(a.act_set, 0b100101u);
+  const Instr n = parse_instr("A,B = f:0xAA,g:0xF0 (A, A, B) NF {1}");
+  EXPECT_EQ(n.act, Act::Nf);
+  EXPECT_EQ(n.act_set, 0b10u);
+}
+
+TEST(Assembler, ParsesAllNeighborTags) {
+  for (const char* tag : {".S", ".P", ".L", ".XS", ".XP", ".I"}) {
+    const std::string text =
+        std::string("A,B = f:0xCC,g:0xF0 (A, R[1]") + tag + ", B)";
+    EXPECT_NO_THROW(parse_instr(text)) << text;
+  }
+}
+
+TEST(Assembler, ParsesEnableDest) {
+  const Instr in = parse_instr("E,B = f:0xFF,g:0xF0 (A, A, B)");
+  EXPECT_EQ(in.dest.kind, Reg::Kind::E);
+}
+
+TEST(Assembler, RejectsMalformedInput) {
+  EXPECT_THROW(parse_instr("B,B = f:0x0,g:0x0 (A, A, B)"),
+               std::invalid_argument);  // B as first target
+  EXPECT_THROW(parse_instr("A,B = f:0x0,g:0x0 (B, A, B)"),
+               std::invalid_argument);  // B as F
+  EXPECT_THROW(parse_instr("A,B = f:0x0,g:0x0 (A, E, B)"),
+               std::invalid_argument);  // E as operand
+  EXPECT_THROW(parse_instr("A,B = f:0x0,g:0x0 (A, A, B) IF {70}"),
+               std::invalid_argument);  // activation out of range
+  EXPECT_THROW(parse_instr("A,B = f:0x0 (A, A, B)"), std::invalid_argument);
+  EXPECT_THROW(parse_instr("A,B = f:0x0,g:0x0 (A, A, B) garbage"),
+               std::invalid_argument);
+}
+
+TEST(Assembler, RoundTripsDisassembly) {
+  std::vector<Instr> prog;
+  Instr a = mov(Reg::R(7), Reg::MakeA(), Nbr::XS);
+  a.act = Act::If;
+  a.act_set = 0b11;
+  prog.push_back(a);
+  prog.push_back(setv(Reg::MakeE(), true));
+  prog.push_back(binop(Reg::MakeA(), kTtXor3, Reg::R(1), Reg::R(2), Nbr::P));
+  const std::string text = disassemble(prog);
+  const auto parsed = assemble(text);
+  ASSERT_EQ(parsed.size(), prog.size());
+  for (std::size_t i = 0; i < prog.size(); ++i) {
+    EXPECT_EQ(parsed[i].to_string(), prog[i].to_string()) << i;
+  }
+}
+
+TEST(Assembler, AssemblesAndRunsProgram) {
+  // Compute R[2] = R[0] XOR R[1] on every PE via an assembled listing with
+  // comments and blank lines.
+  const std::string src = R"(
+# xor program
+R[2],B = f:0x66,g:0xF0 (R[0], R[1], B)
+)";
+  const auto prog = assemble(src);
+  ASSERT_EQ(prog.size(), 1u);
+  Machine m(BvmConfig{2, 2});
+  for (std::size_t pe = 0; pe < m.num_pes(); ++pe) {
+    m.poke(Reg::R(0), pe, pe & 1);
+    m.poke(Reg::R(1), pe, pe & 2);
+  }
+  m.run(prog);
+  for (std::size_t pe = 0; pe < m.num_pes(); ++pe) {
+    EXPECT_EQ(m.peek(Reg::R(2), pe),
+              static_cast<bool>(pe & 1) != static_cast<bool>((pe >> 1) & 1));
+  }
+}
+
+TEST(Assembler, ReportsLineNumbers) {
+  try {
+    assemble("A,B = f:0xAA,g:0xF0 (A, A, B)\nbogus line\n");
+    FAIL() << "expected parse failure";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace ttp::bvm

@@ -1,0 +1,124 @@
+// BVM-level broadcasting and propagation (§4.3-§4.4) against the word-level
+// hypercube versions of the same algorithms.
+#include <gtest/gtest.h>
+
+#include "bvm/microcode/broadcast.hpp"
+#include "bvm/microcode/ids.hpp"
+#include "bvm/microcode/propagate.hpp"
+#include "util/bits.hpp"
+
+namespace ttp::bvm {
+namespace {
+
+TEST(BvmBroadcast, FromPe0ReachesEveryPe) {
+  const BvmConfig cfg{2, 3};  // 32 PEs
+  Machine m(cfg);
+  const int len = 6;
+  const Field value{0, len}, scratch{len, len};
+  const int sender = 2 * len, tmp_flag = sender + 1, tmp = sender + 2;
+  m.poke_value(value.base, len, 0, 0x2B);
+  broadcast_from_pe0(m, value, sender, scratch, tmp_flag, tmp);
+  for (std::size_t pe = 0; pe < m.num_pes(); ++pe) {
+    EXPECT_EQ(m.peek_value(value.base, len, pe), 0x2Bu) << pe;
+    EXPECT_TRUE(m.peek(Reg::R(sender), pe)) << pe;
+  }
+}
+
+TEST(BvmBroadcast, SubcubeSenderSet) {
+  // Broadcasting from a lower subcube (all PEs with address < 4 hold the
+  // value) floods everyone in ASCEND order too.
+  const BvmConfig cfg{2, 2};
+  Machine m(cfg);
+  const int len = 4;
+  const Field value{0, len}, scratch{len, len};
+  const int sender = 10, tmp_flag = 11, tmp = 12;
+  for (std::size_t pe = 0; pe < m.num_pes(); ++pe) {
+    m.poke(Reg::R(sender), pe, pe < 4);
+    if (pe < 4) m.poke_value(value.base, len, pe, 0x9);
+  }
+  broadcast_field(m, value, sender, scratch, tmp_flag, tmp);
+  for (std::size_t pe = 0; pe < m.num_pes(); ++pe) {
+    EXPECT_EQ(m.peek_value(value.base, len, pe), 0x9u) << pe;
+  }
+}
+
+struct PropFixture : ::testing::Test {
+  PropFixture() : m(BvmConfig{2, 2}) {  // 16 PEs, dims = 4
+    load_processor_id_host(m, pid);
+  }
+  Machine m;
+  const int pid = 0;
+  const int sender = 10, recv = 11, tmp_flag = 12, tmp = 13;
+  const Field value{20, 4}, scratch{24, 4};
+  std::vector<int> all_dims{0, 1, 2, 3};
+};
+
+TEST_F(PropFixture, Propagation1OneLevel) {
+  // Paper's §4.4 example (N=2): PE 0111 receives from 0110, 0101, 0011.
+  for (std::size_t pe = 0; pe < m.num_pes(); ++pe) {
+    const bool send = util::popcount(static_cast<util::Mask>(pe)) == 2;
+    m.poke(Reg::R(sender), pe, send);
+    m.poke_value(value.base, value.len, pe, send ? pe : 0);
+  }
+  m.poke(Reg::R(recv), 0, false);  // recv row starts clear
+  propagation1_round(m, all_dims, sender, recv, value, scratch, pid, tmp_flag,
+                     tmp);
+  EXPECT_EQ(m.peek_value(value.base, value.len, 0b0111),
+            static_cast<std::uint64_t>(0b0110 | 0b0101 | 0b0011));
+  for (std::size_t pe = 0; pe < m.num_pes(); ++pe) {
+    const int pc = util::popcount(static_cast<util::Mask>(pe));
+    EXPECT_EQ(m.peek(Reg::R(recv), pe), pc == 3) << pe;
+  }
+}
+
+TEST_F(PropFixture, Propagation1WalksAllLevels) {
+  m.poke(Reg::R(sender), 0, true);
+  m.poke_value(value.base, value.len, 0, 0xF);
+  for (int level = 1; level <= 4; ++level) {
+    propagation1_round(m, all_dims, sender, recv, value, scratch, pid,
+                       tmp_flag, tmp);
+    propagation1_promote(m, sender, recv);
+    for (std::size_t pe = 0; pe < m.num_pes(); ++pe) {
+      const bool in_group =
+          util::popcount(static_cast<util::Mask>(pe)) == level;
+      ASSERT_EQ(m.peek(Reg::R(sender), pe), in_group)
+          << "level " << level << " pe " << pe;
+      if (in_group) {
+        ASSERT_EQ(m.peek_value(value.base, value.len, pe), 0xFu);
+      }
+    }
+  }
+}
+
+TEST_F(PropFixture, Propagation2FloodsSupersets) {
+  for (std::size_t pe : {1u, 2u, 4u, 8u}) {
+    m.poke(Reg::R(sender), pe, true);
+    m.poke_value(value.base, value.len, pe, pe);
+  }
+  propagation2(m, all_dims, sender, value, scratch, pid, tmp_flag, tmp);
+  for (std::size_t pe = 1; pe < m.num_pes(); ++pe) {
+    // Every PE ends with the OR of its singleton subsets = its own address.
+    ASSERT_EQ(m.peek_value(value.base, value.len, pe), pe) << pe;
+    ASSERT_TRUE(m.peek(Reg::R(sender), pe)) << pe;
+  }
+}
+
+TEST_F(PropFixture, Propagation1OverDimSubset) {
+  // Restrict to dims {2,3}: groups count only the high address bits — the
+  // TT program's use (set dims only).
+  std::vector<int> dims{2, 3};
+  for (std::size_t pe = 0; pe < m.num_pes(); ++pe) {
+    const bool send = (pe >> 2) == 0;  // high bits zero
+    m.poke(Reg::R(sender), pe, send);
+    m.poke_value(value.base, value.len, pe, send ? 1 : 0);
+  }
+  propagation1_round(m, dims, sender, recv, value, scratch, pid, tmp_flag,
+                     tmp);
+  for (std::size_t pe = 0; pe < m.num_pes(); ++pe) {
+    const int hi_pc = util::popcount(static_cast<util::Mask>(pe >> 2));
+    EXPECT_EQ(m.peek(Reg::R(recv), pe), hi_pc == 1) << pe;
+  }
+}
+
+}  // namespace
+}  // namespace ttp::bvm

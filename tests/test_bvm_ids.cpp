@@ -1,0 +1,107 @@
+// On-machine control-bit generation vs host-computed reference patterns,
+// including the paper's Fig. 3 cycle-ID table for the 64-PE CCC.
+#include <gtest/gtest.h>
+
+#include "bvm/io.hpp"
+#include "bvm/microcode/ids.hpp"
+
+namespace ttp::bvm {
+namespace {
+
+class IdsTest : public ::testing::TestWithParam<BvmConfig> {};
+
+TEST_P(IdsTest, MarkPe0) {
+  Machine m(GetParam());
+  mark_pe0(m, 0);
+  const auto expect = ref_pe0(m.config());
+  for (std::size_t pe = 0; pe < m.num_pes(); ++pe) {
+    ASSERT_EQ(m.peek(Reg::R(0), pe), expect[pe]) << pe;
+  }
+}
+
+TEST_P(IdsTest, PositionId) {
+  Machine m(GetParam());
+  gen_position_id(m, 0);
+  for (int b = 0; b < m.config().r; ++b) {
+    const auto expect = ref_position_bit(m.config(), b);
+    for (std::size_t pe = 0; pe < m.num_pes(); ++pe) {
+      ASSERT_EQ(m.peek(Reg::R(b), pe), expect[pe]) << "b=" << b << " pe=" << pe;
+    }
+  }
+}
+
+TEST_P(IdsTest, CycleNumberReplicated) {
+  Machine m(GetParam());
+  gen_cycle_number(m, 0, 20, 21);
+  for (int t = 0; t < m.config().h; ++t) {
+    const auto expect = ref_cycle_number_bit(m.config(), t);
+    for (std::size_t pe = 0; pe < m.num_pes(); ++pe) {
+      ASSERT_EQ(m.peek(Reg::R(t), pe), expect[pe]) << "t=" << t << " pe=" << pe;
+    }
+  }
+}
+
+TEST_P(IdsTest, CycleIdMatchesSpec) {
+  Machine m(GetParam());
+  gen_cycle_number(m, 0, 20, 21);
+  gen_cycle_id(m, 10, 0);
+  const auto expect = ref_cycle_id(m.config());
+  for (std::size_t pe = 0; pe < m.num_pes(); ++pe) {
+    ASSERT_EQ(m.peek(Reg::R(10), pe), expect[pe]) << pe;
+  }
+}
+
+TEST_P(IdsTest, ProcessorIdOnMachineMatchesHostPreload) {
+  Machine on(GetParam()), host(GetParam());
+  gen_processor_id(on, 0, 30, 31);
+  load_processor_id_host(host, 0);
+  for (int t = 0; t < on.config().dims(); ++t) {
+    for (std::size_t pe = 0; pe < on.num_pes(); ++pe) {
+      ASSERT_EQ(on.peek(Reg::R(t), pe), host.peek(Reg::R(t), pe))
+          << "t=" << t << " pe=" << pe;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, IdsTest,
+    ::testing::Values(BvmConfig{1, 1}, BvmConfig{1, 2}, BvmConfig{2, 2},
+                      BvmConfig::complete(2), BvmConfig{3, 4},
+                      BvmConfig::complete(3)),
+    [](const ::testing::TestParamInfo<BvmConfig>& info) {
+      return "r" + std::to_string(info.param.r) + "h" +
+             std::to_string(info.param.h);
+    });
+
+TEST(IdsFig3, CycleIdPatternFor64PeCcc) {
+  // The paper's Fig. 3: on the 64-PE machine the digit at (cycle i, PE j)
+  // is bit j of i. Spot-check a few cells of the regenerated table.
+  Machine m(BvmConfig::complete(2));
+  gen_cycle_number(m, 0, 20, 21);
+  gen_cycle_id(m, 10, 0);
+  auto bit = [&](int cycle, int pos) {
+    return m.peek(Reg::R(10), m.addr(static_cast<std::size_t>(cycle), pos));
+  };
+  // Cycle 0: all zero. Cycle 5 = 0101: bits at positions 0..3 = 1,0,1,0.
+  for (int p = 0; p < 4; ++p) EXPECT_FALSE(bit(0, p));
+  EXPECT_TRUE(bit(5, 0));
+  EXPECT_FALSE(bit(5, 1));
+  EXPECT_TRUE(bit(5, 2));
+  EXPECT_FALSE(bit(5, 3));
+  // Cycle 15 = 1111: all ones.
+  for (int p = 0; p < 4; ++p) EXPECT_TRUE(bit(15, p));
+}
+
+TEST(IdsCost, GenerationIsPolylogOfMachineSize) {
+  // The on-the-fly generation must not scale with n (only with Q and h ~
+  // log n). Compare instruction counts across machine sizes.
+  Machine small(BvmConfig::complete(2));   // 64 PEs
+  Machine big(BvmConfig::complete(3));     // 2048 PEs
+  gen_processor_id(small, 0, 30, 31);
+  gen_processor_id(big, 0, 30, 31);
+  // 32x the PEs must cost far less than 32x the instructions.
+  EXPECT_LT(big.instr_count(), 8 * small.instr_count());
+}
+
+}  // namespace
+}  // namespace ttp::bvm

@@ -1,0 +1,61 @@
+// Serial I-chain loading vs host DMA: both paths must agree, and the serial
+// path must cost exactly n shift instructions per register row.
+#include <gtest/gtest.h>
+
+#include "bvm/io.hpp"
+#include "util/rng.hpp"
+
+namespace ttp::bvm {
+namespace {
+
+std::vector<bool> pattern(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<bool> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = rng.bernoulli(0.5);
+  return v;
+}
+
+TEST(BvmIo, SerialLoadMatchesDma) {
+  const BvmConfig cfg{2, 3};
+  Machine serial(cfg), dma(cfg);
+  const auto bits = pattern(cfg.num_pes(), 5);
+  load_register_serial(serial, Reg::R(3), bits);
+  load_register_host(dma, Reg::R(3), bits);
+  for (std::size_t pe = 0; pe < cfg.num_pes(); ++pe) {
+    ASSERT_EQ(serial.peek(Reg::R(3), pe), dma.peek(Reg::R(3), pe)) << pe;
+    ASSERT_EQ(dma.peek(Reg::R(3), pe), bits[pe]) << pe;
+  }
+  EXPECT_EQ(serial.instr_count(), cfg.num_pes() + 1);
+  EXPECT_EQ(dma.instr_count(), 0u);
+}
+
+TEST(BvmIo, SerialReadRoundTrip) {
+  const BvmConfig cfg{2, 2};
+  Machine m(cfg);
+  const auto bits = pattern(cfg.num_pes(), 9);
+  load_register_host(m, Reg::R(7), bits);
+  const auto out = read_register_serial(m, Reg::R(7));
+  ASSERT_EQ(out.size(), bits.size());
+  for (std::size_t pe = 0; pe < bits.size(); ++pe) {
+    EXPECT_EQ(out[pe], bits[pe]) << pe;
+  }
+}
+
+TEST(BvmIo, HostReadMatches) {
+  const BvmConfig cfg{1, 2};
+  Machine m(cfg);
+  const auto bits = pattern(cfg.num_pes(), 11);
+  load_register_host(m, Reg::R(0), bits);
+  EXPECT_EQ(read_register_host(m, Reg::R(0)), bits);
+}
+
+TEST(BvmIo, SizeMismatchRejected) {
+  Machine m(BvmConfig{1, 1});
+  EXPECT_THROW(load_register_serial(m, Reg::R(0), std::vector<bool>(3)),
+               std::invalid_argument);
+  EXPECT_THROW(load_register_host(m, Reg::R(0), std::vector<bool>(99)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ttp::bvm

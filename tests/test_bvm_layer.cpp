@@ -1,0 +1,73 @@
+// Layer control: the propagation realization and the popcount realization
+// must produce identical #S == j flags at every layer (bench E14 measures
+// their costs; this pins their equivalence).
+#include <gtest/gtest.h>
+
+#include "bvm/microcode/ids.hpp"
+#include "bvm/microcode/layer.hpp"
+#include "util/bits.hpp"
+
+namespace ttp::bvm {
+namespace {
+
+class LayerTest : public ::testing::TestWithParam<LayerMode> {};
+
+TEST_P(LayerTest, FlagsMatchPopcountOfSetBits) {
+  const BvmConfig cfg{2, 3};  // 32 PEs, dims = 5
+  const int a = 2, k = 3;     // low 2 dims: action index; high 3: the set S
+  Machine m(cfg);
+  load_processor_id_host(m, 0);
+  std::vector<int> set_dims;
+  for (int e = 0; e < k; ++e) set_dims.push_back(a + e);
+
+  LayerControl lc(GetParam(), set_dims, 0, 40);
+  lc.init(m);
+  for (std::size_t pe = 0; pe < m.num_pes(); ++pe) {
+    const int pc = util::popcount(static_cast<util::Mask>(pe >> a));
+    ASSERT_EQ(m.peek(Reg::R(lc.flag()), pe), pc == 0) << pe;
+  }
+  for (int j = 1; j <= k; ++j) {
+    lc.advance(m);
+    for (std::size_t pe = 0; pe < m.num_pes(); ++pe) {
+      const int pc = util::popcount(static_cast<util::Mask>(pe >> a));
+      ASSERT_EQ(m.peek(Reg::R(lc.flag()), pe), pc == j)
+          << "j=" << j << " pe=" << pe;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, LayerTest,
+                         ::testing::Values(LayerMode::kPropagation,
+                                           LayerMode::kPopcount),
+                         [](const ::testing::TestParamInfo<LayerMode>& info) {
+                           return info.param == LayerMode::kPropagation
+                                      ? "propagation"
+                                      : "popcount";
+                         });
+
+TEST(LayerCosts, PopcountFrontLoadsPropagationAmortizes) {
+  const BvmConfig cfg{2, 3};
+  const std::vector<int> set_dims{2, 3, 4};
+  Machine mp(cfg), mc(cfg);
+  load_processor_id_host(mp, 0);
+  load_processor_id_host(mc, 0);
+  LayerControl prop(LayerMode::kPropagation, set_dims, 0, 40);
+  LayerControl pop(LayerMode::kPopcount, set_dims, 0, 40);
+
+  prop.init(mp);
+  pop.init(mc);
+  const auto prop_init = mp.instr_count();
+  const auto pop_init = mc.instr_count();
+  prop.advance(mp);
+  pop.advance(mc);
+  const auto prop_step = mp.instr_count() - prop_init;
+  const auto pop_step = mc.instr_count() - pop_init;
+  // Propagation pays per layer (k dim exchanges); popcount pays once.
+  EXPECT_GT(prop_step, pop_step);
+  EXPECT_GT(pop_init, prop_init / 2);
+  EXPECT_GT(prop_step, 0u);
+  EXPECT_GT(pop_step, 0u);
+}
+
+}  // namespace
+}  // namespace ttp::bvm

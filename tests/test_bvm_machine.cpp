@@ -1,0 +1,239 @@
+// BVM ISA semantics: routing, truth tables, dual assignment, activation
+// sets, enable gating, I-chain. Every routing mode is checked against a
+// naive per-PE topology computation.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include "bvm/machine.hpp"
+
+namespace ttp::bvm {
+namespace {
+
+// Naive reference for neighbor addresses.
+std::size_t ref_neighbor(const BvmConfig& cfg, std::size_t pe, Nbr n) {
+  const std::size_t Q = static_cast<std::size_t>(cfg.Q());
+  const std::size_t c = pe / Q;
+  const std::size_t p = pe % Q;
+  switch (n) {
+    case Nbr::S:
+      return c * Q + (p + 1) % Q;
+    case Nbr::P:
+      return c * Q + (p + Q - 1) % Q;
+    case Nbr::XS:
+      return c * Q + (p ^ 1);
+    case Nbr::XP:
+      return c * Q + (p % 2 == 0 ? (p + Q - 1) % Q : (p + 1) % Q);
+    case Nbr::L:
+      if (p < static_cast<std::size_t>(cfg.h)) {
+        return (c ^ (std::size_t{1} << p)) * Q + p;
+      }
+      return pe;  // no link: defined to read self
+    default:
+      return pe;
+  }
+}
+
+void fill_pattern(Machine& m, Reg reg, std::uint64_t seed) {
+  BitVec& row = m.row(reg);
+  for (std::size_t i = 0; i < m.num_pes(); ++i) {
+    row.set(i, ((i * 2654435761u + seed) >> 3) & 1u);
+  }
+}
+
+class Routing : public ::testing::TestWithParam<BvmConfig> {};
+
+TEST_P(Routing, AllNeighborsMatchTopology) {
+  Machine m(GetParam());
+  fill_pattern(m, Reg::R(0), 12345);
+  for (Nbr n : {Nbr::S, Nbr::P, Nbr::XS, Nbr::XP, Nbr::L}) {
+    m.exec(mov(Reg::R(1), Reg::R(0), n));
+    for (std::size_t pe = 0; pe < m.num_pes(); ++pe) {
+      const std::size_t src = ref_neighbor(m.config(), pe, n);
+      ASSERT_EQ(m.peek(Reg::R(1), pe), m.peek(Reg::R(0), src))
+          << "nbr " << static_cast<int>(n) << " PE " << pe;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, Routing,
+    ::testing::Values(BvmConfig{1, 1}, BvmConfig{1, 2}, BvmConfig{2, 3},
+                      BvmConfig::complete(2), BvmConfig{3, 5},
+                      BvmConfig::complete(3), BvmConfig{4, 6}),
+    [](const ::testing::TestParamInfo<BvmConfig>& info) {
+      return "r" + std::to_string(info.param.r) + "h" +
+             std::to_string(info.param.h);
+    });
+
+TEST(Machine, TruthTablesExhaustive) {
+  // For every f truth table value on a tiny machine, compare against direct
+  // evaluation. g fixed to keep B.
+  Machine m(BvmConfig{1, 1});  // 4 PEs
+  // Four PEs enumerate all (F, D) combos; B varies by a second pass.
+  for (int bval = 0; bval <= 1; ++bval) {
+    for (int tt = 0; tt < 256; ++tt) {
+      m.row(Reg::R(0)) = BitVec(4);
+      m.row(Reg::R(1)) = BitVec(4);
+      for (std::size_t pe = 0; pe < 4; ++pe) {
+        m.row(Reg::R(0)).set(pe, pe & 1);
+        m.row(Reg::R(1)).set(pe, pe & 2);
+      }
+      Instr setb;
+      setb.dest = Reg::R(5);
+      setb.f = kTtZero;
+      setb.g = bval ? kTtOne : kTtZero;
+      m.exec(setb);
+      Instr in;
+      in.dest = Reg::R(2);
+      in.f = static_cast<std::uint8_t>(tt);
+      in.g = kTtB;
+      in.src_f = Reg::R(0);
+      in.src_d = Reg::R(1);
+      m.exec(in);
+      for (std::size_t pe = 0; pe < 4; ++pe) {
+        const int idx = static_cast<int>(pe & 1) + 2 * ((pe >> 1) & 1) +
+                        4 * bval;
+        ASSERT_EQ(m.peek(Reg::R(2), pe), ((tt >> idx) & 1) != 0)
+            << "tt=" << tt << " pe=" << pe << " b=" << bval;
+      }
+    }
+  }
+}
+
+TEST(Machine, DualAssignmentWritesBothTargets) {
+  Machine m(BvmConfig{2, 2});
+  fill_pattern(m, Reg::R(0), 1);
+  fill_pattern(m, Reg::R(1), 2);
+  Instr in;
+  in.dest = Reg::R(2);
+  in.f = kTtAndFD;
+  in.g = kTtOrFD;
+  in.src_f = Reg::R(0);
+  in.src_d = Reg::R(1);
+  m.exec(in);
+  for (std::size_t pe = 0; pe < m.num_pes(); ++pe) {
+    const bool f = m.peek(Reg::R(0), pe);
+    const bool d = m.peek(Reg::R(1), pe);
+    EXPECT_EQ(m.peek(Reg::R(2), pe), f && d);
+    EXPECT_EQ(m.peek(Reg::MakeB(), pe), f || d);
+  }
+}
+
+TEST(Machine, ActivationIfNfMasksByPosition) {
+  Machine m(BvmConfig::complete(2));  // Q=4
+  Instr set1 = setv(Reg::R(0), true);
+  set1.act = Act::If;
+  set1.act_set = 0b0101;  // positions 0 and 2
+  m.exec(set1);
+  for (std::size_t pe = 0; pe < m.num_pes(); ++pe) {
+    const int pos = m.pos_of(pe);
+    EXPECT_EQ(m.peek(Reg::R(0), pe), pos == 0 || pos == 2);
+  }
+  Instr set2 = setv(Reg::R(0), true);
+  set2.act = Act::Nf;
+  set2.act_set = 0b0101;
+  m.exec(set2);
+  for (std::size_t pe = 0; pe < m.num_pes(); ++pe) {
+    EXPECT_TRUE(m.peek(Reg::R(0), pe));
+  }
+}
+
+TEST(Machine, EnableRegisterGatesWritesButNotItself) {
+  Machine m(BvmConfig{2, 2});
+  // Disable odd PEs.
+  Instr dis = setv(Reg::MakeE(), false);
+  dis.act = Act::If;
+  dis.act_set = 0b1010;
+  m.exec(dis);
+  m.exec(setv(Reg::R(0), true));
+  for (std::size_t pe = 0; pe < m.num_pes(); ++pe) {
+    EXPECT_EQ(m.peek(Reg::R(0), pe), m.pos_of(pe) % 2 == 0) << pe;
+  }
+  // B is gated too.
+  Instr bset;
+  bset.dest = Reg::R(1);
+  bset.f = kTtZero;
+  bset.g = kTtOne;
+  m.exec(bset);
+  for (std::size_t pe = 0; pe < m.num_pes(); ++pe) {
+    EXPECT_EQ(m.peek(Reg::MakeB(), pe), m.pos_of(pe) % 2 == 0) << pe;
+  }
+  // Writes to E itself ignore the gate: re-enable everyone.
+  m.exec(setv(Reg::MakeE(), true));
+  m.exec(setv(Reg::R(0), true));
+  for (std::size_t pe = 0; pe < m.num_pes(); ++pe) {
+    EXPECT_TRUE(m.peek(Reg::R(0), pe));
+  }
+}
+
+TEST(Machine, IChainShiftsGlobally) {
+  Machine m(BvmConfig{1, 2});  // 8 PEs
+  // Load a recognizable pattern via pokes, shift once.
+  for (std::size_t pe = 0; pe < 8; ++pe) {
+    m.poke(Reg::R(0), pe, pe == 3 || pe == 7);
+  }
+  m.push_input(true);
+  m.exec(mov(Reg::R(0), Reg::R(0), Nbr::I));
+  EXPECT_TRUE(m.peek(Reg::R(0), 0));   // input bit
+  EXPECT_TRUE(m.peek(Reg::R(0), 4));   // old PE 3
+  EXPECT_FALSE(m.peek(Reg::R(0), 3));
+  ASSERT_EQ(m.output().size(), 1u);
+  EXPECT_TRUE(m.output()[0]);  // old PE 7 left the machine
+}
+
+TEST(Machine, RejectsIllegalOperands) {
+  Machine m(BvmConfig{1, 1});
+  Instr bad;
+  bad.dest = Reg::MakeB();
+  EXPECT_THROW(m.exec(bad), std::invalid_argument);
+  Instr bad2;
+  bad2.src_f = Reg::MakeB();
+  EXPECT_THROW(m.exec(bad2), std::invalid_argument);
+  Instr bad3;
+  bad3.src_d = Reg::MakeE();
+  EXPECT_THROW(m.exec(bad3), std::invalid_argument);
+  Instr bad4;
+  bad4.dest = Reg::R(9999);
+  EXPECT_THROW(m.exec(bad4), std::out_of_range);
+}
+
+TEST(Machine, InstrCountAdvances) {
+  Machine m(BvmConfig{1, 1});
+  EXPECT_EQ(m.instr_count(), 0u);
+  m.exec(setv(Reg::R(0), true));
+  m.exec(setv(Reg::R(1), false));
+  EXPECT_EQ(m.instr_count(), 2u);
+  m.reset_instr_count();
+  EXPECT_EQ(m.instr_count(), 0u);
+}
+
+TEST(Machine, TraceStreamsDisassembly) {
+  Machine m(BvmConfig{1, 1});
+  std::ostringstream trace;
+  m.set_trace(&trace);
+  m.exec(setv(Reg::R(3), true));
+  m.exec(mov(Reg::MakeA(), Reg::R(3), Nbr::S));
+  m.set_trace(nullptr);
+  m.exec(setv(Reg::R(4), false));
+  const std::string out = trace.str();
+  EXPECT_NE(out.find("1: R[3],B"), std::string::npos);
+  EXPECT_NE(out.find("R[3].S"), std::string::npos);
+  EXPECT_EQ(out.find("R[4]"), std::string::npos);  // disabled before
+}
+
+TEST(Machine, DumpRowRendersBits) {
+  Machine m(BvmConfig{1, 1});  // 4 PEs
+  m.poke(Reg::R(0), 1, true);
+  m.poke(Reg::R(0), 3, true);
+  EXPECT_EQ(m.dump_row(Reg::R(0)), "0101");
+}
+
+TEST(Machine, PokePeekValueRoundTrip) {
+  Machine m(BvmConfig{2, 2});
+  m.poke_value(10, 8, 5, 0xA7);
+  EXPECT_EQ(m.peek_value(10, 8, 5), 0xA7u);
+  EXPECT_EQ(m.peek_value(10, 8, 4), 0u);
+}
+
+}  // namespace
+}  // namespace ttp::bvm

@@ -1,0 +1,140 @@
+// Microcode-composition fuzzing: random SEQUENCES of microcode operations
+// (saturating add/sub, multiply, compare, select, popcount-increment,
+// dimension exchange) applied to several fields, mirrored against shadow
+// host arrays. The ISA-level fuzz (test_bvm_differential) pins single
+// instructions; this pins the composition semantics the TT program relies
+// on — especially B-register discipline across consecutive microprograms.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "bvm/microcode/arith.hpp"
+#include "bvm/microcode/exchange.hpp"
+#include "util/rng.hpp"
+
+namespace ttp::bvm {
+namespace {
+
+constexpr int kBits = 9;
+
+struct Shadow {
+  std::vector<std::uint64_t> a, b, c;  // three fields
+  std::vector<bool> flag;
+};
+
+class MicrocodeFuzz : public ::testing::TestWithParam<BvmConfig> {};
+
+TEST_P(MicrocodeFuzz, RandomMicroprogramsMatchHostModel) {
+  const BvmConfig cfg = GetParam();
+  Machine m(cfg);
+  const std::size_t n = m.num_pes();
+  const Field A{0, kBits}, B_{kBits, kBits}, C{2 * kBits, kBits};
+  const Field scratch{3 * kBits, kBits};
+  const int flag = 4 * kBits, tmp = flag + 1, ovf = flag + 2;
+
+  Shadow sh;
+  sh.a.resize(n);
+  sh.b.resize(n);
+  sh.c.resize(n);
+  sh.flag.assign(n, false);
+  util::Rng rng(0xF00D + static_cast<std::uint64_t>(cfg.r * 13 + cfg.h));
+  for (std::size_t pe = 0; pe < n; ++pe) {
+    sh.a[pe] = rng.uniform(0, field_inf(kBits));
+    sh.b[pe] = rng.uniform(0, field_inf(kBits));
+    sh.c[pe] = rng.uniform(0, field_inf(kBits));
+    m.poke_value(A.base, kBits, pe, sh.a[pe]);
+    m.poke_value(B_.base, kBits, pe, sh.b[pe]);
+    m.poke_value(C.base, kBits, pe, sh.c[pe]);
+  }
+
+  auto check = [&](int step, int op) {
+    for (std::size_t pe = 0; pe < n; ++pe) {
+      ASSERT_EQ(m.peek_value(A.base, kBits, pe), sh.a[pe])
+          << "A @" << pe << " step " << step << " op " << op;
+      ASSERT_EQ(m.peek_value(B_.base, kBits, pe), sh.b[pe])
+          << "B @" << pe << " step " << step << " op " << op;
+      ASSERT_EQ(m.peek_value(C.base, kBits, pe), sh.c[pe])
+          << "C @" << pe << " step " << step << " op " << op;
+    }
+  };
+
+  for (int step = 0; step < 120; ++step) {
+    const int op = static_cast<int>(rng.uniform(0, 7));
+    switch (op) {
+      case 0:  // C = sat(A + B)
+        add_sat(m, C, A, B_, tmp);
+        for (std::size_t pe = 0; pe < n; ++pe) {
+          sh.c[pe] = sat_add_host(sh.a[pe], sh.b[pe], kBits);
+        }
+        break;
+      case 1:  // A = A monus C
+        sub_sat(m, A, A, C, tmp);
+        for (std::size_t pe = 0; pe < n; ++pe) {
+          sh.a[pe] = sh.a[pe] >= sh.c[pe] ? sh.a[pe] - sh.c[pe] : 0;
+        }
+        break;
+      case 2:  // flag = (B < C); A = flag ? B : A
+        less_than(m, flag, B_, C, tmp);
+        select(m, A, flag, B_, A);
+        for (std::size_t pe = 0; pe < n; ++pe) {
+          sh.flag[pe] = sh.b[pe] < sh.c[pe];
+          if (sh.flag[pe]) sh.a[pe] = sh.b[pe];
+        }
+        break;
+      case 3: {  // B = partner-of-dim-d's B
+        const int d = static_cast<int>(
+            rng.uniform(0, static_cast<std::uint64_t>(cfg.dims() - 1)));
+        dim_exchange_read(m, d, B_, scratch, tmp);
+        copy_field(m, B_, scratch);
+        std::vector<std::uint64_t> nb(n);
+        for (std::size_t pe = 0; pe < n; ++pe) {
+          nb[pe] = sh.b[pe ^ (std::size_t{1} << d)];
+        }
+        sh.b = nb;
+        break;
+      }
+      case 4:  // C = sat((A * B) >> 3)
+        multiply_shift_sat(m, C, A, B_, 3, scratch, ovf, tmp);
+        for (std::size_t pe = 0; pe < n; ++pe) {
+          sh.c[pe] = sat_mulshift_host(sh.a[pe], sh.b[pe], 3, kBits);
+        }
+        break;
+      case 5:  // B = const
+        set_const(m, B_, 0x13 + static_cast<std::uint64_t>(step % 7));
+        for (std::size_t pe = 0; pe < n; ++pe) {
+          sh.b[pe] = 0x13 + static_cast<std::uint64_t>(step % 7);
+        }
+        break;
+      case 6:  // C = min(A, C); A = max(A, B)
+        min_field(m, C, A, C, tmp);
+        max_field(m, A, A, B_, tmp);
+        for (std::size_t pe = 0; pe < n; ++pe) {
+          sh.c[pe] = std::min(sh.a[pe], sh.c[pe]);
+          sh.a[pe] = std::max(sh.a[pe], sh.b[pe]);
+        }
+        break;
+      default:  // flag = (A == B); C = flag ? 0 : C
+        equals_field(m, flag, A, B_, tmp);
+        set_const(m, scratch, 0);
+        select(m, C, flag, scratch, C);
+        for (std::size_t pe = 0; pe < n; ++pe) {
+          if (sh.a[pe] == sh.b[pe]) sh.c[pe] = 0;
+        }
+        break;
+    }
+    if (step % 10 == 9) check(step, op);
+  }
+  check(999, -1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MicrocodeFuzz,
+    ::testing::Values(BvmConfig{1, 2}, BvmConfig{2, 3},
+                      BvmConfig::complete(2), BvmConfig{3, 4}),
+    [](const ::testing::TestParamInfo<BvmConfig>& info) {
+      return "r" + std::to_string(info.param.r) + "h" +
+             std::to_string(info.param.h);
+    });
+
+}  // namespace
+}  // namespace ttp::bvm

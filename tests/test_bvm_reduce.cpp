@@ -1,0 +1,83 @@
+// Machine -> host reductions: the result must be both replicated at every
+// PE and correctly emitted through the architectural output pin.
+#include <gtest/gtest.h>
+
+#include "bvm/microcode/reduce.hpp"
+#include "util/rng.hpp"
+
+namespace ttp::bvm {
+namespace {
+
+class ReduceTest : public ::testing::TestWithParam<BvmConfig> {};
+
+TEST_P(ReduceTest, GlobalOrAndAcrossPatterns) {
+  const BvmConfig cfg = GetParam();
+  // All-zero, all-one, single bit at assorted PEs.
+  for (int pattern = 0; pattern < 4; ++pattern) {
+    Machine m(cfg);
+    bool expect_or = false, expect_and = false;
+    switch (pattern) {
+      case 0:
+        break;  // all zero
+      case 1:
+        m.row(Reg::R(0)).fill(true);
+        expect_or = expect_and = true;
+        break;
+      case 2:
+        m.poke(Reg::R(0), 0, true);
+        expect_or = true;
+        break;
+      default:
+        m.poke(Reg::R(0), m.num_pes() - 1, true);
+        expect_or = true;
+        break;
+    }
+    {
+      Machine mc(cfg);
+      mc.row(Reg::R(0)) = m.row(Reg::R(0));
+      EXPECT_EQ(global_or(mc, 0, 1, 2), expect_or)
+          << "pattern " << pattern;
+      // Replicated everywhere too.
+      for (std::size_t pe = 0; pe < mc.num_pes(); ++pe) {
+        ASSERT_EQ(mc.peek(Reg::R(0), pe), expect_or);
+      }
+    }
+    {
+      Machine mc(cfg);
+      mc.row(Reg::R(0)) = m.row(Reg::R(0));
+      EXPECT_EQ(global_and(mc, 0, 1, 2), expect_and)
+          << "pattern " << pattern;
+    }
+  }
+}
+
+TEST_P(ReduceTest, GlobalCountMatchesHostPopcount) {
+  const BvmConfig cfg = GetParam();
+  Machine m(cfg);
+  util::Rng rng(17);
+  std::uint64_t expect = 0;
+  for (std::size_t pe = 0; pe < m.num_pes(); ++pe) {
+    const bool v = rng.bernoulli(0.4);
+    m.poke(Reg::R(0), pe, v);
+    expect += v ? 1 : 0;
+  }
+  const int w = cfg.dims() + 1;
+  const Field total{10, w}, staging{10 + w, w};
+  EXPECT_EQ(global_count(m, 0, total, staging, 40), expect);
+  // Replicated at every PE.
+  for (std::size_t pe = 0; pe < m.num_pes(); ++pe) {
+    ASSERT_EQ(m.peek_value(total.base, w, pe), expect) << pe;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ReduceTest,
+    ::testing::Values(BvmConfig{1, 1}, BvmConfig{2, 2},
+                      BvmConfig::complete(2), BvmConfig{3, 4}),
+    [](const ::testing::TestParamInfo<BvmConfig>& info) {
+      return "r" + std::to_string(info.param.r) + "h" +
+             std::to_string(info.param.h);
+    });
+
+}  // namespace
+}  // namespace ttp::bvm

@@ -1,0 +1,107 @@
+// Record/replay: the TT microprogram is a STATIC SIMD instruction stream
+// for a given problem shape — record it while solving instance A, then
+// replay the very same instructions on a fresh machine loaded with instance
+// B's action data (same k, padded N, precision and priors) and obtain B's
+// optimal DP table. This is the operating mode the paper's control-bit
+// discussion assumes: the front-end compiles once, the array crunches data.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bvm/io.hpp"
+#include "tt/solver_bvm.hpp"
+#include "tt/solver_hypercube.hpp"
+#include "tt/solver_sequential.hpp"
+#include "util/bits.hpp"
+
+namespace ttp::tt {
+namespace {
+
+// Two instances sharing shape (k = 3, N = 4 padded, same priors) but with
+// different tests, treatments and costs.
+Instance instance_a() {
+  Instance ins(3, {2.0, 1.0, 1.0});
+  ins.add_test(0b011, 1.0);
+  ins.add_treatment(0b001, 2.0);
+  ins.add_treatment(0b110, 3.0);
+  ins.add_treatment(0b111, 9.0);
+  return ins;
+}
+
+Instance instance_b() {
+  Instance ins(3, {2.0, 1.0, 1.0});
+  ins.add_test(0b101, 2.0);
+  ins.add_treatment(0b100, 1.0);
+  ins.add_treatment(0b011, 4.0);
+  ins.add_treatment(0b010, 2.0);
+  return ins;
+}
+
+TEST(BvmReplay, RecordedProgramSolvesDifferentActionData) {
+  const util::Fixed::Format fmt{20, 0};
+  BvmSolverOptions opt;
+  opt.format = fmt;
+  std::vector<bvm::Instr> program;
+  opt.record_program = &program;
+
+  const Instance a = instance_a();
+  const Instance b = instance_b();
+  ASSERT_EQ(a.num_actions(), b.num_actions());
+
+  const auto res_a = BvmSolver(opt).solve(a);
+  ASSERT_GT(program.size(), 1000u);
+
+  // Fresh machine: DMA-load B's action data at the documented layout, then
+  // replay A's instruction stream verbatim.
+  const int k = b.k();
+  const int aDims = HypercubeSolver::action_dims(b);
+  const int npad = 1 << aDims;
+  const TtRegisterMap rm(k + aDims, k, aDims, fmt.bits, fmt.frac);
+  bvm::Machine m(bvm::BvmConfig::for_dims(k + aDims));
+
+  for (std::size_t pe = 0; pe < m.num_pes(); ++pe) {
+    const int i = static_cast<int>(pe) & (npad - 1);
+    const bool real = i < b.num_actions();
+    const Mask t = real ? b.action(i).set : b.universe();
+    for (int e = 0; e < k; ++e) {
+      m.poke(bvm::Reg::R(rm.tmask + e), pe, util::has_bit(t, e));
+    }
+    m.poke(bvm::Reg::R(rm.istest), pe, real && b.action(i).is_test);
+    const std::uint64_t raw =
+        real ? util::Fixed::from_double(fmt, b.action(i).cost).raw()
+             : fmt.inf_raw();
+    m.poke_value(rm.ct, fmt.bits, pe, raw);
+  }
+  m.run(program);
+
+  // Extract the table and compare with the host DP on B.
+  const auto seq_b = SequentialSolver().solve(b);
+  for (std::size_t s = 1; s < (std::size_t{1} << k); ++s) {
+    const std::uint64_t raw = m.peek_value(rm.m, fmt.bits, s << aDims);
+    const util::Fixed v(fmt, raw);
+    const double expect = seq_b.table.cost[s];
+    if (std::isinf(expect)) {
+      EXPECT_TRUE(v.is_inf()) << s;
+    } else {
+      EXPECT_DOUBLE_EQ(v.to_double(), expect) << s;
+      EXPECT_EQ(static_cast<int>(m.peek_value(rm.best, aDims, s << aDims)),
+                seq_b.table.best_action[s])
+          << s;
+    }
+  }
+
+  // Sanity: the recording really was a different problem's program.
+  EXPECT_NE(res_a.cost, seq_b.cost);
+}
+
+TEST(BvmReplay, RecordingMatchesInstructionCount) {
+  BvmSolverOptions opt;
+  opt.format = util::Fixed::Format{16, 0};
+  std::vector<bvm::Instr> program;
+  opt.record_program = &program;
+  const auto res = BvmSolver(opt).solve(instance_a());
+  EXPECT_EQ(program.size(), res.breakdown.get("bvm_instructions"));
+}
+
+}  // namespace
+}  // namespace ttp::tt

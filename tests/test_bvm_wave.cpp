@@ -1,0 +1,207 @@
+// The pipelined lateral wave: must produce exactly the same register state
+// as the per-dimension exchange+select sequence, at materially lower
+// instruction cost, on every machine shape — and the TT solver with
+// pipelined laterals must reproduce the unpipelined solver's tables.
+#include <gtest/gtest.h>
+
+#include "bvm/microcode/exchange.hpp"
+#include "tt/generator.hpp"
+#include "tt/solver_bvm.hpp"
+#include "tt/solver_sequential.hpp"
+#include "util/rng.hpp"
+
+namespace ttp::bvm {
+namespace {
+
+class WaveTest : public ::testing::TestWithParam<BvmConfig> {};
+
+TEST_P(WaveTest, MatchesPerDimExchangeSelect) {
+  const BvmConfig cfg = GetParam();
+  const int p = 5;
+  const Field v{0, p}, x{p, p};
+  const int adopt_base = 2 * p;          // h rows
+  const int cur = 2 * p + cfg.h;
+  const int take = cur + 1, tmp = cur + 2;
+
+  for (int q_lo = 0; q_lo < cfg.h; ++q_lo) {
+    for (int q_hi = q_lo; q_hi <= cfg.h; ++q_hi) {
+      Machine wave(cfg), ref(cfg);
+      util::Rng rng(static_cast<std::uint64_t>(q_lo * 31 + q_hi));
+      // Same data and adopt flags on both machines.
+      for (std::size_t pe = 0; pe < cfg.num_pes(); ++pe) {
+        const auto val = rng.uniform(0, (1u << p) - 1);
+        wave.poke_value(v.base, p, pe, val);
+        ref.poke_value(v.base, p, pe, val);
+        for (int q = q_lo; q < q_hi; ++q) {
+          const bool ad = rng.bernoulli(0.5);
+          wave.poke(Reg::R(adopt_base + q), pe, ad);
+          ref.poke(Reg::R(adopt_base + q), pe, ad);
+        }
+      }
+
+      lateral_wave_ascend(wave, q_lo, q_hi,
+                          {WaveField{v, adopt_base, cur}});
+
+      // Reference: ascending per-dim exchange + select.
+      for (int q = q_lo; q < q_hi; ++q) {
+        dim_exchange_read(ref, cfg.r + q, v, x, tmp);
+        set_b_from(ref, adopt_base + q);
+        (void)take;
+        for (int t = 0; t < p; ++t) {
+          Instr in;
+          in.dest = v.reg(t);
+          in.f = kTtMux;  // B ? partner : own
+          in.g = kTtB;
+          in.src_f = v.reg(t);
+          in.src_d = x.reg(t);
+          ref.exec(in);
+        }
+      }
+
+      for (std::size_t pe = 0; pe < cfg.num_pes(); ++pe) {
+        ASSERT_EQ(wave.peek_value(v.base, p, pe),
+                  ref.peek_value(v.base, p, pe))
+            << "q_lo=" << q_lo << " q_hi=" << q_hi << " pe=" << pe;
+      }
+      // Adopt rows return home unscathed.
+      for (int q = q_lo; q < q_hi; ++q) {
+        for (std::size_t pe = 0; pe < cfg.num_pes(); ++pe) {
+          ASSERT_EQ(wave.peek(Reg::R(adopt_base + q), pe),
+                    ref.peek(Reg::R(adopt_base + q), pe));
+        }
+      }
+    }
+  }
+}
+
+TEST_P(WaveTest, DescendMatchesPerDimExchangeSelect) {
+  const BvmConfig cfg = GetParam();
+  const int p = 5;
+  const Field v{0, p}, x{p, p};
+  const int adopt_base = 2 * p;
+  const int cur = 2 * p + cfg.h;
+  const int tmp = cur + 2;
+
+  for (int q_lo = 0; q_lo < cfg.h; ++q_lo) {
+    for (int q_hi = q_lo; q_hi <= cfg.h; ++q_hi) {
+      Machine wave(cfg), ref(cfg);
+      util::Rng rng(static_cast<std::uint64_t>(q_lo * 37 + q_hi + 7));
+      for (std::size_t pe = 0; pe < cfg.num_pes(); ++pe) {
+        const auto val = rng.uniform(0, (1u << p) - 1);
+        wave.poke_value(v.base, p, pe, val);
+        ref.poke_value(v.base, p, pe, val);
+        for (int q = q_lo; q < q_hi; ++q) {
+          const bool ad = rng.bernoulli(0.5);
+          wave.poke(Reg::R(adopt_base + q), pe, ad);
+          ref.poke(Reg::R(adopt_base + q), pe, ad);
+        }
+      }
+
+      lateral_wave_descend(wave, q_lo, q_hi,
+                           {WaveField{v, adopt_base, cur}});
+
+      for (int q = q_hi - 1; q >= q_lo; --q) {  // descending reference
+        dim_exchange_read(ref, cfg.r + q, v, x, tmp);
+        set_b_from(ref, adopt_base + q);
+        for (int t = 0; t < p; ++t) {
+          Instr in;
+          in.dest = v.reg(t);
+          in.f = kTtMux;
+          in.g = kTtB;
+          in.src_f = v.reg(t);
+          in.src_d = x.reg(t);
+          ref.exec(in);
+        }
+      }
+
+      for (std::size_t pe = 0; pe < cfg.num_pes(); ++pe) {
+        ASSERT_EQ(wave.peek_value(v.base, p, pe),
+                  ref.peek_value(v.base, p, pe))
+            << "q_lo=" << q_lo << " q_hi=" << q_hi << " pe=" << pe;
+      }
+    }
+  }
+}
+
+TEST_P(WaveTest, CostModelMatchesAndBeatsPerDim) {
+  const BvmConfig cfg = GetParam();
+  const int p = 8;
+  const Field v{0, p};
+  const int adopt_base = p, cur = p + cfg.h;
+  Machine m(cfg);
+  const std::vector<WaveField> fields{WaveField{v, adopt_base, cur}};
+  const auto before = m.instr_count();
+  lateral_wave_ascend(m, 0, cfg.h, fields);
+  const auto wave_cost = m.instr_count() - before;
+  EXPECT_EQ(wave_cost, lateral_wave_cost(cfg, 0, cfg.h, fields));
+
+  std::uint64_t per_dim = 0;
+  for (int q = 0; q < cfg.h; ++q) {
+    per_dim += dim_exchange_cost(cfg, cfg.r + q, p) +
+               static_cast<std::uint64_t>(p) + 1;  // + select
+  }
+  if (cfg.h >= 4) {
+    EXPECT_LT(wave_cost, per_dim)
+        << "pipelining should pay off once several laterals share the lap";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, WaveTest,
+    ::testing::Values(BvmConfig{1, 1}, BvmConfig{1, 2}, BvmConfig{2, 2},
+                      BvmConfig::complete(2), BvmConfig{3, 4},
+                      BvmConfig::complete(3)),
+    [](const ::testing::TestParamInfo<BvmConfig>& info) {
+      return "r" + std::to_string(info.param.r) + "h" +
+             std::to_string(info.param.h);
+    });
+
+}  // namespace
+}  // namespace ttp::bvm
+
+namespace ttp::tt {
+namespace {
+
+TEST(BvmPipelined, SolverTablesIdenticalToUnpipelined) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    util::Rng rng(seed);
+    RandomOptions ropt;
+    ropt.num_tests = 3 + static_cast<int>(seed % 3);
+    ropt.num_treatments = 3;
+    ropt.integer_costs = true;
+    ropt.integer_weights = true;
+    const Instance ins = random_instance(4 + static_cast<int>(seed % 3),
+                                         ropt, rng);
+    BvmSolverOptions a;
+    a.format = util::Fixed::Format{20, 0};
+    BvmSolverOptions b = a;
+    b.pipelined_laterals = true;
+    const auto ra = BvmSolver(a).solve(ins);
+    const auto rb = BvmSolver(b).solve(ins);
+    EXPECT_EQ(max_table_diff(ra.table, rb.table), 0.0) << seed;
+    EXPECT_EQ(ra.table.best_action, rb.table.best_action) << seed;
+    EXPECT_LT(rb.breakdown.get("layers"), ra.breakdown.get("layers"))
+        << "the wave must reduce layer-loop instructions (seed " << seed
+        << ")";
+  }
+}
+
+TEST(BvmPipelined, MatchesSequentialExactly) {
+  util::Rng rng(404);
+  RandomOptions ropt;
+  ropt.num_tests = 4;
+  ropt.num_treatments = 4;
+  ropt.integer_costs = true;
+  ropt.integer_weights = true;
+  const Instance ins = random_instance(6, ropt, rng);
+  BvmSolverOptions opt;
+  opt.format = util::Fixed::Format{22, 0};
+  opt.pipelined_laterals = true;
+  const auto bvm = BvmSolver(opt).solve(ins);
+  const auto seq = SequentialSolver().solve(ins);
+  EXPECT_EQ(max_table_diff(bvm.table, seq.table), 0.0);
+  EXPECT_EQ(bvm.table.best_action, seq.table.best_action);
+}
+
+}  // namespace
+}  // namespace ttp::tt

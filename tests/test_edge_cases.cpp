@@ -1,0 +1,112 @@
+// Edge cases across modules that the mainline suites do not reach.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bvm/io.hpp"
+#include "tt/greedy.hpp"
+#include "tt/solver_bnb.hpp"
+#include "tt/solver_hypercube.hpp"
+#include "tt/solver_sequential.hpp"
+#include "util/rng.hpp"
+
+namespace ttp {
+namespace {
+
+TEST(EdgeCases, HypercubeSolverSingleAction) {
+  // N = 1 forces the a = 1 padding floor (a machine never has 0 action
+  // dims) and exercises the pad-treatment path.
+  tt::Instance ins(2, {1.0, 2.0});
+  ins.add_treatment(0b11, 1.5);
+  const auto seq = tt::SequentialSolver().solve(ins);
+  const auto hyp = tt::HypercubeSolver().solve(ins);
+  EXPECT_DOUBLE_EQ(seq.cost, 1.5 * 3.0);
+  EXPECT_EQ(tt::max_table_diff(seq.table, hyp.table), 0.0);
+}
+
+TEST(EdgeCases, GreedyOnInadequateInstanceFailsGracefully) {
+  tt::Instance ins(2, {1.0, 1.0});
+  ins.add_test(0b01, 1.0);
+  ins.add_treatment(0b01, 1.0);  // object 1 untreatable
+  const auto g = tt::greedy_solve(ins, tt::GreedyRule::kBalancedSplit);
+  EXPECT_TRUE(std::isinf(g.cost));
+  EXPECT_TRUE(g.tree.empty());
+  const auto g2 = tt::greedy_solve(ins, tt::GreedyRule::kCheapestFirst);
+  EXPECT_TRUE(std::isinf(g2.cost));
+}
+
+TEST(EdgeCases, GreedyMatchesOptimalOnForcedInstances) {
+  // Exactly one applicable action at every state: greedy == optimal.
+  tt::Instance ins(3, {1, 1, 1});
+  ins.add_treatment(0b001, 1.0);
+  ins.add_treatment(0b010, 1.0);
+  ins.add_treatment(0b100, 1.0);
+  const auto opt = tt::SequentialSolver().solve(ins);
+  const auto g = tt::greedy_solve(ins, tt::GreedyRule::kBalancedSplit);
+  EXPECT_NEAR(g.cost, opt.cost, 1e-12);
+}
+
+TEST(EdgeCases, BnbTieBreakingOnEqualActions) {
+  tt::Instance ins(2, {1.0, 1.0});
+  ins.add_treatment(0b11, 2.0, "first");
+  ins.add_treatment(0b11, 2.0, "second");
+  const auto bnb = tt::BnbSolver().solve(ins);
+  EXPECT_EQ(bnb.cost, 4.0);
+  EXPECT_EQ(ins.action(bnb.tree.node(bnb.tree.root()).action).name, "first");
+}
+
+TEST(EdgeCases, SerialIoOnLargerMachine) {
+  // 256 PEs: the I-chain crosses word boundaries several times.
+  bvm::Machine m(bvm::BvmConfig{3, 5});
+  ASSERT_EQ(m.num_pes(), 256u);
+  std::vector<bool> bits(m.num_pes());
+  for (std::size_t i = 0; i < bits.size(); ++i) bits[i] = (i * 7) % 3 == 0;
+  bvm::load_register_serial(m, bvm::Reg::R(2), bits);
+  EXPECT_EQ(bvm::read_register_host(m, bvm::Reg::R(2)), bits);
+  const auto out = bvm::read_register_serial(m, bvm::Reg::R(2));
+  EXPECT_EQ(out, bits);
+}
+
+TEST(EdgeCases, PushInputBitsFeedsChain) {
+  bvm::Machine m(bvm::BvmConfig{1, 1});
+  m.push_input_bits({true, false, true, true});
+  EXPECT_EQ(m.input_pending(), 4u);
+  const bvm::Instr shift =
+      bvm::mov(bvm::Reg::MakeA(), bvm::Reg::MakeA(), bvm::Nbr::I);
+  for (int i = 0; i < 4; ++i) m.exec(shift);
+  EXPECT_EQ(m.input_pending(), 0u);
+  // After 4 shifts on a 4-PE machine the injected bits fill A in reverse
+  // entry order (first-in ends up deepest).
+  EXPECT_TRUE(m.peek(bvm::Reg::MakeA(), 3));
+  EXPECT_FALSE(m.peek(bvm::Reg::MakeA(), 2));
+  EXPECT_TRUE(m.peek(bvm::Reg::MakeA(), 1));
+  EXPECT_TRUE(m.peek(bvm::Reg::MakeA(), 0));
+}
+
+TEST(EdgeCases, InstanceWithOnlyUselessTests) {
+  // Tests equal to U or ∅ never split; solver must ignore them quietly.
+  tt::Instance ins(2, {1.0, 1.0});
+  ins.add_test(0b11, 0.1, "useless_full");
+  ins.add_treatment(0b11, 2.0);
+  const auto res = tt::SequentialSolver().solve(ins);
+  EXPECT_DOUBLE_EQ(res.cost, 4.0);
+  EXPECT_FALSE(ins.action(res.tree.node(res.tree.root()).action).is_test);
+}
+
+TEST(EdgeCases, ZeroWeightRejectedEverywhere) {
+  tt::Instance ins(2, {1.0, 0.0});
+  ins.add_treatment(0b11, 1.0);
+  EXPECT_THROW(tt::SequentialSolver().solve(ins), std::invalid_argument);
+  EXPECT_THROW(tt::BnbSolver().solve(ins), std::invalid_argument);
+  EXPECT_THROW(tt::greedy_solve(ins, tt::GreedyRule::kCheapestFirst),
+               std::invalid_argument);
+}
+
+TEST(EdgeCases, BvmConfigForDimsBounds) {
+  EXPECT_EQ(bvm::BvmConfig::for_dims(2).dims(), 2);
+  EXPECT_EQ(bvm::BvmConfig::for_dims(20).dims(), 20);
+  EXPECT_THROW(bvm::BvmConfig::for_dims(40), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ttp

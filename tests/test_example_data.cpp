@@ -1,0 +1,51 @@
+// The shipped .tt instance files must parse, be adequate, solve to finite
+// optima on every solver family, and round-trip through the serializer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tt/serialize.hpp"
+#include "tt/solver_bvm.hpp"
+#include "tt/solver_sequential.hpp"
+
+#ifndef TTP_EXAMPLE_DATA_DIR
+#define TTP_EXAMPLE_DATA_DIR "examples/data"
+#endif
+
+namespace ttp::tt {
+namespace {
+
+class ExampleData : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ExampleData, LoadsSolvesAndRoundTrips) {
+  const std::string path =
+      std::string(TTP_EXAMPLE_DATA_DIR) + "/" + GetParam();
+  const Instance ins = load_file(path);
+  EXPECT_TRUE(ins.every_object_treatable()) << path;
+
+  const auto seq = SequentialSolver().solve(ins);
+  EXPECT_FALSE(std::isinf(seq.cost)) << path;
+  EXPECT_GT(seq.cost, 0.0);
+
+  // Round trip.
+  const Instance again = from_text(to_text(ins));
+  EXPECT_EQ(SequentialSolver().solve(again).cost, seq.cost);
+
+  // And through the bit-serial machine (fractional costs -> tolerance).
+  BvmSolverOptions opt;
+  opt.format = util::Fixed::Format{24, 8};
+  opt.pipelined_laterals = true;
+  const auto bvm = BvmSolver(opt).solve(ins);
+  EXPECT_NEAR(bvm.cost, seq.cost, 0.05 * seq.cost) << path;
+}
+
+INSTANTIATE_TEST_SUITE_P(Files, ExampleData,
+                         ::testing::Values("triage.tt", "server_fleet.tt",
+                                           "herbarium.tt"),
+                         [](const ::testing::TestParamInfo<const char*>& i) {
+                           std::string name = i.param;
+                           return name.substr(0, name.find('.'));
+                         });
+
+}  // namespace
+}  // namespace ttp::tt

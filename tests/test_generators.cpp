@@ -1,0 +1,111 @@
+// All instance generators: structural guarantees (adequacy, well-formed
+// sets, tests-before-treatments ordering), determinism per seed, and
+// solvability of each family.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tt/generator.hpp"
+#include "tt/serialize.hpp"
+#include "tt/solver_sequential.hpp"
+#include "util/rng.hpp"
+
+namespace ttp::tt {
+namespace {
+
+using Maker = Instance (*)(int, util::Rng&);
+
+Instance make_random(int k, util::Rng& rng) {
+  return random_instance(k, RandomOptions{}, rng);
+}
+Instance make_medical(int k, util::Rng& rng) {
+  return medical_instance(k, k, rng);
+}
+Instance make_binary(int k, util::Rng& rng) {
+  return binary_testing_instance(k, k, rng);
+}
+
+struct Family {
+  const char* name;
+  Maker make;
+};
+
+const Family kFamilies[] = {
+    {"random", &make_random},
+    {"medical", &make_medical},
+    {"machine_fault", &machine_fault_instance},
+    {"biology_key", &biology_key_instance},
+    {"lab_analysis", &lab_analysis_instance},
+    {"logistics", &logistics_instance},
+    {"binary_testing", &make_binary},
+};
+
+class Generators : public ::testing::TestWithParam<int> {};
+
+TEST_P(Generators, EveryFamilyIsWellFormedAndAdequate) {
+  const int seed = GetParam();
+  for (const Family& f : kFamilies) {
+    for (int k : {3, 5, 8}) {
+      util::Rng rng(static_cast<std::uint64_t>(seed));
+      const Instance ins = f.make(k, rng);
+      SCOPED_TRACE(std::string(f.name) + " k=" + std::to_string(k));
+      EXPECT_NO_THROW(ins.check());
+      EXPECT_TRUE(ins.every_object_treatable());
+      EXPECT_GT(ins.num_tests() + ins.num_treatments(), 0);
+      // Solvable: the DP reaches a finite optimum.
+      const auto res = SequentialSolver().solve(ins);
+      EXPECT_FALSE(std::isinf(res.cost));
+      // And the optimum is positive unless everything is free.
+      EXPECT_GE(res.cost, 0.0);
+    }
+  }
+}
+
+TEST_P(Generators, DeterministicPerSeed) {
+  const int seed = GetParam();
+  for (const Family& f : kFamilies) {
+    util::Rng a(static_cast<std::uint64_t>(seed));
+    util::Rng b(static_cast<std::uint64_t>(seed));
+    EXPECT_EQ(to_text(f.make(6, a)), to_text(f.make(6, b))) << f.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Generators, ::testing::Values(1, 7, 42));
+
+TEST(Generators, CompleteInstanceShape) {
+  const Instance ins = complete_instance(3);
+  EXPECT_EQ(ins.num_tests(), 6);       // 2^3 - 2 nontrivial proper subsets
+  EXPECT_EQ(ins.num_treatments(), 7);  // every nonempty subset
+  EXPECT_TRUE(ins.every_object_treatable());
+}
+
+TEST(Generators, LogisticsUsesContiguousSegments) {
+  util::Rng rng(5);
+  const Instance ins = logistics_instance(8, rng);
+  for (int i = 0; i < ins.num_tests(); ++i) {
+    const Mask s = ins.action(i).set;
+    // Contiguity: the set bits form one run.
+    const Mask lowbit = s & (0u - s);
+    const Mask shifted = s / lowbit;  // normalize to start at bit 0
+    EXPECT_EQ((shifted & (shifted + 1)), 0u)
+        << "test " << i << " not contiguous: " << util::mask_to_string(s);
+  }
+}
+
+TEST(Generators, LabAnalysisScreensCheaperThanChromatography) {
+  util::Rng rng(6);
+  const Instance ins = lab_analysis_instance(7, rng);
+  double max_screen = 0, min_chroma = 1e9;
+  for (int i = 0; i < ins.num_tests(); ++i) {
+    const Action& a = ins.action(i);
+    if (a.name.rfind("screen", 0) == 0) {
+      max_screen = std::max(max_screen, a.cost);
+    } else if (a.name.rfind("chroma", 0) == 0) {
+      min_chroma = std::min(min_chroma, a.cost);
+    }
+  }
+  EXPECT_LT(max_screen, min_chroma);
+}
+
+}  // namespace
+}  // namespace ttp::tt

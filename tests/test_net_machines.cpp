@@ -1,0 +1,195 @@
+// Hypercube and CCC machine tests. The central property: for any
+// ASCEND/DESCEND algorithm, the CCC machine (pipelined or not) produces
+// bit-identical results to the hypercube machine, at a bounded constant
+// slowdown in parallel steps (paper §3, citing Preparata-Vuillemin).
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "net/ccc.hpp"
+#include "net/hypercube.hpp"
+
+namespace ttp::net {
+namespace {
+
+struct Item {
+  std::uint64_t v = 0;
+};
+
+// A dimension-dependent, order-sensitive mixing op: distinguishes wrong
+// pairing, wrong order, and wrong lo/hi roles.
+void mix(int dim, Item& lo, Item& hi) {
+  const std::uint64_t a = lo.v, b = hi.v;
+  lo.v = a * 1000003u + b * 31u + static_cast<std::uint64_t>(dim) + 1;
+  hi.v = b * 999979u + a * 37u + 17u * static_cast<std::uint64_t>(dim) + 2;
+}
+
+template <typename M>
+void seed(M& m) {
+  for (std::size_t i = 0; i < m.size(); ++i) m.at(i).v = i * 2654435761u + 1;
+}
+
+TEST(HypercubeTopology, SizesAndLinks) {
+  HypercubeTopology t{4};
+  EXPECT_EQ(t.size(), 16u);
+  EXPECT_EQ(t.links(), 32u);  // n log n / 2
+  EXPECT_EQ(t.neighbor(5, 1), 7u);
+}
+
+TEST(HypercubeMachine, DimStepPairsEveryPeOnce) {
+  HypercubeMachine<Item> m(3);
+  seed(m);
+  std::vector<std::uint64_t> before(m.size());
+  for (std::size_t i = 0; i < m.size(); ++i) before[i] = m.at(i).v;
+  m.dim_step(1, [](int, Item& lo, Item& hi) { std::swap(lo.v, hi.v); });
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    EXPECT_EQ(m.at(i).v, before[i ^ 2u]) << i;
+  }
+  EXPECT_EQ(m.steps().parallel_steps, 1u);
+  EXPECT_EQ(m.steps().route_steps, 1u);
+}
+
+TEST(HypercubeMachine, AscendMinReduceLeavesGlobalMinEverywhere) {
+  HypercubeMachine<Item> m(5);
+  seed(m);
+  std::uint64_t expect = ~std::uint64_t{0};
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    expect = std::min(expect, m.at(i).v);
+  }
+  m.ascend([](int, Item& lo, Item& hi) {
+    const std::uint64_t mn = std::min(lo.v, hi.v);
+    lo.v = hi.v = mn;
+  });
+  for (std::size_t i = 0; i < m.size(); ++i) EXPECT_EQ(m.at(i).v, expect);
+  EXPECT_EQ(m.steps().parallel_steps, 5u);
+}
+
+TEST(CccConfig, PaperLinkCount) {
+  // Complete CCC: 3n/2 links, the abstract's headline.
+  const CccConfig cfg = CccConfig::complete(2);  // 64 PEs
+  EXPECT_EQ(cfg.size(), 64u);
+  EXPECT_EQ(cfg.links(), 96u);
+  EXPECT_EQ(cfg.links() * 2, 3 * cfg.size());
+}
+
+TEST(CccConfig, RejectsBadShapes) {
+  EXPECT_THROW(CccMachine<Item>(CccConfig{2, 5}), std::invalid_argument);
+  EXPECT_THROW(CccMachine<Item>(CccConfig{0, 1}), std::invalid_argument);
+}
+
+class CccVsHypercube : public ::testing::TestWithParam<CccConfig> {};
+
+TEST_P(CccVsHypercube, AscendMatches) {
+  const CccConfig cfg = GetParam();
+  HypercubeMachine<Item> hm(cfg.dims());
+  CccMachine<Item> cm(cfg);
+  seed(hm);
+  seed(cm);
+  hm.ascend(mix);
+  cm.ascend(mix);
+  for (std::size_t i = 0; i < hm.size(); ++i) {
+    ASSERT_EQ(cm.at(i).v, hm.at(i).v) << "PE " << i;
+  }
+}
+
+TEST_P(CccVsHypercube, AscendUnpipelinedMatches) {
+  const CccConfig cfg = GetParam();
+  HypercubeMachine<Item> hm(cfg.dims());
+  CccMachine<Item> cm(cfg);
+  seed(hm);
+  seed(cm);
+  hm.ascend(mix);
+  cm.ascend_unpipelined(mix);
+  for (std::size_t i = 0; i < hm.size(); ++i) {
+    ASSERT_EQ(cm.at(i).v, hm.at(i).v) << "PE " << i;
+  }
+}
+
+TEST_P(CccVsHypercube, DescendMatches) {
+  const CccConfig cfg = GetParam();
+  HypercubeMachine<Item> hm(cfg.dims());
+  CccMachine<Item> cm(cfg);
+  seed(hm);
+  seed(cm);
+  hm.descend(mix);
+  cm.descend(mix);
+  for (std::size_t i = 0; i < hm.size(); ++i) {
+    ASSERT_EQ(cm.at(i).v, hm.at(i).v) << "PE " << i;
+  }
+}
+
+TEST_P(CccVsHypercube, AscendRangeMatchesSegments) {
+  const CccConfig cfg = GetParam();
+  const int dims = cfg.dims();
+  for (int split = 0; split <= dims; ++split) {
+    HypercubeMachine<Item> hm(dims);
+    CccMachine<Item> cm(cfg);
+    seed(hm);
+    seed(cm);
+    // Hypercube: dims [split, dims) then [0, split) — two ascending runs.
+    for (int d = split; d < dims; ++d) hm.dim_step(d, mix);
+    for (int d = 0; d < split; ++d) hm.dim_step(d, mix);
+    cm.ascend_range(split, dims, mix);
+    cm.ascend_range(0, split, mix);
+    for (std::size_t i = 0; i < hm.size(); ++i) {
+      ASSERT_EQ(cm.at(i).v, hm.at(i).v) << "split " << split << " PE " << i;
+    }
+  }
+}
+
+TEST_P(CccVsHypercube, PipelinedSlowdownWithinPaperBand) {
+  const CccConfig cfg = GetParam();
+  HypercubeMachine<Item> hm(cfg.dims());
+  CccMachine<Item> cm(cfg);
+  seed(hm);
+  seed(cm);
+  hm.ascend(mix);
+  cm.ascend(mix);
+  const double slowdown =
+      static_cast<double>(cm.steps().parallel_steps) /
+      static_cast<double>(hm.steps().parallel_steps);
+  // Paper §3: "a slowdown of a factor of 4 to 6, regardless of network
+  // sizes". Allow a modest implementation margin.
+  EXPECT_GE(slowdown, 1.5);
+  EXPECT_LE(slowdown, 8.0);
+}
+
+TEST_P(CccVsHypercube, PipelinedBeatsUnpipelined) {
+  const CccConfig cfg = GetParam();
+  if (cfg.h < 3) GTEST_SKIP() << "pipelining pays off only with several laterals";
+  CccMachine<Item> pipelined(cfg), naive(cfg);
+  seed(pipelined);
+  seed(naive);
+  pipelined.ascend(mix);
+  naive.ascend_unpipelined(mix);
+  EXPECT_LT(pipelined.steps().parallel_steps, naive.steps().parallel_steps);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, CccVsHypercube,
+    ::testing::Values(CccConfig{1, 1}, CccConfig{1, 2}, CccConfig{2, 1},
+                      CccConfig{2, 3}, CccConfig::complete(2), CccConfig{3, 4},
+                      CccConfig{3, 7}, CccConfig::complete(3)),
+    [](const ::testing::TestParamInfo<CccConfig>& info) {
+      return "r" + std::to_string(info.param.r) + "h" +
+             std::to_string(info.param.h);
+    });
+
+TEST(CccMachine, LowDimExchangeAloneMatchesHypercubeDim) {
+  const CccConfig cfg{3, 2};
+  for (int b = 0; b < cfg.r; ++b) {
+    HypercubeMachine<Item> hm(cfg.dims());
+    CccMachine<Item> cm(cfg);
+    seed(hm);
+    seed(cm);
+    hm.dim_step(b, mix);
+    cm.low_dim_exchange(b, mix);
+    for (std::size_t i = 0; i < hm.size(); ++i) {
+      ASSERT_EQ(cm.at(i).v, hm.at(i).v) << "b=" << b << " PE " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ttp::net

@@ -1,0 +1,248 @@
+// Normal algorithms (bitonic sort, prefix sum) at all three levels: the
+// hypercube machine, the CCC machine (pipelined runs), and the bit-serial
+// BVM microcode — each against host-computed expectations.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "bvm/microcode/ids.hpp"
+#include "bvm/microcode/normal.hpp"
+#include "net/ccc.hpp"
+#include "net/hypercube.hpp"
+#include "net/normal.hpp"
+#include "util/rng.hpp"
+
+namespace ttp {
+namespace {
+
+std::vector<std::uint64_t> random_keys(std::size_t n, std::uint64_t seed,
+                                       std::uint64_t max) {
+  util::Rng rng(seed);
+  std::vector<std::uint64_t> v(n);
+  for (auto& x : v) x = rng.uniform(0, max);
+  return v;
+}
+
+TEST(NormalHypercube, BitonicSortMatchesStdSort) {
+  for (int dims : {1, 2, 3, 5, 8, 10}) {
+    net::HypercubeMachine<net::NormalItem> m(dims);
+    auto keys = random_keys(m.size(), static_cast<std::uint64_t>(dims), 1000);
+    for (std::size_t i = 0; i < m.size(); ++i) m.at(i).key = keys[i];
+    net::init_homes(m);
+    net::bitonic_sort(m);
+    std::sort(keys.begin(), keys.end());
+    for (std::size_t i = 0; i < m.size(); ++i) {
+      ASSERT_EQ(m.at(i).key, keys[i]) << "dims=" << dims << " i=" << i;
+    }
+  }
+}
+
+TEST(NormalHypercube, BitonicSortDuplicatesAndSortedInputs) {
+  net::HypercubeMachine<net::NormalItem> m(6);
+  // All-equal input.
+  for (std::size_t i = 0; i < m.size(); ++i) m.at(i).key = 7;
+  net::init_homes(m);
+  net::bitonic_sort(m);
+  for (std::size_t i = 0; i < m.size(); ++i) ASSERT_EQ(m.at(i).key, 7u);
+  // Reverse-sorted input.
+  for (std::size_t i = 0; i < m.size(); ++i) m.at(i).key = m.size() - i;
+  net::bitonic_sort(m);
+  for (std::size_t i = 0; i < m.size(); ++i) ASSERT_EQ(m.at(i).key, i + 1);
+}
+
+TEST(NormalHypercube, PrefixSumMatchesPartialSum) {
+  for (int dims : {1, 3, 6, 9}) {
+    net::HypercubeMachine<net::NormalItem> m(dims);
+    auto keys = random_keys(m.size(), 100 + static_cast<std::uint64_t>(dims), 50);
+    for (std::size_t i = 0; i < m.size(); ++i) m.at(i).key = keys[i];
+    net::init_homes(m);
+    net::prefix_sum(m);
+    std::uint64_t run = 0;
+    const std::uint64_t total =
+        std::accumulate(keys.begin(), keys.end(), std::uint64_t{0});
+    for (std::size_t i = 0; i < m.size(); ++i) {
+      run += keys[i];
+      ASSERT_EQ(m.at(i).aux, run) << "dims=" << dims << " i=" << i;
+      ASSERT_EQ(m.at(i).key, total);
+    }
+  }
+}
+
+class NormalCcc : public ::testing::TestWithParam<net::CccConfig> {};
+
+TEST_P(NormalCcc, BitonicSortMatchesStdSort) {
+  net::CccMachine<net::NormalItem> m(GetParam());
+  auto keys = random_keys(m.size(), 77, 5000);
+  for (std::size_t i = 0; i < m.size(); ++i) m.at(i).key = keys[i];
+  net::init_homes(m);
+  net::bitonic_sort(m);
+  std::sort(keys.begin(), keys.end());
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    ASSERT_EQ(m.at(i).key, keys[i]) << i;
+  }
+}
+
+TEST_P(NormalCcc, PrefixSumMatchesPartialSum) {
+  net::CccMachine<net::NormalItem> m(GetParam());
+  auto keys = random_keys(m.size(), 78, 64);
+  for (std::size_t i = 0; i < m.size(); ++i) m.at(i).key = keys[i];
+  net::init_homes(m);
+  net::prefix_sum(m);
+  std::uint64_t run = 0;
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    run += keys[i];
+    ASSERT_EQ(m.at(i).aux, run) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, NormalCcc,
+    ::testing::Values(net::CccConfig{1, 2}, net::CccConfig{2, 3},
+                      net::CccConfig::complete(2), net::CccConfig{3, 6},
+                      net::CccConfig::complete(3)),
+    [](const ::testing::TestParamInfo<net::CccConfig>& info) {
+      return "r" + std::to_string(info.param.r) + "h" +
+             std::to_string(info.param.h);
+    });
+
+struct BvmNormalFixture : ::testing::Test {
+  BvmNormalFixture() : m(bvm::BvmConfig{2, 3}) {  // 32 PEs, dims = 5
+    bvm::load_processor_id_host(m, pid);
+  }
+  static constexpr int kBits = 9;
+  bvm::Machine m;
+  const int pid = 0;
+  bvm::Field v{10, kBits}, prefix{10 + kBits, kBits};
+  bvm::NormalScratch ws{{10 + 2 * kBits, kBits}, 40, 41, 42, 43};
+};
+
+TEST_F(BvmNormalFixture, BitonicSortBitSerial) {
+  auto keys = random_keys(m.num_pes(), 5, (1u << kBits) - 2);
+  for (std::size_t pe = 0; pe < m.num_pes(); ++pe) {
+    m.poke_value(v.base, kBits, pe, keys[pe]);
+  }
+  bvm::bitonic_sort(m, v, pid, ws);
+  std::sort(keys.begin(), keys.end());
+  for (std::size_t pe = 0; pe < m.num_pes(); ++pe) {
+    ASSERT_EQ(m.peek_value(v.base, kBits, pe), keys[pe]) << pe;
+  }
+}
+
+TEST_F(BvmNormalFixture, BitonicSortAlreadySorted) {
+  for (std::size_t pe = 0; pe < m.num_pes(); ++pe) {
+    m.poke_value(v.base, kBits, pe, pe * 3);
+  }
+  bvm::bitonic_sort(m, v, pid, ws);
+  for (std::size_t pe = 0; pe < m.num_pes(); ++pe) {
+    ASSERT_EQ(m.peek_value(v.base, kBits, pe), pe * 3) << pe;
+  }
+}
+
+TEST_F(BvmNormalFixture, PrefixSumBitSerial) {
+  auto keys = random_keys(m.num_pes(), 6, 12);
+  for (std::size_t pe = 0; pe < m.num_pes(); ++pe) {
+    m.poke_value(v.base, kBits, pe, keys[pe]);
+  }
+  bvm::prefix_sum(m, v, prefix, pid, ws);
+  std::uint64_t run = 0;
+  const std::uint64_t total =
+      std::accumulate(keys.begin(), keys.end(), std::uint64_t{0});
+  for (std::size_t pe = 0; pe < m.num_pes(); ++pe) {
+    run += keys[pe];
+    ASSERT_EQ(m.peek_value(prefix.base, kBits, pe), run) << pe;
+    ASSERT_EQ(m.peek_value(v.base, kBits, pe), total) << pe;
+  }
+}
+
+TEST(NormalConcentrate, WordLevelRoutesFlaggedRecordsInOrder) {
+  for (int dims : {2, 4, 6}) {
+    net::HypercubeMachine<net::NormalItem> m(dims);
+    util::Rng rng(static_cast<std::uint64_t>(dims));
+    std::vector<std::uint64_t> expect;
+    for (std::size_t i = 0; i < m.size(); ++i) {
+      m.at(i).key = 100 + i;
+      const bool f = rng.bernoulli(0.4);
+      m.at(i).aux = f ? 1 : 0;
+      if (f) expect.push_back(100 + i);
+    }
+    net::init_homes(m);
+    net::concentrate(m);
+    for (std::size_t r = 0; r < expect.size(); ++r) {
+      ASSERT_EQ(m.at(r).key, expect[r]) << "dims=" << dims << " r=" << r;
+      ASSERT_EQ(m.at(r).aux, r);
+    }
+    for (std::size_t r = expect.size(); r < m.size(); ++r) {
+      ASSERT_EQ(m.at(r).aux, ~std::uint64_t{0}) << r;
+    }
+  }
+}
+
+TEST_F(BvmNormalFixture, ConcentrateBitSerial) {
+  // Flags on a third of the PEs; values identify their origin.
+  const bvm::Field rank{40, 6}, key{46, 6}, rank_x{52, 6};
+  const bvm::Field value_x{58, kBits};
+  const bvm::NormalScratch cws{{70, 6}, 80, 81, 82, 83};  // ws.x len = rank
+  const bvm::ConcentrateScratch cs{key, rank_x, value_x, 84};
+  const int flag = 85;
+  std::vector<std::uint64_t> expect;
+  util::Rng rng(12);
+  for (std::size_t pe = 0; pe < m.num_pes(); ++pe) {
+    m.poke_value(v.base, kBits, pe, 200 + pe);
+    const bool f = rng.bernoulli(0.35);
+    m.poke(bvm::Reg::R(flag), pe, f);
+    if (f) expect.push_back(200 + pe);
+  }
+  bvm::concentrate(m, flag, v, rank, pid, cws, cs);
+  for (std::size_t r = 0; r < expect.size(); ++r) {
+    ASSERT_EQ(m.peek_value(v.base, kBits, r), expect[r]) << r;
+    ASSERT_EQ(m.peek_value(rank.base, rank.len, r), r) << r;
+    ASSERT_TRUE(m.peek(bvm::Reg::R(flag), r)) << r;
+  }
+  for (std::size_t r = expect.size(); r < m.num_pes(); ++r) {
+    ASSERT_FALSE(m.peek(bvm::Reg::R(flag), r)) << r;
+  }
+}
+
+TEST_F(BvmNormalFixture, ConcentrateEdgeCases) {
+  const bvm::Field rank{40, 6}, key{46, 6}, rank_x{52, 6};
+  const bvm::Field value_x{58, kBits};
+  const bvm::NormalScratch cws{{70, 6}, 80, 81, 82, 83};
+  const bvm::ConcentrateScratch cs{key, rank_x, value_x, 84};
+  const int flag = 85;
+  // Nobody flagged: values permuted arbitrarily but flags all clear.
+  for (std::size_t pe = 0; pe < m.num_pes(); ++pe) {
+    m.poke_value(v.base, kBits, pe, pe);
+    m.poke(bvm::Reg::R(flag), pe, false);
+  }
+  bvm::concentrate(m, flag, v, rank, pid, cws, cs);
+  for (std::size_t pe = 0; pe < m.num_pes(); ++pe) {
+    ASSERT_FALSE(m.peek(bvm::Reg::R(flag), pe));
+  }
+  // Everybody flagged: identity routing.
+  for (std::size_t pe = 0; pe < m.num_pes(); ++pe) {
+    m.poke_value(v.base, kBits, pe, 7 * pe % 300);
+    m.poke(bvm::Reg::R(flag), pe, true);
+  }
+  bvm::concentrate(m, flag, v, rank, pid, cws, cs);
+  for (std::size_t pe = 0; pe < m.num_pes(); ++pe) {
+    ASSERT_EQ(m.peek_value(v.base, kBits, pe), 7 * pe % 300) << pe;
+    ASSERT_EQ(m.peek_value(rank.base, rank.len, pe), pe) << pe;
+  }
+}
+
+TEST_F(BvmNormalFixture, PrefixSumSaturates) {
+  // Totals beyond the field saturate to INF and stay there.
+  for (std::size_t pe = 0; pe < m.num_pes(); ++pe) {
+    m.poke_value(v.base, kBits, pe, 100);
+  }
+  bvm::prefix_sum(m, v, prefix, pid, ws);
+  const std::uint64_t inf = bvm::field_inf(kBits);
+  ASSERT_EQ(m.peek_value(prefix.base, kBits, 0), 100u);
+  ASSERT_EQ(m.peek_value(prefix.base, kBits, m.num_pes() - 1), inf);
+  ASSERT_EQ(m.peek_value(v.base, kBits, 0), inf);
+}
+
+}  // namespace
+}  // namespace ttp

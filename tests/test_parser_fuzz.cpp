@@ -1,0 +1,109 @@
+// Robustness fuzzing of the two text parsers (BVM assembler, TT instance
+// serializer): random garbage must produce exceptions, never crashes or
+// silent acceptance of nonsense; random round-trip inputs must re-parse.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "bvm/assembler.hpp"
+#include "tt/generator.hpp"
+#include "tt/serialize.hpp"
+#include "util/rng.hpp"
+
+namespace ttp {
+namespace {
+
+std::string random_garbage(util::Rng& rng, std::size_t len) {
+  static const char alphabet[] =
+      "ABR[]{}(),=.:# 0123456789xfgIESPLN\n\ttweights";
+  std::string s;
+  for (std::size_t i = 0; i < len; ++i) {
+    s += alphabet[rng.uniform(0, sizeof(alphabet) - 2)];
+  }
+  return s;
+}
+
+TEST(ParserFuzz, AssemblerNeverCrashesOnGarbage) {
+  util::Rng rng(0xA55);
+  int accepted = 0;
+  for (int trial = 0; trial < 3000; ++trial) {
+    const std::string text = random_garbage(rng, rng.uniform(1, 60));
+    try {
+      (void)bvm::assemble(text);
+      ++accepted;  // blank/comment-only inputs legitimately parse
+    } catch (const std::invalid_argument&) {
+      // expected for garbage
+    } catch (const std::out_of_range&) {
+      // stoull overflow on silly numbers — acceptable rejection
+    }
+  }
+  // Almost everything must be rejected; comment/blank-only lines pass.
+  EXPECT_LT(accepted, 600);
+}
+
+TEST(ParserFuzz, SerializerNeverCrashesOnGarbage) {
+  util::Rng rng(0xB66);
+  for (int trial = 0; trial < 3000; ++trial) {
+    const std::string text = random_garbage(rng, rng.uniform(1, 80));
+    try {
+      (void)tt::from_text(text);
+    } catch (const std::invalid_argument&) {
+    } catch (const std::out_of_range&) {
+    }
+  }
+  SUCCEED();
+}
+
+TEST(ParserFuzz, MutatedValidInstancesEitherParseOrThrow) {
+  util::Rng rng(0xC77);
+  const tt::Instance base = tt::fig1_example();
+  const std::string good = tt::to_text(base);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string text = good;
+    // Flip a few characters.
+    for (int f = 0; f < 3; ++f) {
+      const std::size_t pos = rng.uniform(0, text.size() - 1);
+      text[pos] = static_cast<char>('0' + rng.uniform(0, 74));
+    }
+    try {
+      const tt::Instance ins = tt::from_text(text);
+      ins.check();  // anything accepted must be structurally sane
+    } catch (const std::exception&) {
+      // rejection is fine
+    }
+  }
+  SUCCEED();
+}
+
+TEST(ParserFuzz, AssemblerRoundTripUnderRandomPrograms) {
+  util::Rng rng(0xD88);
+  for (int trial = 0; trial < 500; ++trial) {
+    bvm::Instr in;
+    const auto droll = rng.uniform(0, 9);
+    in.dest = droll == 0   ? bvm::Reg::MakeA()
+              : droll == 1 ? bvm::Reg::MakeE()
+                           : bvm::Reg::R(static_cast<int>(rng.uniform(0, 255)));
+    in.f = static_cast<std::uint8_t>(rng.uniform(0, 255));
+    in.g = static_cast<std::uint8_t>(rng.uniform(0, 255));
+    in.src_f = rng.bernoulli(0.3)
+                   ? bvm::Reg::MakeA()
+                   : bvm::Reg::R(static_cast<int>(rng.uniform(0, 255)));
+    in.src_d = rng.bernoulli(0.3)
+                   ? bvm::Reg::MakeA()
+                   : bvm::Reg::R(static_cast<int>(rng.uniform(0, 255)));
+    const bvm::Nbr nbrs[] = {bvm::Nbr::None, bvm::Nbr::S,  bvm::Nbr::P,
+                             bvm::Nbr::L,    bvm::Nbr::XS, bvm::Nbr::XP,
+                             bvm::Nbr::I};
+    in.d_nbr = nbrs[rng.uniform(0, 6)];
+    const auto aroll = rng.uniform(0, 2);
+    if (aroll) {
+      in.act = aroll == 1 ? bvm::Act::If : bvm::Act::Nf;
+      in.act_set = rng.next_u64() & 0xFFFF;
+    }
+    const bvm::Instr back = bvm::parse_instr(in.to_string());
+    ASSERT_EQ(back.to_string(), in.to_string());
+  }
+}
+
+}  // namespace
+}  // namespace ttp

@@ -1,0 +1,219 @@
+// Property-based tests of the TT dynamic program itself: invariants that
+// must hold for any instance, checked over random-seed sweeps.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tt/generator.hpp"
+#include "tt/solver_sequential.hpp"
+#include "util/rng.hpp"
+
+namespace ttp::tt {
+namespace {
+
+Instance random_adequate(std::uint64_t seed, int k = 5) {
+  util::Rng rng(seed);
+  RandomOptions opt;
+  opt.num_tests = 4;
+  opt.num_treatments = 4;
+  return random_instance(k, opt, rng);
+}
+
+class DpProperties : public ::testing::TestWithParam<int> {};
+
+TEST_P(DpProperties, CostScalingIsLinear) {
+  // Multiplying every action cost by c multiplies C(S) by c.
+  const Instance a = random_adequate(static_cast<std::uint64_t>(GetParam()));
+  Instance b(a.k(), a.weights());
+  const double c = 3.5;
+  for (const Action& act : a.actions()) {
+    if (act.is_test) {
+      b.add_test(act.set, act.cost * c, act.name);
+    } else {
+      b.add_treatment(act.set, act.cost * c, act.name);
+    }
+  }
+  const auto ra = SequentialSolver().solve(a);
+  const auto rb = SequentialSolver().solve(b);
+  for (std::size_t s = 0; s < ra.table.cost.size(); ++s) {
+    if (std::isinf(ra.table.cost[s])) {
+      EXPECT_TRUE(std::isinf(rb.table.cost[s]));
+    } else {
+      EXPECT_NEAR(rb.table.cost[s], c * ra.table.cost[s],
+                  1e-9 * (1 + std::fabs(ra.table.cost[s])));
+    }
+  }
+}
+
+TEST_P(DpProperties, WeightScalingIsLinear) {
+  // Multiplying every prior by w multiplies C(S) by w (weights are not
+  // normalized — the paper notes sub-problems "technically are not TT
+  // problems themselves" for the same reason).
+  const Instance a = random_adequate(static_cast<std::uint64_t>(GetParam()));
+  const double w = 2.25;
+  std::vector<double> weights = a.weights();
+  for (double& x : weights) x *= w;
+  Instance b(a.k(), std::move(weights));
+  for (const Action& act : a.actions()) {
+    if (act.is_test) {
+      b.add_test(act.set, act.cost, act.name);
+    } else {
+      b.add_treatment(act.set, act.cost, act.name);
+    }
+  }
+  const auto ra = SequentialSolver().solve(a);
+  const auto rb = SequentialSolver().solve(b);
+  if (std::isinf(ra.cost)) {
+    EXPECT_TRUE(std::isinf(rb.cost));
+  } else {
+    EXPECT_NEAR(rb.cost, w * ra.cost, 1e-9 * (1 + ra.cost));
+  }
+}
+
+TEST_P(DpProperties, AddingAnActionNeverHurts) {
+  const Instance a = random_adequate(static_cast<std::uint64_t>(GetParam()));
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) + 999);
+  Instance b(a.k(), a.weights());
+  for (const Action& act : a.actions()) {
+    if (act.is_test) {
+      b.add_test(act.set, act.cost, act.name);
+    } else {
+      b.add_treatment(act.set, act.cost, act.name);
+    }
+  }
+  b.add_test(rng.nonempty_subset(b.universe()), 0.01, "bonus_test");
+  b.add_treatment(rng.nonempty_subset(b.universe()), 0.01, "bonus_treat");
+  const auto ra = SequentialSolver().solve(a);
+  const auto rb = SequentialSolver().solve(b);
+  for (std::size_t s = 0; s < ra.table.cost.size(); ++s) {
+    EXPECT_LE(rb.table.cost[s], ra.table.cost[s] + 1e-12) << s;
+  }
+}
+
+TEST_P(DpProperties, ObjectRelabelingIsIsomorphic) {
+  // Permuting object identities permutes the table but preserves C(U).
+  const Instance a = random_adequate(static_cast<std::uint64_t>(GetParam()));
+  const int k = a.k();
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) + 7);
+  std::vector<int> perm(static_cast<std::size_t>(k));
+  for (int j = 0; j < k; ++j) perm[static_cast<std::size_t>(j)] = j;
+  rng.shuffle(perm);
+  auto map_mask = [&](Mask m) {
+    Mask out = 0;
+    for (int j = 0; j < k; ++j) {
+      if (util::has_bit(m, j)) out |= util::bit(perm[static_cast<std::size_t>(j)]);
+    }
+    return out;
+  };
+  std::vector<double> weights(static_cast<std::size_t>(k));
+  for (int j = 0; j < k; ++j) {
+    weights[static_cast<std::size_t>(perm[static_cast<std::size_t>(j)])] =
+        a.weight(j);
+  }
+  Instance b(k, std::move(weights));
+  for (const Action& act : a.actions()) {
+    if (act.is_test) {
+      b.add_test(map_mask(act.set), act.cost, act.name);
+    } else {
+      b.add_treatment(map_mask(act.set), act.cost, act.name);
+    }
+  }
+  const auto ra = SequentialSolver().solve(a);
+  const auto rb = SequentialSolver().solve(b);
+  for (std::size_t s = 0; s < ra.table.cost.size(); ++s) {
+    const double ca = ra.table.cost[s];
+    const double cb = rb.table.cost[map_mask(static_cast<Mask>(s))];
+    if (std::isinf(ca)) {
+      EXPECT_TRUE(std::isinf(cb)) << s;
+    } else {
+      EXPECT_NEAR(ca, cb, 1e-9) << s;
+    }
+  }
+}
+
+TEST_P(DpProperties, SubtreeOptimality) {
+  // Every subtree of the optimal procedure is itself optimal for its state
+  // — the Bellman property the recurrence rests on.
+  const Instance a = random_adequate(static_cast<std::uint64_t>(GetParam()));
+  const auto res = SequentialSolver().solve(a);
+  if (std::isinf(res.cost)) GTEST_SKIP();
+  for (const TreeNode& node : res.tree.nodes()) {
+    // The tree rooted at `node` costs exactly C(node.state).
+    double subtree = 0.0;
+    for (int j = 0; j < a.k(); ++j) {
+      if (!util::has_bit(node.state, j)) continue;
+      // Path cost from this node down, for object j.
+      double cost = 0.0;
+      const TreeNode* cur = &node;
+      while (true) {
+        const Action& act = a.action(cur->action);
+        cost += act.cost;
+        const bool inside = util::has_bit(act.set, j);
+        int next;
+        if (act.is_test) {
+          next = inside ? cur->yes : cur->no;
+        } else if (inside) {
+          break;
+        } else {
+          next = cur->no;
+        }
+        ASSERT_GE(next, 0);
+        cur = &res.tree.node(next);
+      }
+      subtree += cost * a.weight(j);
+    }
+    EXPECT_NEAR(subtree, res.table.cost[node.state], 1e-9)
+        << util::mask_to_string(node.state);
+  }
+}
+
+TEST_P(DpProperties, AdequacyMatchesCoverageForTreatmentReachability) {
+  // C(U) finite implies every object treatable; with only treatments the
+  // converse also holds.
+  const Instance a = random_adequate(static_cast<std::uint64_t>(GetParam()));
+  const auto res = SequentialSolver().solve(a);
+  if (!std::isinf(res.cost)) {
+    EXPECT_TRUE(a.every_object_treatable());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DpProperties, ::testing::Range(0, 12));
+
+TEST(DpEdgeCases, SingleObjectNoTreatment) {
+  Instance ins(1, {1.0});
+  ins.add_test(0b1, 1.0);  // tests alone can never treat
+  const auto res = SequentialSolver().solve(ins);
+  EXPECT_TRUE(std::isinf(res.cost));
+}
+
+TEST(DpEdgeCases, ZeroCostActionsAreFine) {
+  Instance ins(2, {1.0, 1.0});
+  ins.add_test(0b01, 0.0);
+  ins.add_treatment(0b01, 0.0);
+  ins.add_treatment(0b10, 0.0);
+  const auto res = SequentialSolver().solve(ins);
+  EXPECT_DOUBLE_EQ(res.cost, 0.0);
+  EXPECT_FALSE(res.tree.empty());
+}
+
+TEST(DpEdgeCases, DuplicateActionsTieBreakToLowestIndex) {
+  Instance ins(2, {1.0, 1.0});
+  ins.add_treatment(0b11, 2.0, "first");
+  ins.add_treatment(0b11, 2.0, "second");
+  const auto res = SequentialSolver().solve(ins);
+  EXPECT_EQ(ins.action(res.table.best_action[0b11]).name, "first");
+}
+
+TEST(DpEdgeCases, MaximalKSmoke) {
+  // k = 16: 65k states; keep N small. Mostly a memory/time smoke test.
+  util::Rng rng(4242);
+  RandomOptions opt;
+  opt.num_tests = 5;
+  opt.num_treatments = 5;
+  const Instance ins = random_instance(16, opt, rng);
+  const auto res = SequentialSolver().solve(ins);
+  EXPECT_FALSE(std::isinf(res.cost));
+}
+
+}  // namespace
+}  // namespace ttp::tt

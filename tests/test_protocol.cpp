@@ -1,0 +1,79 @@
+// Protocol rendering: structure, numbering, branch-target consistency.
+#include <gtest/gtest.h>
+
+#include <regex>
+
+#include "tt/generator.hpp"
+#include "tt/protocol.hpp"
+#include "tt/solver_sequential.hpp"
+#include "util/rng.hpp"
+
+namespace ttp::tt {
+namespace {
+
+TEST(Protocol, Fig1RendersAllSteps) {
+  const Instance ins = fig1_example();
+  const auto res = SequentialSolver().solve(ins);
+  ProtocolOptions opt;
+  opt.object_names = {"flu", "strep", "mono", "covid"};
+  const std::string doc = render_protocol(ins, res.tree, opt);
+
+  // One numbered line per node.
+  for (int s = 1; s <= res.tree.size(); ++s) {
+    EXPECT_NE(doc.find("\n" + std::to_string(s) + ". "),
+              std::string::npos)
+        << "missing step " << s << " in:\n"
+        << doc;
+  }
+  EXPECT_NE(doc.find("Run test \"testAB\""), std::string::npos);
+  EXPECT_NE(doc.find("strep"), std::string::npos);
+  EXPECT_NE(doc.find("cured -> done"), std::string::npos);
+}
+
+TEST(Protocol, BranchTargetsAreValidStepNumbers) {
+  util::Rng rng(2);
+  const Instance ins = medical_instance(6, 5, rng);
+  const auto res = SequentialSolver().solve(ins);
+  const std::string doc = render_protocol(ins, res.tree);
+
+  const std::regex target(R"(-> step (\d+))");
+  auto begin = std::sregex_iterator(doc.begin(), doc.end(), target);
+  int count = 0;
+  for (auto it = begin; it != std::sregex_iterator{}; ++it) {
+    const int step = std::stoi((*it)[1].str());
+    EXPECT_GE(step, 2);  // nothing points back at the root
+    EXPECT_LE(step, res.tree.size());
+    ++count;
+  }
+  EXPECT_GT(count, 0);
+}
+
+TEST(Protocol, RootIsStepOneAndBreadthFirst) {
+  const Instance ins = fig1_example();
+  const auto res = SequentialSolver().solve(ins);
+  const std::string doc = render_protocol(ins, res.tree);
+  const Action& root = ins.action(res.tree.node(res.tree.root()).action);
+  // Step 1 names the root action.
+  const auto pos1 = doc.find("1. ");
+  ASSERT_NE(pos1, std::string::npos);
+  EXPECT_NE(doc.find(root.name, pos1), std::string::npos);
+}
+
+TEST(Protocol, OptionsToggleDetails) {
+  const Instance ins = fig1_example();
+  const auto res = SequentialSolver().solve(ins);
+  ProtocolOptions bare;
+  bare.include_candidates = false;
+  bare.include_costs = false;
+  const std::string doc = render_protocol(ins, res.tree, bare);
+  EXPECT_EQ(doc.find("candidates:"), std::string::npos);
+  EXPECT_EQ(doc.find("cost"), std::string::npos);
+}
+
+TEST(Protocol, RejectsEmptyTree) {
+  const Instance ins = fig1_example();
+  EXPECT_THROW(render_protocol(ins, Tree{}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ttp::tt

@@ -1,0 +1,49 @@
+// Machine-sizing arithmetic (the §1 feasibility claims' backbone).
+#include <gtest/gtest.h>
+
+#include "tt/sizing.hpp"
+
+namespace ttp::tt {
+namespace {
+
+TEST(Sizing, SizeForRoundsActionsToPowerOfTwo) {
+  const SizingRow r = size_for(4, 5);
+  EXPECT_EQ(r.machine_dims, 4 + 3);  // 5 -> 8 actions
+  EXPECT_EQ(r.pes, std::uint64_t{1} << 7);
+  EXPECT_TRUE(r.fits_2_20);
+  EXPECT_TRUE(r.fits_2_30);
+}
+
+TEST(Sizing, HeadlineNumbers) {
+  // k = 15, N = 2^15: exactly 2^30 PEs — the paper's feasible machine.
+  const SizingRow r = size_for(15, std::uint64_t{1} << 15);
+  EXPECT_EQ(r.machine_dims, 30);
+  EXPECT_FALSE(r.fits_2_20);
+  EXPECT_TRUE(r.fits_2_30);
+  EXPECT_EQ(max_k_for_machine(30, ActionBudget::kAllSubsets), 15);
+  const int quad = max_k_for_machine(30, ActionBudget::kQuadratic);
+  EXPECT_GE(quad, 20);  // "a few more elements, e.g. 20"
+  EXPECT_LE(quad, 24);
+}
+
+TEST(Sizing, BudgetsAreMonotone) {
+  for (auto policy : {ActionBudget::kAllSubsets, ActionBudget::kQuadratic,
+                      ActionBudget::kLinear}) {
+    EXPECT_LE(max_k_for_machine(20, policy), max_k_for_machine(30, policy));
+    EXPECT_FALSE(budget_name(policy).empty());
+  }
+}
+
+TEST(Sizing, ActionBudgetFormulas) {
+  EXPECT_EQ(actions_for(10, ActionBudget::kAllSubsets), 1024u);
+  EXPECT_EQ(actions_for(10, ActionBudget::kQuadratic), 100u);
+  EXPECT_EQ(actions_for(10, ActionBudget::kLinear), 40u);
+}
+
+TEST(Sizing, EdgeActionsOfOne) {
+  const SizingRow r = size_for(3, 1);
+  EXPECT_EQ(r.machine_dims, 4);  // N padded to at least 2
+}
+
+}  // namespace
+}  // namespace ttp::tt

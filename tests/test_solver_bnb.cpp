@@ -1,0 +1,115 @@
+// Branch-and-bound solver: exactness against the layered DP, reachability
+// savings on structured instances, and pruning sanity.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tt/generator.hpp"
+#include "tt/solver_bnb.hpp"
+#include "tt/solver_sequential.hpp"
+#include "tt/validate.hpp"
+#include "util/rng.hpp"
+
+namespace ttp::tt {
+namespace {
+
+class BnbExact : public ::testing::TestWithParam<int> {};
+
+TEST_P(BnbExact, MatchesSequentialCostOnAllVisitedStates) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  Instance ins = [&]() -> Instance {
+    switch (GetParam() % 4) {
+      case 0:
+        return random_instance(5 + GetParam() % 3, RandomOptions{}, rng);
+      case 1:
+        return medical_instance(6, 5, rng);
+      case 2:
+        return machine_fault_instance(7, rng);
+      default:
+        return biology_key_instance(6, rng);
+    }
+  }();
+  const auto seq = SequentialSolver().solve(ins);
+  const auto bnb = BnbSolver().solve(ins);
+  EXPECT_EQ(bnb.cost, seq.cost);
+  // Every state B&B visited carries the exact DP value.
+  for (std::size_t s = 0; s < seq.table.cost.size(); ++s) {
+    if (bnb.table.best_action[s] >= 0 || bnb.table.cost[s] == 0.0) {
+      EXPECT_EQ(bnb.table.cost[s], seq.table.cost[s])
+          << util::mask_to_string(static_cast<Mask>(s));
+    }
+  }
+  if (!std::isinf(seq.cost)) {
+    const auto rep = validate_tree(ins, bnb.tree, seq.cost);
+    EXPECT_TRUE(rep.ok) << (rep.errors.empty() ? "" : rep.errors[0]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BnbExact, ::testing::Range(0, 16));
+
+// Prefix family: tests AND treatments are prefixes {0..i}. Every reachable
+// state is then an interval {a..b} — O(k^2) states, far below 2^k. (Any
+// instance with singleton treatments reaches every subset from U, so
+// sub-exponential reachability needs coarse treatments.)
+Instance prefix_chain_instance(int k) {
+  Instance ins(k, std::vector<double>(static_cast<std::size_t>(k), 1.0));
+  for (int i = 0; i + 1 < k; ++i) {
+    ins.add_test(util::universe(i + 1), 1.0, "prefix" + std::to_string(i));
+  }
+  for (int i = 0; i < k; ++i) {
+    ins.add_treatment(util::universe(i + 1), 1.0 + 0.5 * (i + 1),
+                      "fixpre" + std::to_string(i));
+  }
+  return ins;
+}
+
+TEST(BnbSolver, VisitsFarFewerStatesOnStructuredInstances) {
+  const Instance ins = prefix_chain_instance(12);
+  const auto bnb = BnbSolver().solve(ins);
+  const auto seq = SequentialSolver().solve(ins);
+  EXPECT_EQ(bnb.cost, seq.cost);
+  const std::size_t full = std::size_t{1} << ins.k();
+  const std::size_t reachable = BnbSolver::count_reachable(ins);
+  EXPECT_LT(reachable, full / 8)
+      << "structured instances should not need the full state space";
+  // And the reachable set is a sound upper bound on visits.
+  EXPECT_LE(bnb.breakdown.get("visited_states"), reachable);
+}
+
+TEST(BnbSolver, ReachableCountsAreExactForTinyCases) {
+  // One test splitting {0,1}|{2}, singleton treatments. From U = {0,1,2}:
+  // treat0 -> {1,2}; treat1 -> {0,2}; treat2 -> {0,1}; test -> {0,1},{2}...
+  Instance ins(3, {1, 1, 1});
+  ins.add_test(0b011, 1.0);
+  for (int j = 0; j < 3; ++j) ins.add_treatment(util::bit(j), 1.0);
+  const auto n = BnbSolver::count_reachable(ins);
+  EXPECT_EQ(n, 8u);  // this instance happens to reach everything
+}
+
+TEST(BnbSolver, PrunesSomething) {
+  util::Rng rng(5);
+  const Instance ins = medical_instance(7, 6, rng);
+  const auto bnb = BnbSolver().solve(ins);
+  EXPECT_GT(bnb.breakdown.get("pruned_actions"), 0u);
+}
+
+TEST(BnbSolver, InfeasibleInstance) {
+  Instance ins(2, {1, 1});
+  ins.add_test(0b01, 1.0);
+  ins.add_treatment(0b01, 1.0);
+  const auto bnb = BnbSolver().solve(ins);
+  EXPECT_TRUE(std::isinf(bnb.cost));
+  EXPECT_TRUE(bnb.tree.empty());
+}
+
+TEST(BnbSolver, LargerKThanTheDenseTableWouldLike) {
+  // k = 20 prefix chain: the dense DP would sweep 2^20 states x N; the
+  // top-down solver's search space is polynomial here.
+  const Instance ins = prefix_chain_instance(20);
+  const auto bnb = BnbSolver().solve(ins);
+  EXPECT_FALSE(std::isinf(bnb.cost));
+  EXPECT_LT(bnb.breakdown.get("visited_states"), std::uint64_t{1} << 14);
+}
+
+}  // namespace
+}  // namespace ttp::tt

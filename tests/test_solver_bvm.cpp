@@ -1,0 +1,153 @@
+// The full bit-serial BVM TT solver against the sequential DP.
+//
+// Integer-cost/weight instances with a pure-integer fixed-point format must
+// match the sequential solver EXACTLY (table, argmin, tree); fractional
+// instances match within quantization error.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tt/generator.hpp"
+#include "tt/report.hpp"
+#include "tt/solver_bvm.hpp"
+#include "tt/solver_sequential.hpp"
+#include "tt/validate.hpp"
+
+namespace ttp::tt {
+namespace {
+
+BvmSolverOptions integer_opts(bvm::LayerMode mode = bvm::LayerMode::kPropagation) {
+  BvmSolverOptions opt;
+  opt.format = util::Fixed::Format{24, 0};  // pure integers, no rounding
+  opt.layer_mode = mode;
+  return opt;
+}
+
+Instance integer_instance(int k, std::uint64_t seed) {
+  util::Rng rng(seed);
+  RandomOptions opt;
+  opt.num_tests = 3;
+  opt.num_treatments = 3;
+  opt.integer_costs = true;
+  opt.integer_weights = true;
+  opt.max_cost = 4.0;
+  return random_instance(k, opt, rng);
+}
+
+TEST(BvmSolver, TinyHandComputedInstance) {
+  Instance ins(2, {1.0, 1.0});
+  ins.add_test(0b01, 1.0);
+  ins.add_treatment(0b01, 2.0);
+  ins.add_treatment(0b10, 2.0);
+  const auto res = BvmSolver(integer_opts()).solve(ins);
+  const auto seq = SequentialSolver().solve(ins);
+  EXPECT_DOUBLE_EQ(res.cost, seq.cost);
+  EXPECT_EQ(res.table.best_action, seq.table.best_action);
+}
+
+TEST(BvmSolver, Fig1IntegerScaled) {
+  // fig1 has fractional weights; use a binary-friendly format (frac = 4:
+  // weights 0.4 etc. quantize) and compare within quantization slack.
+  const Instance ins = fig1_example();
+  BvmSolverOptions opt;
+  opt.format = util::Fixed::Format{26, 10};
+  const auto res = BvmSolver(opt).solve(ins);
+  const auto seq = SequentialSolver().solve(ins);
+  EXPECT_NEAR(res.cost, seq.cost, 0.05);
+  const auto rep = validate_tree(ins, res.tree, res.cost, 0.05);
+  EXPECT_TRUE(rep.ok) << (rep.errors.empty() ? "" : rep.errors[0]);
+}
+
+class BvmExact : public ::testing::TestWithParam<int> {};
+
+TEST_P(BvmExact, MatchesSequentialExactlyOnIntegerInstances) {
+  const Instance ins = integer_instance(3 + GetParam() % 3,
+                                        static_cast<std::uint64_t>(GetParam()));
+  const auto seq = SequentialSolver().solve(ins);
+  const auto res = BvmSolver(integer_opts()).solve(ins);
+  EXPECT_EQ(max_table_diff(seq.table, res.table), 0.0) << describe(ins);
+  EXPECT_EQ(seq.table.best_action, res.table.best_action) << describe(ins);
+  if (!std::isinf(seq.cost)) {
+    EXPECT_EQ(res.tree.size(), seq.tree.size());
+    EXPECT_DOUBLE_EQ(res.tree.expected_cost(ins), seq.cost);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BvmExact, ::testing::Range(0, 10));
+
+TEST(BvmSolver, LayerModesAgree) {
+  const Instance ins = integer_instance(4, 77);
+  const auto prop =
+      BvmSolver(integer_opts(bvm::LayerMode::kPropagation)).solve(ins);
+  const auto pop =
+      BvmSolver(integer_opts(bvm::LayerMode::kPopcount)).solve(ins);
+  EXPECT_EQ(max_table_diff(prop.table, pop.table), 0.0);
+  EXPECT_EQ(prop.table.best_action, pop.table.best_action);
+  // Instruction counts differ between the modes (E14's subject).
+  EXPECT_NE(prop.breakdown.get("bvm_instructions"),
+            pop.breakdown.get("bvm_instructions"));
+}
+
+TEST(BvmSolver, HostIdsMatchOnMachineIds) {
+  const Instance ins = integer_instance(4, 11);
+  BvmSolverOptions host = integer_opts();
+  host.on_machine_ids = false;
+  const auto a = BvmSolver(integer_opts()).solve(ins);
+  const auto b = BvmSolver(host).solve(ins);
+  EXPECT_EQ(max_table_diff(a.table, b.table), 0.0);
+  EXPECT_LT(b.breakdown.get("bvm_instructions"),
+            a.breakdown.get("bvm_instructions"));
+}
+
+TEST(BvmSolver, SerialIoMatchesDma) {
+  const Instance ins = integer_instance(3, 5);
+  BvmSolverOptions serial = integer_opts();
+  serial.serial_io = true;
+  const auto a = BvmSolver(integer_opts()).solve(ins);
+  const auto b = BvmSolver(serial).solve(ins);
+  EXPECT_EQ(max_table_diff(a.table, b.table), 0.0);
+  EXPECT_GT(b.breakdown.get("bvm_instructions"),
+            a.breakdown.get("bvm_instructions"));
+}
+
+TEST(BvmSolver, InfeasibleInstance) {
+  Instance ins(2, {1.0, 1.0});
+  ins.add_test(0b01, 1.0);
+  ins.add_treatment(0b01, 1.0);
+  const auto res = BvmSolver(integer_opts()).solve(ins);
+  EXPECT_TRUE(std::isinf(res.cost));
+  EXPECT_TRUE(res.tree.empty());
+}
+
+TEST(BvmSolver, SaturationPinsHugeCostsToInf) {
+  // Costs that overflow the tiny format must surface as INF, never as a
+  // wrapped small number (the saturating-arithmetic guarantee end to end).
+  Instance ins(2, {7.0, 7.0});
+  ins.add_treatment(0b11, 100.0);  // 100*14 = 1400 >> 2^8
+  BvmSolverOptions opt;
+  opt.format = util::Fixed::Format{8, 0};
+  const auto res = BvmSolver(opt).solve(ins);
+  EXPECT_TRUE(std::isinf(res.cost));
+}
+
+TEST(BvmSolver, RegisterBudgetWithinMachineLimit) {
+  const Instance ins = integer_instance(5, 3);
+  EXPECT_LE(BvmSolver::registers_needed(ins, 24), 256);
+  // The paper's flagship shape: k=15, N=32, p=16.
+  Instance big(15, std::vector<double>(15, 1.0));
+  for (int i = 0; i < 16; ++i) big.add_test(util::bit(i % 15), 1.0);
+  for (int i = 0; i < 15; ++i) big.add_treatment(util::bit(i), 1.0);
+  EXPECT_LE(BvmSolver::registers_needed(big, 16), 256);
+}
+
+TEST(BvmSolver, ReportsMachineMetrics) {
+  const Instance ins = integer_instance(4, 2);
+  const auto res = BvmSolver(integer_opts()).solve(ins);
+  EXPECT_GT(res.breakdown.get("bvm_instructions"), 0u);
+  EXPECT_GT(res.breakdown.get("layers"), 0u);
+  EXPECT_EQ(res.breakdown.get("bvm_pes"),
+            std::uint64_t{1} << (ins.k() + 3));
+}
+
+}  // namespace
+}  // namespace ttp::tt

@@ -1,0 +1,141 @@
+// The paper's parallel TT algorithm on the hypercube and CCC machines must
+// reproduce the sequential DP table bit-for-bit (same kernel arithmetic,
+// same tie-breaking) on every instance family.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tt/generator.hpp"
+#include "tt/report.hpp"
+#include "tt/solver_ccc.hpp"
+#include "tt/solver_hypercube.hpp"
+#include "tt/solver_sequential.hpp"
+#include "tt/validate.hpp"
+
+namespace ttp::tt {
+namespace {
+
+void expect_identical(const Instance& ins, const SolveResult& seq,
+                      const SolveResult& par, const char* name) {
+  EXPECT_EQ(max_table_diff(seq.table, par.table), 0.0) << name << "\n"
+                                                       << describe(ins);
+  EXPECT_EQ(seq.table.best_action, par.table.best_action) << name;
+  if (!std::isinf(seq.cost)) {
+    EXPECT_EQ(seq.tree.size(), par.tree.size()) << name;
+    EXPECT_DOUBLE_EQ(par.tree.expected_cost(ins), seq.cost) << name;
+  } else {
+    EXPECT_TRUE(par.tree.empty()) << name;
+  }
+}
+
+TEST(HypercubeSolver, Fig1Identical) {
+  const Instance ins = fig1_example();
+  const auto seq = SequentialSolver().solve(ins);
+  const auto par = HypercubeSolver().solve(ins);
+  expect_identical(ins, seq, par, "hypercube");
+}
+
+TEST(HypercubeSolver, ActionPaddingNeverWins) {
+  // N = 3 pads to 4; the padding treatment (T = U, INF cost) must never be
+  // selected anywhere.
+  Instance ins(3, {1, 1, 1});
+  ins.add_test(0b011, 1.0);
+  ins.add_treatment(0b101, 1.0);
+  ins.add_treatment(0b110, 1.0);
+  const auto par = HypercubeSolver().solve(ins);
+  for (std::size_t s = 1; s < par.table.cost.size(); ++s) {
+    if (!std::isinf(par.table.cost[s])) {
+      EXPECT_LT(par.table.best_action[s], ins.num_actions());
+    }
+  }
+  const auto seq = SequentialSolver().solve(ins);
+  expect_identical(ins, seq, par, "hypercube");
+}
+
+TEST(HypercubeSolver, InadequateInstance) {
+  Instance ins(2, {1, 1});
+  ins.add_test(0b01, 1.0);
+  ins.add_treatment(0b01, 2.0);
+  const auto par = HypercubeSolver().solve(ins);
+  EXPECT_TRUE(std::isinf(par.cost));
+  EXPECT_TRUE(par.tree.empty());
+}
+
+TEST(HypercubeSolver, StepCountScalesWithLayersNotStates) {
+  // T_par per layer: O(k + log N) dim steps; total O(k(k + log N)) — the
+  // word-level version of the paper's bound. Verify the exact formula of
+  // this implementation: per layer 2 local + 2k e-steps + a min-steps.
+  util::Rng rng(3);
+  const Instance ins = random_instance(6, RandomOptions{}, rng);
+  const auto par = HypercubeSolver().solve(ins);
+  const int k = ins.k();
+  const int a = HypercubeSolver::action_dims(ins);
+  const std::uint64_t expect =
+      1 /*init*/ +
+      static_cast<std::uint64_t>(k) * (2 + 2 * k + a);
+  EXPECT_EQ(par.steps.parallel_steps, expect);
+}
+
+class MachineSolversAgree : public ::testing::TestWithParam<int> {};
+
+TEST_P(MachineSolversAgree, AllFamilies) {
+  const int seed = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(seed));
+  Instance ins = [&]() -> Instance {
+    switch (seed % 5) {
+      case 0:
+        return random_instance(4 + seed % 3, RandomOptions{}, rng);
+      case 1:
+        return medical_instance(5, 4, rng);
+      case 2:
+        return machine_fault_instance(6, rng);
+      case 3:
+        return biology_key_instance(5, rng);
+      default:
+        return binary_testing_instance(5, 4, rng);
+    }
+  }();
+  const auto seq = SequentialSolver().solve(ins);
+  const auto hyp = HypercubeSolver().solve(ins);
+  const auto ccc = CccSolver().solve(ins);
+  expect_identical(ins, seq, hyp, "hypercube");
+  expect_identical(ins, seq, ccc, "ccc");
+  if (!std::isinf(seq.cost)) {
+    const auto rep = validate_tree(ins, hyp.tree, seq.cost);
+    EXPECT_TRUE(rep.ok) << (rep.errors.empty() ? "" : rep.errors[0]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MachineSolversAgree, ::testing::Range(0, 20));
+
+TEST(CccSolver, ShapeIsMinimalLegalCcc) {
+  const Instance ins = fig1_example();  // k=4, N=5 -> a=3, dims=7
+  const auto cfg = CccSolver::machine_shape(ins);
+  EXPECT_EQ(cfg.dims(), 7);
+  EXPECT_LE(cfg.h, cfg.cycle_len());
+  // Minimality: one less r must be illegal.
+  EXPECT_GT(7 - (cfg.r - 1), 1 << (cfg.r - 1));
+}
+
+TEST(CccSolver, ReportsTopologyBreakdown) {
+  const Instance ins = fig1_example();
+  const auto res = CccSolver().solve(ins);
+  EXPECT_EQ(res.breakdown.get("pes"), std::uint64_t{1} << 7);
+  EXPECT_GT(res.breakdown.get("links"), 0u);
+  // CCC pays a constant-factor more steps than the hypercube run.
+  const auto hyp = HypercubeSolver().solve(ins);
+  EXPECT_GT(res.steps.parallel_steps, hyp.steps.parallel_steps);
+  EXPECT_LT(res.steps.parallel_steps, 30 * hyp.steps.parallel_steps);
+}
+
+TEST(HypercubeSolver, CompleteInstanceSmall) {
+  // The N = O(2^k) regime the paper sizes the machine for (tiny k here).
+  const Instance ins = complete_instance(3);
+  const auto seq = SequentialSolver().solve(ins);
+  const auto hyp = HypercubeSolver().solve(ins);
+  expect_identical(ins, seq, hyp, "hypercube-complete");
+  EXPECT_FALSE(std::isinf(seq.cost));
+}
+
+}  // namespace
+}  // namespace ttp::tt

@@ -1,0 +1,75 @@
+// The 2^k-PE state-parallel solver must be bitwise identical to the
+// sequential DP (same kernel association, same tie-breaking), while using
+// N-fold fewer PEs than the (S, i)-parallel formulation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tt/generator.hpp"
+#include "tt/solver_hypercube.hpp"
+#include "tt/solver_sequential.hpp"
+#include "tt/solver_state_parallel.hpp"
+#include "util/rng.hpp"
+
+namespace ttp::tt {
+namespace {
+
+class StateParallel : public ::testing::TestWithParam<int> {};
+
+TEST_P(StateParallel, BitwiseIdenticalToSequential) {
+  const int seed = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(seed));
+  Instance ins = [&]() -> Instance {
+    switch (seed % 4) {
+      case 0:
+        return random_instance(5 + seed % 3, RandomOptions{}, rng);
+      case 1:
+        return medical_instance(6, 5, rng);
+      case 2:
+        return complete_instance(4);  // the N = O(2^k) regime it targets
+      default:
+        return lab_analysis_instance(6, rng);
+    }
+  }();
+  const auto seq = SequentialSolver().solve(ins);
+  const auto sp = StateParallelSolver().solve(ins);
+  EXPECT_EQ(max_table_diff(seq.table, sp.table), 0.0);
+  EXPECT_EQ(seq.table.best_action, sp.table.best_action);
+  if (!std::isinf(seq.cost)) {
+    EXPECT_EQ(sp.tree.size(), seq.tree.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StateParallel, ::testing::Range(0, 12));
+
+TEST(StateParallel, TradeoffShape) {
+  // On the complete instance (N = O(2^k)) the state-parallel variant uses
+  // N-fold fewer PEs but proportionally more parallel steps; the
+  // PE-time products stay within a constant of each other.
+  const Instance ins = complete_instance(4);
+  const auto si = HypercubeSolver().solve(ins);     // (S, i)-parallel
+  const auto sp = StateParallelSolver().solve(ins);  // S-parallel
+
+  EXPECT_EQ(max_table_diff(si.table, sp.table), 0.0);
+  const auto pes_si = si.breakdown.get("pes");
+  const auto pes_sp = sp.breakdown.get("pes");
+  EXPECT_GT(pes_si, 16 * pes_sp);  // N = 30 -> padded 32 x fewer PEs
+  EXPECT_GT(sp.steps.parallel_steps, 4 * si.steps.parallel_steps);
+  const double prod_si = static_cast<double>(pes_si) *
+                         static_cast<double>(si.steps.parallel_steps);
+  const double prod_sp = static_cast<double>(pes_sp) *
+                         static_cast<double>(sp.steps.parallel_steps);
+  EXPECT_LT(prod_sp, prod_si);  // serializing the min saves total work here
+}
+
+TEST(StateParallel, InadequateInstance) {
+  Instance ins(2, {1, 1});
+  ins.add_test(0b01, 1.0);
+  ins.add_treatment(0b10, 1.0);
+  const auto sp = StateParallelSolver().solve(ins);
+  EXPECT_TRUE(std::isinf(sp.cost));
+  EXPECT_TRUE(sp.tree.empty());
+}
+
+}  // namespace
+}  // namespace ttp::tt

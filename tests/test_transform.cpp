@@ -1,0 +1,127 @@
+// Instance transformations: each must produce exactly its promised effect
+// on the DP table — most importantly restrict_to, whose correctness IS the
+// DP's sub-problem property.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "tt/generator.hpp"
+#include "tt/solver_sequential.hpp"
+#include "tt/transform.hpp"
+#include "util/rng.hpp"
+
+namespace ttp::tt {
+namespace {
+
+Instance sample(std::uint64_t seed) {
+  util::Rng rng(seed);
+  RandomOptions opt;
+  opt.num_tests = 4;
+  opt.num_treatments = 4;
+  return random_instance(5, opt, rng);
+}
+
+TEST(Transform, ScaleCostsScalesTable) {
+  const Instance a = sample(1);
+  const Instance b = scale_costs(a, 2.5);
+  const auto ra = SequentialSolver().solve(a);
+  const auto rb = SequentialSolver().solve(b);
+  for (std::size_t s = 0; s < ra.table.cost.size(); ++s) {
+    if (std::isinf(ra.table.cost[s])) {
+      EXPECT_TRUE(std::isinf(rb.table.cost[s]));
+    } else {
+      EXPECT_NEAR(rb.table.cost[s], 2.5 * ra.table.cost[s], 1e-9);
+    }
+  }
+}
+
+TEST(Transform, ScaleWeightsScalesRoot) {
+  const Instance a = sample(2);
+  const Instance b = scale_weights(a, 3.0);
+  EXPECT_NEAR(SequentialSolver().solve(b).cost,
+              3.0 * SequentialSolver().solve(a).cost, 1e-9);
+}
+
+TEST(Transform, PermuteObjectsPreservesRoot) {
+  const Instance a = sample(3);
+  std::vector<int> perm(static_cast<std::size_t>(a.k()));
+  std::iota(perm.begin(), perm.end(), 0);
+  util::Rng rng(33);
+  rng.shuffle(perm);
+  const Instance b = permute_objects(a, perm);
+  EXPECT_NEAR(SequentialSolver().solve(b).cost,
+              SequentialSolver().solve(a).cost, 1e-9);
+}
+
+TEST(Transform, RestrictToIsTheDpSubProblem) {
+  // C_restricted(full) == C_original(s) for every nonempty s — the
+  // sub-problem property the whole recurrence stands on, now checked via a
+  // completely separate instance construction.
+  const Instance a = sample(4);
+  const auto ra = SequentialSolver().solve(a);
+  for (Mask s = 1; s <= a.universe(); s += 3) {  // sampled states
+    const Instance sub = restrict_to(a, s);
+    const auto rs = SequentialSolver().solve(sub);
+    const double expect = ra.table.cost[s];
+    if (std::isinf(expect)) {
+      EXPECT_TRUE(std::isinf(rs.cost)) << util::mask_to_string(s);
+    } else {
+      EXPECT_NEAR(rs.cost, expect, 1e-9) << util::mask_to_string(s);
+    }
+  }
+}
+
+TEST(Transform, FilterActionsMonotone) {
+  const Instance a = sample(5);
+  // Dropping the dearest half of the treatments can only raise C(U).
+  double median = 0;
+  {
+    std::vector<double> costs;
+    for (int i = a.num_tests(); i < a.num_actions(); ++i) {
+      costs.push_back(a.action(i).cost);
+    }
+    std::sort(costs.begin(), costs.end());
+    median = costs[costs.size() / 2];
+  }
+  const Instance b = filter_actions(a, [&](int, const Action& act) {
+    return act.is_test || act.cost <= median;
+  });
+  const double ca = SequentialSolver().solve(a).cost;
+  const double cb = SequentialSolver().solve(b).cost;
+  EXPECT_GE(cb + 1e-12, ca);
+}
+
+TEST(Transform, ClassScalingTouchesOnlyItsClass) {
+  const Instance a = sample(6);
+  const Instance t2 = scale_test_costs(a, 2.0);
+  const Instance r2 = scale_treatment_costs(a, 2.0);
+  for (int i = 0; i < a.num_actions(); ++i) {
+    if (a.action(i).is_test) {
+      EXPECT_EQ(t2.action(i).cost, 2.0 * a.action(i).cost);
+      EXPECT_EQ(r2.action(i).cost, a.action(i).cost);
+    } else {
+      EXPECT_EQ(t2.action(i).cost, a.action(i).cost);
+      EXPECT_EQ(r2.action(i).cost, 2.0 * a.action(i).cost);
+    }
+  }
+  // Raising test prices pushes the optimum toward treat-first procedures:
+  // cost grows, but never beyond scaling everything.
+  const double base = SequentialSolver().solve(a).cost;
+  const double dear_tests = SequentialSolver().solve(t2).cost;
+  EXPECT_GE(dear_tests + 1e-12, base);
+  EXPECT_LE(dear_tests, 2.0 * base + 1e-12);
+}
+
+TEST(Transform, RejectsBadArguments) {
+  const Instance a = sample(7);
+  EXPECT_THROW(scale_costs(a, 0.0), std::invalid_argument);
+  EXPECT_THROW(scale_weights(a, -1.0), std::invalid_argument);
+  EXPECT_THROW(permute_objects(a, {0, 1}), std::invalid_argument);
+  EXPECT_THROW(permute_objects(a, {0, 0, 1, 2, 3}), std::invalid_argument);
+  EXPECT_THROW(restrict_to(a, 0), std::invalid_argument);
+  EXPECT_THROW(restrict_to(a, a.universe() + 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ttp::tt

@@ -1,0 +1,55 @@
+// Spec test for every named truth-table constant: each must equal the
+// table generated from its defining Boolean expression. A wrong constant
+// here would silently corrupt all microcode, so the check is exhaustive.
+#include <gtest/gtest.h>
+
+#include "bvm/instr.hpp"
+
+namespace ttp::bvm {
+namespace {
+
+TEST(TruthTables, NamedConstantsMatchDefinitions) {
+  EXPECT_EQ(kTtZero, tt3([](bool, bool, bool) { return false; }));
+  EXPECT_EQ(kTtOne, tt3([](bool, bool, bool) { return true; }));
+  EXPECT_EQ(kTtF, tt3([](bool f, bool, bool) { return f; }));
+  EXPECT_EQ(kTtD, tt3([](bool, bool d, bool) { return d; }));
+  EXPECT_EQ(kTtB, tt3([](bool, bool, bool b) { return b; }));
+  EXPECT_EQ(kTtNotF, tt3([](bool f, bool, bool) { return !f; }));
+  EXPECT_EQ(kTtNotD, tt3([](bool, bool d, bool) { return !d; }));
+  EXPECT_EQ(kTtNotB, tt3([](bool, bool, bool b) { return !b; }));
+  EXPECT_EQ(kTtAndFD, tt3([](bool f, bool d, bool) { return f && d; }));
+  EXPECT_EQ(kTtOrFD, tt3([](bool f, bool d, bool) { return f || d; }));
+  EXPECT_EQ(kTtXorFD, tt3([](bool f, bool d, bool) { return f != d; }));
+  EXPECT_EQ(kTtAndFB, tt3([](bool f, bool, bool b) { return f && b; }));
+  EXPECT_EQ(kTtOrFB, tt3([](bool f, bool, bool b) { return f || b; }));
+  EXPECT_EQ(kTtXorFB, tt3([](bool f, bool, bool b) { return f != b; }));
+  EXPECT_EQ(kTtAndDB, tt3([](bool, bool d, bool b) { return d && b; }));
+  EXPECT_EQ(kTtOrDB, tt3([](bool, bool d, bool b) { return d || b; }));
+  EXPECT_EQ(kTtXor3,
+            tt3([](bool f, bool d, bool b) { return (f != d) != b; }));
+  EXPECT_EQ(kTtMaj, tt3([](bool f, bool d, bool b) {
+              return (f && d) || (f && b) || (d && b);
+            }));
+  EXPECT_EQ(kTtMux, tt3([](bool f, bool d, bool b) { return b ? d : f; }));
+  EXPECT_EQ(kTtAndFNotD, tt3([](bool f, bool d, bool) { return f && !d; }));
+  EXPECT_EQ(kTtAndDNotF, tt3([](bool f, bool d, bool) { return d && !f; }));
+  EXPECT_EQ(kTtAndBNotF, tt3([](bool f, bool, bool b) { return b && !f; }));
+  EXPECT_EQ(kTtAndFNotB, tt3([](bool f, bool, bool b) { return f && !b; }));
+  EXPECT_EQ(kTtOrFDB,
+            tt3([](bool f, bool d, bool b) { return f || d || b; }));
+  // Borrow of F - D with borrow-in B: out iff (!F && D) || (B && F == D).
+  EXPECT_EQ(kTtBorrow, tt3([](bool f, bool d, bool b) {
+              return (!f && d) || (b && f == d);
+            }));
+}
+
+TEST(TruthTables, Tt3IndexingConvention) {
+  // Input index = F + 2D + 4B (documented in instr.hpp).
+  const std::uint8_t t = tt3([](bool f, bool d, bool b) {
+    return f && !d && b;  // minterm F=1,D=0,B=1 -> index 5
+  });
+  EXPECT_EQ(t, 1u << 5);
+}
+
+}  // namespace
+}  // namespace ttp::bvm

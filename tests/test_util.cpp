@@ -1,0 +1,164 @@
+// util layer: fixed-point, RNG determinism, thread pool, table formatting.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "util/fixed.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ttp::util {
+namespace {
+
+TEST(Fixed, EncodingRoundTrip) {
+  const Fixed::Format fmt{16, 4};
+  for (double v : {0.0, 1.0, 2.5, 100.0, 4095.9}) {
+    const Fixed f = Fixed::from_double(fmt, v);
+    EXPECT_NEAR(f.to_double(), v, 1.0 / fmt.scale() / 2 + 1e-12) << v;
+  }
+}
+
+TEST(Fixed, InfHandling) {
+  const Fixed::Format fmt{12, 0};
+  const Fixed inf = Fixed::inf(fmt);
+  EXPECT_TRUE(inf.is_inf());
+  EXPECT_TRUE(std::isinf(inf.to_double()));
+  EXPECT_TRUE(Fixed::from_double(fmt, 1e18).is_inf());  // saturates
+  EXPECT_TRUE(
+      Fixed::from_double(fmt, std::numeric_limits<double>::infinity())
+          .is_inf());
+  EXPECT_EQ(inf.to_string(), "INF");
+}
+
+TEST(Fixed, SaturatingAddIsAbsorbing) {
+  const Fixed::Format fmt{10, 0};
+  const Fixed big(fmt, 1000);
+  const Fixed one(fmt, 1);
+  EXPECT_TRUE((big + big).is_inf());
+  EXPECT_TRUE((Fixed::inf(fmt) + one).is_inf());
+  EXPECT_EQ((one + one).raw(), 2u);
+}
+
+TEST(Fixed, ScaledBySaturates) {
+  const Fixed::Format fmt{10, 0};
+  const Fixed x(fmt, 100);
+  EXPECT_EQ(x.scaled_by(2.0).raw(), 200u);
+  EXPECT_TRUE(x.scaled_by(1e9).is_inf());
+  EXPECT_TRUE(Fixed::inf(fmt).scaled_by(0.0).is_inf());  // INF stays INF
+}
+
+TEST(Fixed, RejectsNegative) {
+  EXPECT_THROW(Fixed::from_double({8, 0}, -1.0), std::invalid_argument);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, UniformStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform(5, 11);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 11u);
+  }
+  for (int i = 0; i < 2000; ++i) {
+    const double d = rng.uniform_real(-2.0, 3.0);
+    EXPECT_GE(d, -2.0);
+    EXPECT_LT(d, 3.0);
+  }
+}
+
+TEST(Rng, UniformCoversAllValues) {
+  Rng rng(13);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.uniform(0, 7));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, SubsetsRespectSpace) {
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    const Mask s = rng.subset(0b1010);
+    EXPECT_EQ(s & ~0b1010u, 0u);
+    const Mask ns = rng.nonempty_subset(0b1010);
+    EXPECT_NE(ns, 0u);
+    EXPECT_EQ(ns & ~0b1010u, 0u);
+  }
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Rng rng(11);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto sorted = v;
+  rng.shuffle(v);
+  auto v2 = v;
+  std::sort(v2.begin(), v2.end());
+  EXPECT_EQ(v2, sorted);
+}
+
+TEST(ThreadPool, CoversFullRangeExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, HandlesSmallAndEmptyRanges) {
+  ThreadPool pool(8);
+  std::atomic<int> count{0};
+  pool.parallel_for(0, [&](std::size_t, std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 0);
+  pool.parallel_for(3, [&](std::size_t b, std::size_t e) {
+    count.fetch_add(static_cast<int>(e - b));
+  });
+  EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ThreadPool, ReusableAcrossManyCalls) {
+  ThreadPool pool(2);
+  std::atomic<std::size_t> total{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.parallel_for(64, [&](std::size_t b, std::size_t e) {
+      total.fetch_add(e - b);
+    });
+  }
+  EXPECT_EQ(total.load(), 64u * 50);
+}
+
+TEST(Table, AlignsAndValidates) {
+  Table t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer-name", "222"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| name "), std::string::npos);
+  EXPECT_NE(s.find("| longer-name | 222"), std::string::npos);
+  // All lines equally wide.
+  std::istringstream is(s);
+  std::string line;
+  std::size_t width = 0;
+  while (std::getline(is, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width) << line;
+  }
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(Table::num(std::uint64_t{42}), "42");
+  EXPECT_EQ(Table::num(1.5, 3), "1.5");
+  EXPECT_EQ(Table::num(std::int64_t{-7}), "-7");
+}
+
+}  // namespace
+}  // namespace ttp::util
