@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e02_fig3_cycle_id.dir/bench_e02_fig3_cycle_id.cpp.o"
+  "CMakeFiles/bench_e02_fig3_cycle_id.dir/bench_e02_fig3_cycle_id.cpp.o.d"
+  "bench_e02_fig3_cycle_id"
+  "bench_e02_fig3_cycle_id.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e02_fig3_cycle_id.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_e02_fig3_cycle_id.
+# This may be replaced when dependencies are built.

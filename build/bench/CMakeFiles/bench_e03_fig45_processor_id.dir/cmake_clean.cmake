@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e03_fig45_processor_id.dir/bench_e03_fig45_processor_id.cpp.o"
+  "CMakeFiles/bench_e03_fig45_processor_id.dir/bench_e03_fig45_processor_id.cpp.o.d"
+  "bench_e03_fig45_processor_id"
+  "bench_e03_fig45_processor_id.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e03_fig45_processor_id.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

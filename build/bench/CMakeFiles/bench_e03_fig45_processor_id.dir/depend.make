@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_e03_fig45_processor_id.
+# This may be replaced when dependencies are built.

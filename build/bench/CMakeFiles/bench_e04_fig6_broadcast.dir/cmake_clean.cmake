@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e04_fig6_broadcast.dir/bench_e04_fig6_broadcast.cpp.o"
+  "CMakeFiles/bench_e04_fig6_broadcast.dir/bench_e04_fig6_broadcast.cpp.o.d"
+  "bench_e04_fig6_broadcast"
+  "bench_e04_fig6_broadcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e04_fig6_broadcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_e04_fig6_broadcast.
+# This may be replaced when dependencies are built.

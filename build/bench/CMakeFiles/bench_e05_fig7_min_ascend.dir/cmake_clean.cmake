@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e05_fig7_min_ascend.dir/bench_e05_fig7_min_ascend.cpp.o"
+  "CMakeFiles/bench_e05_fig7_min_ascend.dir/bench_e05_fig7_min_ascend.cpp.o.d"
+  "bench_e05_fig7_min_ascend"
+  "bench_e05_fig7_min_ascend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e05_fig7_min_ascend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_e05_fig7_min_ascend.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e06_fig89_subset_broadcast.dir/bench_e06_fig89_subset_broadcast.cpp.o"
+  "CMakeFiles/bench_e06_fig89_subset_broadcast.dir/bench_e06_fig89_subset_broadcast.cpp.o.d"
+  "bench_e06_fig89_subset_broadcast"
+  "bench_e06_fig89_subset_broadcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e06_fig89_subset_broadcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_e06_fig89_subset_broadcast.
+# This may be replaced when dependencies are built.

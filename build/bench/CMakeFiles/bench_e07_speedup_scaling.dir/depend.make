@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_e07_speedup_scaling.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e08_ccc_slowdown.dir/bench_e08_ccc_slowdown.cpp.o"
+  "CMakeFiles/bench_e08_ccc_slowdown.dir/bench_e08_ccc_slowdown.cpp.o.d"
+  "bench_e08_ccc_slowdown"
+  "bench_e08_ccc_slowdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e08_ccc_slowdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_e08_ccc_slowdown.
+# This may be replaced when dependencies are built.

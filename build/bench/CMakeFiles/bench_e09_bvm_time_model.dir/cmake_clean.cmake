@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e09_bvm_time_model.dir/bench_e09_bvm_time_model.cpp.o"
+  "CMakeFiles/bench_e09_bvm_time_model.dir/bench_e09_bvm_time_model.cpp.o.d"
+  "bench_e09_bvm_time_model"
+  "bench_e09_bvm_time_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e09_bvm_time_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_feasibility.dir/bench_e10_feasibility.cpp.o"
+  "CMakeFiles/bench_e10_feasibility.dir/bench_e10_feasibility.cpp.o.d"
+  "bench_e10_feasibility"
+  "bench_e10_feasibility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_feasibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e11_headline_speedup.dir/bench_e11_headline_speedup.cpp.o"
+  "CMakeFiles/bench_e11_headline_speedup.dir/bench_e11_headline_speedup.cpp.o.d"
+  "bench_e11_headline_speedup"
+  "bench_e11_headline_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e11_headline_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

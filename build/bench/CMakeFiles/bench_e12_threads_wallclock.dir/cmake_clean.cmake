@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e12_threads_wallclock.dir/bench_e12_threads_wallclock.cpp.o"
+  "CMakeFiles/bench_e12_threads_wallclock.dir/bench_e12_threads_wallclock.cpp.o.d"
+  "bench_e12_threads_wallclock"
+  "bench_e12_threads_wallclock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e12_threads_wallclock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e14_layer_control.dir/bench_e14_layer_control.cpp.o"
+  "CMakeFiles/bench_e14_layer_control.dir/bench_e14_layer_control.cpp.o.d"
+  "bench_e14_layer_control"
+  "bench_e14_layer_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e14_layer_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

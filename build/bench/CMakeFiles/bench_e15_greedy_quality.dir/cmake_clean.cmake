@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e15_greedy_quality.dir/bench_e15_greedy_quality.cpp.o"
+  "CMakeFiles/bench_e15_greedy_quality.dir/bench_e15_greedy_quality.cpp.o.d"
+  "bench_e15_greedy_quality"
+  "bench_e15_greedy_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e15_greedy_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_e15_greedy_quality.
+# This may be replaced when dependencies are built.

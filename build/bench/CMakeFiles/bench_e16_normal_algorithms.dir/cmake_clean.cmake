@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e16_normal_algorithms.dir/bench_e16_normal_algorithms.cpp.o"
+  "CMakeFiles/bench_e16_normal_algorithms.dir/bench_e16_normal_algorithms.cpp.o.d"
+  "bench_e16_normal_algorithms"
+  "bench_e16_normal_algorithms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e16_normal_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

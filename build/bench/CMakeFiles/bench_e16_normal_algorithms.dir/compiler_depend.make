@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_e16_normal_algorithms.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e17_bnb_reachability.dir/bench_e17_bnb_reachability.cpp.o"
+  "CMakeFiles/bench_e17_bnb_reachability.dir/bench_e17_bnb_reachability.cpp.o.d"
+  "bench_e17_bnb_reachability"
+  "bench_e17_bnb_reachability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e17_bnb_reachability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_e17_bnb_reachability.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e18_permutation.dir/bench_e18_permutation.cpp.o"
+  "CMakeFiles/bench_e18_permutation.dir/bench_e18_permutation.cpp.o.d"
+  "bench_e18_permutation"
+  "bench_e18_permutation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e18_permutation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

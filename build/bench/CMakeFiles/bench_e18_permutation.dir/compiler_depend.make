@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_e18_permutation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e19_flagship.dir/bench_e19_flagship.cpp.o"
+  "CMakeFiles/bench_e19_flagship.dir/bench_e19_flagship.cpp.o.d"
+  "bench_e19_flagship"
+  "bench_e19_flagship.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e19_flagship.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

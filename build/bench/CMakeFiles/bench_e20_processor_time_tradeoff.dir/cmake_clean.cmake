@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e20_processor_time_tradeoff.dir/bench_e20_processor_time_tradeoff.cpp.o"
+  "CMakeFiles/bench_e20_processor_time_tradeoff.dir/bench_e20_processor_time_tradeoff.cpp.o.d"
+  "bench_e20_processor_time_tradeoff"
+  "bench_e20_processor_time_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e20_processor_time_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_e20_processor_time_tradeoff.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_e20_processor_time_tradeoff.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e22_fault_propagation.dir/bench_e22_fault_propagation.cpp.o"
+  "CMakeFiles/bench_e22_fault_propagation.dir/bench_e22_fault_propagation.cpp.o.d"
+  "bench_e22_fault_propagation"
+  "bench_e22_fault_propagation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e22_fault_propagation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_biology_key.dir/biology_key.cpp.o"
+  "CMakeFiles/example_biology_key.dir/biology_key.cpp.o.d"
+  "example_biology_key"
+  "example_biology_key.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_biology_key.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

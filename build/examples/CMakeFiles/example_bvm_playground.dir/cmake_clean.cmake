@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_bvm_playground.dir/bvm_playground.cpp.o"
+  "CMakeFiles/example_bvm_playground.dir/bvm_playground.cpp.o.d"
+  "example_bvm_playground"
+  "example_bvm_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_bvm_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

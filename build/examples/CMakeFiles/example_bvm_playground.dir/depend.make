@@ -1,0 +1,2 @@
+# Empty dependencies file for example_bvm_playground.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_bvm_run.dir/bvm_run.cpp.o"
+  "CMakeFiles/example_bvm_run.dir/bvm_run.cpp.o.d"
+  "example_bvm_run"
+  "example_bvm_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_bvm_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

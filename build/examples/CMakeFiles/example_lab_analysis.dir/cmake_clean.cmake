@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_lab_analysis.dir/lab_analysis.cpp.o"
+  "CMakeFiles/example_lab_analysis.dir/lab_analysis.cpp.o.d"
+  "example_lab_analysis"
+  "example_lab_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_lab_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

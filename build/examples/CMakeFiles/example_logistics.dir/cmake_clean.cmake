@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_logistics.dir/logistics.cpp.o"
+  "CMakeFiles/example_logistics.dir/logistics.cpp.o.d"
+  "example_logistics"
+  "example_logistics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_logistics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_machine_fault.dir/machine_fault.cpp.o"
+  "CMakeFiles/example_machine_fault.dir/machine_fault.cpp.o.d"
+  "example_machine_fault"
+  "example_machine_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_machine_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

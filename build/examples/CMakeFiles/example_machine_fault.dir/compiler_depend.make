@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for example_machine_fault.
+# This may be replaced when dependencies are built.

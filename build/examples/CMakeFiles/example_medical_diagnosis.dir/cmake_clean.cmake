@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_medical_diagnosis.dir/medical_diagnosis.cpp.o"
+  "CMakeFiles/example_medical_diagnosis.dir/medical_diagnosis.cpp.o.d"
+  "example_medical_diagnosis"
+  "example_medical_diagnosis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_medical_diagnosis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_ttp_solve.dir/ttp_solve.cpp.o"
+  "CMakeFiles/example_ttp_solve.dir/ttp_solve.cpp.o.d"
+  "example_ttp_solve"
+  "example_ttp_solve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_ttp_solve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

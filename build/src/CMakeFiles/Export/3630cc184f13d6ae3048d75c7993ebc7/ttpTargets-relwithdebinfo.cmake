@@ -1,0 +1,49 @@
+#----------------------------------------------------------------
+# Generated CMake target import file for configuration "RelWithDebInfo".
+#----------------------------------------------------------------
+
+# Commands may need to know the format version.
+set(CMAKE_IMPORT_FILE_VERSION 1)
+
+# Import target "ttp::ttp_util" for configuration "RelWithDebInfo"
+set_property(TARGET ttp::ttp_util APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(ttp::ttp_util PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libttp_util.a"
+  )
+
+list(APPEND _cmake_import_check_targets ttp::ttp_util )
+list(APPEND _cmake_import_check_files_for_ttp::ttp_util "${_IMPORT_PREFIX}/lib/libttp_util.a" )
+
+# Import target "ttp::ttp_net" for configuration "RelWithDebInfo"
+set_property(TARGET ttp::ttp_net APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(ttp::ttp_net PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libttp_net.a"
+  )
+
+list(APPEND _cmake_import_check_targets ttp::ttp_net )
+list(APPEND _cmake_import_check_files_for_ttp::ttp_net "${_IMPORT_PREFIX}/lib/libttp_net.a" )
+
+# Import target "ttp::ttp_bvm" for configuration "RelWithDebInfo"
+set_property(TARGET ttp::ttp_bvm APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(ttp::ttp_bvm PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libttp_bvm.a"
+  )
+
+list(APPEND _cmake_import_check_targets ttp::ttp_bvm )
+list(APPEND _cmake_import_check_files_for_ttp::ttp_bvm "${_IMPORT_PREFIX}/lib/libttp_bvm.a" )
+
+# Import target "ttp::ttp_tt" for configuration "RelWithDebInfo"
+set_property(TARGET ttp::ttp_tt APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(ttp::ttp_tt PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libttp_tt.a"
+  )
+
+list(APPEND _cmake_import_check_targets ttp::ttp_tt )
+list(APPEND _cmake_import_check_files_for_ttp::ttp_tt "${_IMPORT_PREFIX}/lib/libttp_tt.a" )
+
+# Commands beyond this point should not need to know the version.
+set(CMAKE_IMPORT_FILE_VERSION)

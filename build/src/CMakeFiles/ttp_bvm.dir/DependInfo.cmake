@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bvm/assembler.cpp" "src/CMakeFiles/ttp_bvm.dir/bvm/assembler.cpp.o" "gcc" "src/CMakeFiles/ttp_bvm.dir/bvm/assembler.cpp.o.d"
+  "/root/repo/src/bvm/config.cpp" "src/CMakeFiles/ttp_bvm.dir/bvm/config.cpp.o" "gcc" "src/CMakeFiles/ttp_bvm.dir/bvm/config.cpp.o.d"
+  "/root/repo/src/bvm/instr.cpp" "src/CMakeFiles/ttp_bvm.dir/bvm/instr.cpp.o" "gcc" "src/CMakeFiles/ttp_bvm.dir/bvm/instr.cpp.o.d"
+  "/root/repo/src/bvm/io.cpp" "src/CMakeFiles/ttp_bvm.dir/bvm/io.cpp.o" "gcc" "src/CMakeFiles/ttp_bvm.dir/bvm/io.cpp.o.d"
+  "/root/repo/src/bvm/machine.cpp" "src/CMakeFiles/ttp_bvm.dir/bvm/machine.cpp.o" "gcc" "src/CMakeFiles/ttp_bvm.dir/bvm/machine.cpp.o.d"
+  "/root/repo/src/bvm/microcode/arith.cpp" "src/CMakeFiles/ttp_bvm.dir/bvm/microcode/arith.cpp.o" "gcc" "src/CMakeFiles/ttp_bvm.dir/bvm/microcode/arith.cpp.o.d"
+  "/root/repo/src/bvm/microcode/broadcast.cpp" "src/CMakeFiles/ttp_bvm.dir/bvm/microcode/broadcast.cpp.o" "gcc" "src/CMakeFiles/ttp_bvm.dir/bvm/microcode/broadcast.cpp.o.d"
+  "/root/repo/src/bvm/microcode/exchange.cpp" "src/CMakeFiles/ttp_bvm.dir/bvm/microcode/exchange.cpp.o" "gcc" "src/CMakeFiles/ttp_bvm.dir/bvm/microcode/exchange.cpp.o.d"
+  "/root/repo/src/bvm/microcode/ids.cpp" "src/CMakeFiles/ttp_bvm.dir/bvm/microcode/ids.cpp.o" "gcc" "src/CMakeFiles/ttp_bvm.dir/bvm/microcode/ids.cpp.o.d"
+  "/root/repo/src/bvm/microcode/layer.cpp" "src/CMakeFiles/ttp_bvm.dir/bvm/microcode/layer.cpp.o" "gcc" "src/CMakeFiles/ttp_bvm.dir/bvm/microcode/layer.cpp.o.d"
+  "/root/repo/src/bvm/microcode/normal.cpp" "src/CMakeFiles/ttp_bvm.dir/bvm/microcode/normal.cpp.o" "gcc" "src/CMakeFiles/ttp_bvm.dir/bvm/microcode/normal.cpp.o.d"
+  "/root/repo/src/bvm/microcode/permute.cpp" "src/CMakeFiles/ttp_bvm.dir/bvm/microcode/permute.cpp.o" "gcc" "src/CMakeFiles/ttp_bvm.dir/bvm/microcode/permute.cpp.o.d"
+  "/root/repo/src/bvm/microcode/propagate.cpp" "src/CMakeFiles/ttp_bvm.dir/bvm/microcode/propagate.cpp.o" "gcc" "src/CMakeFiles/ttp_bvm.dir/bvm/microcode/propagate.cpp.o.d"
+  "/root/repo/src/bvm/microcode/reduce.cpp" "src/CMakeFiles/ttp_bvm.dir/bvm/microcode/reduce.cpp.o" "gcc" "src/CMakeFiles/ttp_bvm.dir/bvm/microcode/reduce.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ttp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ttp_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

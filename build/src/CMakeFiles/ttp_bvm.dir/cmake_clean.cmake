@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ttp_bvm.dir/bvm/assembler.cpp.o"
+  "CMakeFiles/ttp_bvm.dir/bvm/assembler.cpp.o.d"
+  "CMakeFiles/ttp_bvm.dir/bvm/config.cpp.o"
+  "CMakeFiles/ttp_bvm.dir/bvm/config.cpp.o.d"
+  "CMakeFiles/ttp_bvm.dir/bvm/instr.cpp.o"
+  "CMakeFiles/ttp_bvm.dir/bvm/instr.cpp.o.d"
+  "CMakeFiles/ttp_bvm.dir/bvm/io.cpp.o"
+  "CMakeFiles/ttp_bvm.dir/bvm/io.cpp.o.d"
+  "CMakeFiles/ttp_bvm.dir/bvm/machine.cpp.o"
+  "CMakeFiles/ttp_bvm.dir/bvm/machine.cpp.o.d"
+  "CMakeFiles/ttp_bvm.dir/bvm/microcode/arith.cpp.o"
+  "CMakeFiles/ttp_bvm.dir/bvm/microcode/arith.cpp.o.d"
+  "CMakeFiles/ttp_bvm.dir/bvm/microcode/broadcast.cpp.o"
+  "CMakeFiles/ttp_bvm.dir/bvm/microcode/broadcast.cpp.o.d"
+  "CMakeFiles/ttp_bvm.dir/bvm/microcode/exchange.cpp.o"
+  "CMakeFiles/ttp_bvm.dir/bvm/microcode/exchange.cpp.o.d"
+  "CMakeFiles/ttp_bvm.dir/bvm/microcode/ids.cpp.o"
+  "CMakeFiles/ttp_bvm.dir/bvm/microcode/ids.cpp.o.d"
+  "CMakeFiles/ttp_bvm.dir/bvm/microcode/layer.cpp.o"
+  "CMakeFiles/ttp_bvm.dir/bvm/microcode/layer.cpp.o.d"
+  "CMakeFiles/ttp_bvm.dir/bvm/microcode/normal.cpp.o"
+  "CMakeFiles/ttp_bvm.dir/bvm/microcode/normal.cpp.o.d"
+  "CMakeFiles/ttp_bvm.dir/bvm/microcode/permute.cpp.o"
+  "CMakeFiles/ttp_bvm.dir/bvm/microcode/permute.cpp.o.d"
+  "CMakeFiles/ttp_bvm.dir/bvm/microcode/propagate.cpp.o"
+  "CMakeFiles/ttp_bvm.dir/bvm/microcode/propagate.cpp.o.d"
+  "CMakeFiles/ttp_bvm.dir/bvm/microcode/reduce.cpp.o"
+  "CMakeFiles/ttp_bvm.dir/bvm/microcode/reduce.cpp.o.d"
+  "libttp_bvm.a"
+  "libttp_bvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ttp_bvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

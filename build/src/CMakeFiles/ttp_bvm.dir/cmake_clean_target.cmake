@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libttp_bvm.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for ttp_bvm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/benes.cpp" "src/CMakeFiles/ttp_net.dir/net/benes.cpp.o" "gcc" "src/CMakeFiles/ttp_net.dir/net/benes.cpp.o.d"
+  "/root/repo/src/net/ccc.cpp" "src/CMakeFiles/ttp_net.dir/net/ccc.cpp.o" "gcc" "src/CMakeFiles/ttp_net.dir/net/ccc.cpp.o.d"
+  "/root/repo/src/net/hypercube.cpp" "src/CMakeFiles/ttp_net.dir/net/hypercube.cpp.o" "gcc" "src/CMakeFiles/ttp_net.dir/net/hypercube.cpp.o.d"
+  "/root/repo/src/net/schedule.cpp" "src/CMakeFiles/ttp_net.dir/net/schedule.cpp.o" "gcc" "src/CMakeFiles/ttp_net.dir/net/schedule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ttp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

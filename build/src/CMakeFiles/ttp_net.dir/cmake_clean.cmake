@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ttp_net.dir/net/benes.cpp.o"
+  "CMakeFiles/ttp_net.dir/net/benes.cpp.o.d"
+  "CMakeFiles/ttp_net.dir/net/ccc.cpp.o"
+  "CMakeFiles/ttp_net.dir/net/ccc.cpp.o.d"
+  "CMakeFiles/ttp_net.dir/net/hypercube.cpp.o"
+  "CMakeFiles/ttp_net.dir/net/hypercube.cpp.o.d"
+  "CMakeFiles/ttp_net.dir/net/schedule.cpp.o"
+  "CMakeFiles/ttp_net.dir/net/schedule.cpp.o.d"
+  "libttp_net.a"
+  "libttp_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ttp_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

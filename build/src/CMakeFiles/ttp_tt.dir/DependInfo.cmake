@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tt/analysis.cpp" "src/CMakeFiles/ttp_tt.dir/tt/analysis.cpp.o" "gcc" "src/CMakeFiles/ttp_tt.dir/tt/analysis.cpp.o.d"
+  "/root/repo/src/tt/binary_testing.cpp" "src/CMakeFiles/ttp_tt.dir/tt/binary_testing.cpp.o" "gcc" "src/CMakeFiles/ttp_tt.dir/tt/binary_testing.cpp.o.d"
+  "/root/repo/src/tt/generator.cpp" "src/CMakeFiles/ttp_tt.dir/tt/generator.cpp.o" "gcc" "src/CMakeFiles/ttp_tt.dir/tt/generator.cpp.o.d"
+  "/root/repo/src/tt/greedy.cpp" "src/CMakeFiles/ttp_tt.dir/tt/greedy.cpp.o" "gcc" "src/CMakeFiles/ttp_tt.dir/tt/greedy.cpp.o.d"
+  "/root/repo/src/tt/instance.cpp" "src/CMakeFiles/ttp_tt.dir/tt/instance.cpp.o" "gcc" "src/CMakeFiles/ttp_tt.dir/tt/instance.cpp.o.d"
+  "/root/repo/src/tt/protocol.cpp" "src/CMakeFiles/ttp_tt.dir/tt/protocol.cpp.o" "gcc" "src/CMakeFiles/ttp_tt.dir/tt/protocol.cpp.o.d"
+  "/root/repo/src/tt/report.cpp" "src/CMakeFiles/ttp_tt.dir/tt/report.cpp.o" "gcc" "src/CMakeFiles/ttp_tt.dir/tt/report.cpp.o.d"
+  "/root/repo/src/tt/serialize.cpp" "src/CMakeFiles/ttp_tt.dir/tt/serialize.cpp.o" "gcc" "src/CMakeFiles/ttp_tt.dir/tt/serialize.cpp.o.d"
+  "/root/repo/src/tt/sizing.cpp" "src/CMakeFiles/ttp_tt.dir/tt/sizing.cpp.o" "gcc" "src/CMakeFiles/ttp_tt.dir/tt/sizing.cpp.o.d"
+  "/root/repo/src/tt/solver.cpp" "src/CMakeFiles/ttp_tt.dir/tt/solver.cpp.o" "gcc" "src/CMakeFiles/ttp_tt.dir/tt/solver.cpp.o.d"
+  "/root/repo/src/tt/solver_bnb.cpp" "src/CMakeFiles/ttp_tt.dir/tt/solver_bnb.cpp.o" "gcc" "src/CMakeFiles/ttp_tt.dir/tt/solver_bnb.cpp.o.d"
+  "/root/repo/src/tt/solver_bvm.cpp" "src/CMakeFiles/ttp_tt.dir/tt/solver_bvm.cpp.o" "gcc" "src/CMakeFiles/ttp_tt.dir/tt/solver_bvm.cpp.o.d"
+  "/root/repo/src/tt/solver_ccc.cpp" "src/CMakeFiles/ttp_tt.dir/tt/solver_ccc.cpp.o" "gcc" "src/CMakeFiles/ttp_tt.dir/tt/solver_ccc.cpp.o.d"
+  "/root/repo/src/tt/solver_exhaustive.cpp" "src/CMakeFiles/ttp_tt.dir/tt/solver_exhaustive.cpp.o" "gcc" "src/CMakeFiles/ttp_tt.dir/tt/solver_exhaustive.cpp.o.d"
+  "/root/repo/src/tt/solver_hypercube.cpp" "src/CMakeFiles/ttp_tt.dir/tt/solver_hypercube.cpp.o" "gcc" "src/CMakeFiles/ttp_tt.dir/tt/solver_hypercube.cpp.o.d"
+  "/root/repo/src/tt/solver_sequential.cpp" "src/CMakeFiles/ttp_tt.dir/tt/solver_sequential.cpp.o" "gcc" "src/CMakeFiles/ttp_tt.dir/tt/solver_sequential.cpp.o.d"
+  "/root/repo/src/tt/solver_state_parallel.cpp" "src/CMakeFiles/ttp_tt.dir/tt/solver_state_parallel.cpp.o" "gcc" "src/CMakeFiles/ttp_tt.dir/tt/solver_state_parallel.cpp.o.d"
+  "/root/repo/src/tt/solver_threads.cpp" "src/CMakeFiles/ttp_tt.dir/tt/solver_threads.cpp.o" "gcc" "src/CMakeFiles/ttp_tt.dir/tt/solver_threads.cpp.o.d"
+  "/root/repo/src/tt/transform.cpp" "src/CMakeFiles/ttp_tt.dir/tt/transform.cpp.o" "gcc" "src/CMakeFiles/ttp_tt.dir/tt/transform.cpp.o.d"
+  "/root/repo/src/tt/tree.cpp" "src/CMakeFiles/ttp_tt.dir/tt/tree.cpp.o" "gcc" "src/CMakeFiles/ttp_tt.dir/tt/tree.cpp.o.d"
+  "/root/repo/src/tt/validate.cpp" "src/CMakeFiles/ttp_tt.dir/tt/validate.cpp.o" "gcc" "src/CMakeFiles/ttp_tt.dir/tt/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ttp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ttp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ttp_bvm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/bits.cpp" "src/CMakeFiles/ttp_util.dir/util/bits.cpp.o" "gcc" "src/CMakeFiles/ttp_util.dir/util/bits.cpp.o.d"
+  "/root/repo/src/util/counters.cpp" "src/CMakeFiles/ttp_util.dir/util/counters.cpp.o" "gcc" "src/CMakeFiles/ttp_util.dir/util/counters.cpp.o.d"
+  "/root/repo/src/util/fixed.cpp" "src/CMakeFiles/ttp_util.dir/util/fixed.cpp.o" "gcc" "src/CMakeFiles/ttp_util.dir/util/fixed.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/ttp_util.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/ttp_util.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/ttp_util.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/ttp_util.dir/util/table.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "src/CMakeFiles/ttp_util.dir/util/thread_pool.cpp.o" "gcc" "src/CMakeFiles/ttp_util.dir/util/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ttp_util.dir/util/bits.cpp.o"
+  "CMakeFiles/ttp_util.dir/util/bits.cpp.o.d"
+  "CMakeFiles/ttp_util.dir/util/counters.cpp.o"
+  "CMakeFiles/ttp_util.dir/util/counters.cpp.o.d"
+  "CMakeFiles/ttp_util.dir/util/fixed.cpp.o"
+  "CMakeFiles/ttp_util.dir/util/fixed.cpp.o.d"
+  "CMakeFiles/ttp_util.dir/util/rng.cpp.o"
+  "CMakeFiles/ttp_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/ttp_util.dir/util/table.cpp.o"
+  "CMakeFiles/ttp_util.dir/util/table.cpp.o.d"
+  "CMakeFiles/ttp_util.dir/util/thread_pool.cpp.o"
+  "CMakeFiles/ttp_util.dir/util/thread_pool.cpp.o.d"
+  "libttp_util.a"
+  "libttp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ttp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

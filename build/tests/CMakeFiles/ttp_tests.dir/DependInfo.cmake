@@ -1,0 +1,64 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_all_solvers.cpp" "tests/CMakeFiles/ttp_tests.dir/test_all_solvers.cpp.o" "gcc" "tests/CMakeFiles/ttp_tests.dir/test_all_solvers.cpp.o.d"
+  "/root/repo/tests/test_analysis.cpp" "tests/CMakeFiles/ttp_tests.dir/test_analysis.cpp.o" "gcc" "tests/CMakeFiles/ttp_tests.dir/test_analysis.cpp.o.d"
+  "/root/repo/tests/test_benes.cpp" "tests/CMakeFiles/ttp_tests.dir/test_benes.cpp.o" "gcc" "tests/CMakeFiles/ttp_tests.dir/test_benes.cpp.o.d"
+  "/root/repo/tests/test_binary_testing.cpp" "tests/CMakeFiles/ttp_tests.dir/test_binary_testing.cpp.o" "gcc" "tests/CMakeFiles/ttp_tests.dir/test_binary_testing.cpp.o.d"
+  "/root/repo/tests/test_bits.cpp" "tests/CMakeFiles/ttp_tests.dir/test_bits.cpp.o" "gcc" "tests/CMakeFiles/ttp_tests.dir/test_bits.cpp.o.d"
+  "/root/repo/tests/test_bitvec.cpp" "tests/CMakeFiles/ttp_tests.dir/test_bitvec.cpp.o" "gcc" "tests/CMakeFiles/ttp_tests.dir/test_bitvec.cpp.o.d"
+  "/root/repo/tests/test_bvm_arith.cpp" "tests/CMakeFiles/ttp_tests.dir/test_bvm_arith.cpp.o" "gcc" "tests/CMakeFiles/ttp_tests.dir/test_bvm_arith.cpp.o.d"
+  "/root/repo/tests/test_bvm_assembler.cpp" "tests/CMakeFiles/ttp_tests.dir/test_bvm_assembler.cpp.o" "gcc" "tests/CMakeFiles/ttp_tests.dir/test_bvm_assembler.cpp.o.d"
+  "/root/repo/tests/test_bvm_differential.cpp" "tests/CMakeFiles/ttp_tests.dir/test_bvm_differential.cpp.o" "gcc" "tests/CMakeFiles/ttp_tests.dir/test_bvm_differential.cpp.o.d"
+  "/root/repo/tests/test_bvm_exchange.cpp" "tests/CMakeFiles/ttp_tests.dir/test_bvm_exchange.cpp.o" "gcc" "tests/CMakeFiles/ttp_tests.dir/test_bvm_exchange.cpp.o.d"
+  "/root/repo/tests/test_bvm_flow.cpp" "tests/CMakeFiles/ttp_tests.dir/test_bvm_flow.cpp.o" "gcc" "tests/CMakeFiles/ttp_tests.dir/test_bvm_flow.cpp.o.d"
+  "/root/repo/tests/test_bvm_ids.cpp" "tests/CMakeFiles/ttp_tests.dir/test_bvm_ids.cpp.o" "gcc" "tests/CMakeFiles/ttp_tests.dir/test_bvm_ids.cpp.o.d"
+  "/root/repo/tests/test_bvm_io.cpp" "tests/CMakeFiles/ttp_tests.dir/test_bvm_io.cpp.o" "gcc" "tests/CMakeFiles/ttp_tests.dir/test_bvm_io.cpp.o.d"
+  "/root/repo/tests/test_bvm_layer.cpp" "tests/CMakeFiles/ttp_tests.dir/test_bvm_layer.cpp.o" "gcc" "tests/CMakeFiles/ttp_tests.dir/test_bvm_layer.cpp.o.d"
+  "/root/repo/tests/test_bvm_machine.cpp" "tests/CMakeFiles/ttp_tests.dir/test_bvm_machine.cpp.o" "gcc" "tests/CMakeFiles/ttp_tests.dir/test_bvm_machine.cpp.o.d"
+  "/root/repo/tests/test_bvm_matrix.cpp" "tests/CMakeFiles/ttp_tests.dir/test_bvm_matrix.cpp.o" "gcc" "tests/CMakeFiles/ttp_tests.dir/test_bvm_matrix.cpp.o.d"
+  "/root/repo/tests/test_bvm_microcode_fuzz.cpp" "tests/CMakeFiles/ttp_tests.dir/test_bvm_microcode_fuzz.cpp.o" "gcc" "tests/CMakeFiles/ttp_tests.dir/test_bvm_microcode_fuzz.cpp.o.d"
+  "/root/repo/tests/test_bvm_reduce.cpp" "tests/CMakeFiles/ttp_tests.dir/test_bvm_reduce.cpp.o" "gcc" "tests/CMakeFiles/ttp_tests.dir/test_bvm_reduce.cpp.o.d"
+  "/root/repo/tests/test_bvm_replay.cpp" "tests/CMakeFiles/ttp_tests.dir/test_bvm_replay.cpp.o" "gcc" "tests/CMakeFiles/ttp_tests.dir/test_bvm_replay.cpp.o.d"
+  "/root/repo/tests/test_bvm_wave.cpp" "tests/CMakeFiles/ttp_tests.dir/test_bvm_wave.cpp.o" "gcc" "tests/CMakeFiles/ttp_tests.dir/test_bvm_wave.cpp.o.d"
+  "/root/repo/tests/test_edge_cases.cpp" "tests/CMakeFiles/ttp_tests.dir/test_edge_cases.cpp.o" "gcc" "tests/CMakeFiles/ttp_tests.dir/test_edge_cases.cpp.o.d"
+  "/root/repo/tests/test_example_data.cpp" "tests/CMakeFiles/ttp_tests.dir/test_example_data.cpp.o" "gcc" "tests/CMakeFiles/ttp_tests.dir/test_example_data.cpp.o.d"
+  "/root/repo/tests/test_fault_injection.cpp" "tests/CMakeFiles/ttp_tests.dir/test_fault_injection.cpp.o" "gcc" "tests/CMakeFiles/ttp_tests.dir/test_fault_injection.cpp.o.d"
+  "/root/repo/tests/test_generators.cpp" "tests/CMakeFiles/ttp_tests.dir/test_generators.cpp.o" "gcc" "tests/CMakeFiles/ttp_tests.dir/test_generators.cpp.o.d"
+  "/root/repo/tests/test_instance.cpp" "tests/CMakeFiles/ttp_tests.dir/test_instance.cpp.o" "gcc" "tests/CMakeFiles/ttp_tests.dir/test_instance.cpp.o.d"
+  "/root/repo/tests/test_net_machines.cpp" "tests/CMakeFiles/ttp_tests.dir/test_net_machines.cpp.o" "gcc" "tests/CMakeFiles/ttp_tests.dir/test_net_machines.cpp.o.d"
+  "/root/repo/tests/test_normal_algorithms.cpp" "tests/CMakeFiles/ttp_tests.dir/test_normal_algorithms.cpp.o" "gcc" "tests/CMakeFiles/ttp_tests.dir/test_normal_algorithms.cpp.o.d"
+  "/root/repo/tests/test_parser_fuzz.cpp" "tests/CMakeFiles/ttp_tests.dir/test_parser_fuzz.cpp.o" "gcc" "tests/CMakeFiles/ttp_tests.dir/test_parser_fuzz.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/ttp_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/ttp_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_protocol.cpp" "tests/CMakeFiles/ttp_tests.dir/test_protocol.cpp.o" "gcc" "tests/CMakeFiles/ttp_tests.dir/test_protocol.cpp.o.d"
+  "/root/repo/tests/test_report_misc.cpp" "tests/CMakeFiles/ttp_tests.dir/test_report_misc.cpp.o" "gcc" "tests/CMakeFiles/ttp_tests.dir/test_report_misc.cpp.o.d"
+  "/root/repo/tests/test_schedule.cpp" "tests/CMakeFiles/ttp_tests.dir/test_schedule.cpp.o" "gcc" "tests/CMakeFiles/ttp_tests.dir/test_schedule.cpp.o.d"
+  "/root/repo/tests/test_serialize.cpp" "tests/CMakeFiles/ttp_tests.dir/test_serialize.cpp.o" "gcc" "tests/CMakeFiles/ttp_tests.dir/test_serialize.cpp.o.d"
+  "/root/repo/tests/test_sizing.cpp" "tests/CMakeFiles/ttp_tests.dir/test_sizing.cpp.o" "gcc" "tests/CMakeFiles/ttp_tests.dir/test_sizing.cpp.o.d"
+  "/root/repo/tests/test_solver_bnb.cpp" "tests/CMakeFiles/ttp_tests.dir/test_solver_bnb.cpp.o" "gcc" "tests/CMakeFiles/ttp_tests.dir/test_solver_bnb.cpp.o.d"
+  "/root/repo/tests/test_solver_bvm.cpp" "tests/CMakeFiles/ttp_tests.dir/test_solver_bvm.cpp.o" "gcc" "tests/CMakeFiles/ttp_tests.dir/test_solver_bvm.cpp.o.d"
+  "/root/repo/tests/test_solver_machines.cpp" "tests/CMakeFiles/ttp_tests.dir/test_solver_machines.cpp.o" "gcc" "tests/CMakeFiles/ttp_tests.dir/test_solver_machines.cpp.o.d"
+  "/root/repo/tests/test_solver_state_parallel.cpp" "tests/CMakeFiles/ttp_tests.dir/test_solver_state_parallel.cpp.o" "gcc" "tests/CMakeFiles/ttp_tests.dir/test_solver_state_parallel.cpp.o.d"
+  "/root/repo/tests/test_solvers_host.cpp" "tests/CMakeFiles/ttp_tests.dir/test_solvers_host.cpp.o" "gcc" "tests/CMakeFiles/ttp_tests.dir/test_solvers_host.cpp.o.d"
+  "/root/repo/tests/test_transform.cpp" "tests/CMakeFiles/ttp_tests.dir/test_transform.cpp.o" "gcc" "tests/CMakeFiles/ttp_tests.dir/test_transform.cpp.o.d"
+  "/root/repo/tests/test_truth_tables.cpp" "tests/CMakeFiles/ttp_tests.dir/test_truth_tables.cpp.o" "gcc" "tests/CMakeFiles/ttp_tests.dir/test_truth_tables.cpp.o.d"
+  "/root/repo/tests/test_util.cpp" "tests/CMakeFiles/ttp_tests.dir/test_util.cpp.o" "gcc" "tests/CMakeFiles/ttp_tests.dir/test_util.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ttp_tt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ttp_bvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ttp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ttp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
