@@ -61,7 +61,11 @@ int main(int argc, char** argv) {
       protocol = true;
     } else if (arg == "--help") {
       std::cout << "usage: ttp_solve [file.tt] [--solver=NAME] [--dot] "
-                   "[--protocol]\n";
+                   "[--protocol]\n"
+                   "tracing: set TTP_TRACE=summary|spans|chrome:<path>|"
+                   "jsonl:<path>\n"
+                   "  (chrome: output opens in chrome://tracing or "
+                   "ui.perfetto.dev; see docs/observability.md)\n";
       return 0;
     } else {
       path = arg;

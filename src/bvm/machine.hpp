@@ -35,6 +35,8 @@ class Machine {
   void run(const std::vector<Instr>& prog);
 
   std::uint64_t instr_count() const noexcept { return instr_count_; }
+  /// Stable reference to the instruction counter, for obs::Span probes.
+  const std::uint64_t& instr_counter() const noexcept { return instr_count_; }
   void reset_instr_count() noexcept { instr_count_ = 0; }
 
   /// Streams one disassembled line per executed instruction (nullptr to

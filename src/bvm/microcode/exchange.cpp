@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/trace.hpp"
+
 namespace ttp::bvm {
 
 namespace {
@@ -24,6 +26,11 @@ void dim_exchange_read(Machine& m, int dim, Field src, Field dst, int tmp) {
   if (src.len != dst.len) {
     throw std::invalid_argument("dim_exchange_read: length mismatch");
   }
+
+  TTP_TRACE_SPAN(x_span, "bvm.exchange.dim", m.instr_counter());
+  x_span.attr("dim", dim);
+  x_span.attr("bits", src.len);
+  TTP_METRIC_ADD("bvm.dim_exchanges", 1);
 
   if (dim == 0 && cfg.r >= 1) {
     // The XS link IS the dimension-0 exchange: one instruction per bit.
@@ -82,6 +89,11 @@ void lateral_wave_ascend(Machine& m, int q_lo, int q_hi,
     throw std::invalid_argument("lateral_wave_ascend: bad dim range");
   }
   if (q_lo == q_hi) return;
+
+  TTP_TRACE_SPAN(wave_span, "bvm.wave.ascend", m.instr_counter());
+  wave_span.attr("q_lo", q_lo);
+  wave_span.attr("q_hi", q_hi);
+  TTP_METRIC_ADD("bvm.lateral_waves", 1);
 
   // Rows that physically rotate with the data: the payload bits and the
   // in-range adopt rows. We rotate with P-reads so data moves toward
@@ -150,6 +162,11 @@ void lateral_wave_descend(Machine& m, int q_lo, int q_hi,
     throw std::invalid_argument("lateral_wave_descend: bad dim range");
   }
   if (q_lo == q_hi) return;
+
+  TTP_TRACE_SPAN(wave_span, "bvm.wave.descend", m.instr_counter());
+  wave_span.attr("q_lo", q_lo);
+  wave_span.attr("q_hi", q_hi);
+  TTP_METRIC_ADD("bvm.lateral_waves", 1);
 
   std::vector<Reg> rotating;
   for (const WaveField& f : fields) {

@@ -23,6 +23,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "util/bits.hpp"
 #include "util/counters.hpp"
 
@@ -139,6 +140,7 @@ class CccMachine {
   /// One local parallel step: f(pe_address, state).
   template <typename F>
   void local_step(F&& f) {
+    TTP_METRIC_ADD("net.ccc.local_steps", 1);
     for (std::size_t p = 0; p < pe_.size(); ++p) f(p, pe_[p]);
     steps_.step(pe_.size(), /*routed=*/false);
   }
@@ -148,6 +150,9 @@ class CccMachine {
   /// then each PE combines with its partner's value.
   template <typename Op>
   void low_dim_exchange(int b, Op&& op) {
+    TTP_TRACE_SPAN(x_span, "ccc.exchange.low", steps_);
+    x_span.attr("dim", b);
+    TTP_METRIC_ADD("net.ccc.low_exchanges", 1);
     const int Q = cfg_.cycle_len();
     const int hop = 1 << b;
     // Physically the exchange is two counter-rotating waves of `hop` hops
@@ -262,6 +267,9 @@ class CccMachine {
   // exchanges when it passes position q.
   template <typename Op>
   void high_dim_exchange_rotating(int q, Op&& op) {
+    TTP_TRACE_SPAN(rot_span, "ccc.exchange.rotating", steps_);
+    rot_span.attr("dim", cfg_.r + q);
+    TTP_METRIC_ADD("net.ccc.rotating_exchanges", 1);
     const int Q = cfg_.cycle_len();
     for (int s = 0; s < Q; ++s) {
       rotate_data(+1);
@@ -276,6 +284,9 @@ class CccMachine {
   // and each datum sees the lateral dims in ascending order.
   template <typename Op>
   void high_dims_pipelined_ascend(Op&& op) {
+    TTP_TRACE_SPAN(wave_span, "ccc.wave.ascend", steps_);
+    wave_span.attr("h", cfg_.h);
+    TTP_METRIC_ADD("net.ccc.pipelined_waves", 1);
     const int Q = cfg_.cycle_len();
     const int T = Q + cfg_.h;  // t = 1 .. Q+h-1
     for (int t = 1; t < T; ++t) {
@@ -294,6 +305,9 @@ class CccMachine {
 
   template <typename Op>
   void high_dims_pipelined_descend(Op&& op) {
+    TTP_TRACE_SPAN(wave_span, "ccc.wave.descend", steps_);
+    wave_span.attr("h", cfg_.h);
+    TTP_METRIC_ADD("net.ccc.pipelined_waves", 1);
     const int Q = cfg_.cycle_len();
     const int T = 2 * Q;  // t = 1 .. 2Q-1 covers t = Q+j-p for all j, p<h
     for (int t = 1; t < T; ++t) {

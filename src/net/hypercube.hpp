@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "util/bits.hpp"
 #include "util/counters.hpp"
 
@@ -47,6 +48,9 @@ class HypercubeMachine {
   /// once per PE pair, `lo` being the PE whose address has bit d clear.
   template <typename Op>
   void dim_step(int d, Op&& op) {
+    TTP_TRACE_SPAN(dim_span, "hc.dim", steps_);
+    dim_span.attr("d", d);
+    TTP_METRIC_ADD("net.hypercube.dim_steps", 1);
     const std::size_t bitmask = std::size_t{1} << d;
     for (std::size_t p = 0; p < pe_.size(); ++p) {
       if (p & bitmask) continue;
@@ -82,6 +86,7 @@ class HypercubeMachine {
   /// One local (no communication) parallel step: f(pe_index, state).
   template <typename F>
   void local_step(F&& f) {
+    TTP_METRIC_ADD("net.hypercube.local_steps", 1);
     for (std::size_t p = 0; p < pe_.size(); ++p) f(p, pe_[p]);
     steps_.step(pe_.size(), /*routed=*/false);
   }

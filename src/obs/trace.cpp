@@ -1,0 +1,266 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <stdexcept>
+
+#include "obs/export.hpp"
+
+namespace ttp::obs {
+
+namespace {
+
+// Per-thread span stack: (token, id, depth) of every open span started by
+// this thread, tagged with the tracer generation so a configure() reset
+// invalidates stale stacks instead of mis-parenting new spans.
+struct ThreadStack {
+  std::uint64_t generation = 0;
+  std::vector<std::pair<std::uint64_t, int>> open;  // (span id, depth)
+};
+
+thread_local ThreadStack t_stack;
+thread_local int t_tid = -1;
+
+}  // namespace
+
+TraceConfig TraceConfig::parse(std::string_view value) {
+  TraceConfig cfg;
+  if (value.empty() || value == "off" || value == "none" || value == "0") {
+    cfg.mode = TraceMode::kOff;
+    return cfg;
+  }
+  if (value == "summary") {
+    cfg.mode = TraceMode::kSummary;
+    return cfg;
+  }
+  if (value == "spans") {
+    cfg.mode = TraceMode::kSpans;
+    return cfg;
+  }
+  constexpr std::string_view kChromePrefix = "chrome:";
+  constexpr std::string_view kJsonlPrefix = "jsonl:";
+  if (value.rfind(kChromePrefix, 0) == 0) {
+    cfg.mode = TraceMode::kChrome;
+    cfg.path = std::string(value.substr(kChromePrefix.size()));
+  } else if (value.rfind(kJsonlPrefix, 0) == 0) {
+    cfg.mode = TraceMode::kJsonl;
+    cfg.path = std::string(value.substr(kJsonlPrefix.size()));
+  } else {
+    throw std::invalid_argument(
+        "TTP_TRACE: expected off|summary|spans|chrome:<path>|jsonl:<path>, "
+        "got '" +
+        std::string(value) + "'");
+  }
+  if (cfg.path.empty()) {
+    throw std::invalid_argument("TTP_TRACE: '" + std::string(value) +
+                                "' needs a non-empty output path");
+  }
+  return cfg;
+}
+
+TraceConfig TraceConfig::from_env() noexcept {
+  const char* v = std::getenv("TTP_TRACE");
+  if (v == nullptr) return TraceConfig{};
+  try {
+    return TraceConfig::parse(v);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ttp-obs: %s (tracing stays off)\n", e.what());
+    return TraceConfig{};
+  }
+}
+
+namespace detail {
+bool init_trace_mode() noexcept {
+  // Constructing the instance reads TTP_TRACE and publishes the mode.
+  Tracer::instance();
+  return g_trace_mode.load(std::memory_order_relaxed) !=
+         static_cast<int>(TraceMode::kOff);
+}
+}  // namespace detail
+
+Tracer& Tracer::instance() {
+  static Tracer t;
+  return t;
+}
+
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {
+  const TraceConfig cfg = TraceConfig::from_env();
+  path_ = cfg.path;
+  detail::g_trace_mode.store(static_cast<int>(cfg.mode),
+                             std::memory_order_relaxed);
+}
+
+Tracer::~Tracer() { flush(); }
+
+void Tracer::configure(const TraceConfig& cfg) {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.clear();
+  metrics_.reset();
+  ++generation_;
+  next_id_ = 1;
+  dropped_ = 0;
+  dirty_ = false;
+  path_ = cfg.path;
+  detail::g_trace_mode.store(static_cast<int>(cfg.mode),
+                             std::memory_order_relaxed);
+}
+
+std::int64_t Tracer::now_ns() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+std::uint64_t Tracer::make_token(std::uint64_t index) const {
+  return (generation_ << kIndexBits) | index;
+}
+
+SpanRecord* Tracer::resolve_token(std::uint64_t token) {
+  if ((token >> kIndexBits) != generation_) return nullptr;
+  const std::uint64_t index = token & ((std::uint64_t{1} << kIndexBits) - 1);
+  if (index >= spans_.size()) return nullptr;
+  return &spans_[static_cast<std::size_t>(index)];
+}
+
+int Tracer::thread_index() {
+  if (t_tid < 0) t_tid = next_tid_++;  // caller holds mu_
+  return t_tid;
+}
+
+std::uint64_t Tracer::begin_span(std::string_view name,
+                                 const StepProbe& probe) {
+  const std::int64_t now = now_ns();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (spans_.size() >= kMaxSpans) {
+    ++dropped_;
+    metrics_.counter("obs.dropped_spans").add(1);
+    return 0;  // generation 0 never matches: the span becomes a no-op
+  }
+  if (t_stack.generation != generation_) {
+    t_stack.generation = generation_;
+    t_stack.open.clear();
+  }
+
+  SpanRecord rec;
+  rec.id = next_id_++;
+  rec.name.assign(name);
+  rec.tid = thread_index();
+  rec.start_ns = now;
+  if (!t_stack.open.empty()) {
+    rec.parent = t_stack.open.back().first;
+    rec.depth = t_stack.open.back().second + 1;
+  }
+  if (probe.parallel != nullptr) {
+    rec.has_steps = true;
+    rec.begin_parallel = *probe.parallel;
+    if (probe.routed != nullptr) rec.begin_routed = *probe.routed;
+    if (probe.ops != nullptr) rec.begin_ops = *probe.ops;
+  }
+  t_stack.open.emplace_back(rec.id, rec.depth);
+  spans_.push_back(std::move(rec));
+  dirty_ = true;
+  return make_token(spans_.size() - 1);
+}
+
+void Tracer::end_span(std::uint64_t token, const StepProbe& probe) {
+  const std::int64_t now = now_ns();
+  std::lock_guard<std::mutex> lock(mu_);
+  SpanRecord* rec = resolve_token(token);
+  if (rec == nullptr || !rec->open) return;
+  rec->open = false;
+  rec->end_ns = now;
+  if (probe.parallel != nullptr) {
+    rec->end_parallel = *probe.parallel;
+    if (probe.routed != nullptr) rec->end_routed = *probe.routed;
+    if (probe.ops != nullptr) rec->end_ops = *probe.ops;
+  }
+  if (t_stack.generation == generation_) {
+    // Normal case: this span is the top of its thread's stack. Guard
+    // against out-of-order destruction anyway (pop down to it).
+    while (!t_stack.open.empty() && t_stack.open.back().first >= rec->id) {
+      t_stack.open.pop_back();
+    }
+  }
+}
+
+void Tracer::span_attr(std::uint64_t token, std::string_view key,
+                       std::string_view value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SpanRecord* rec = resolve_token(token);
+  if (rec == nullptr) return;
+  rec->attrs.emplace_back(std::string(key), std::string(value));
+}
+
+std::vector<SpanRecord> Tracer::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+void Tracer::flush() {
+  TraceMode m;
+  std::string path;
+  std::vector<SpanRecord> spans;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!dirty_) return;
+    dirty_ = false;
+    m = static_cast<TraceMode>(
+        detail::g_trace_mode.load(std::memory_order_relaxed));
+    path = path_;
+    spans = spans_;
+    if (dropped_ > 0) {
+      std::fprintf(stderr, "ttp-obs: span buffer full, dropped %llu spans\n",
+                   static_cast<unsigned long long>(dropped_));
+    }
+  }
+  switch (m) {
+    case TraceMode::kOff:
+      break;
+    case TraceMode::kSummary:
+      std::cerr << "--- ttp-obs summary ---\n";
+      write_span_summary(std::cerr, spans);
+      if (!metrics_.empty()) {
+        std::cerr << "metrics:\n";
+        metrics_.print(std::cerr);
+      }
+      break;
+    case TraceMode::kSpans:
+      std::cerr << "--- ttp-obs span tree ---\n";
+      write_span_tree(std::cerr, spans);
+      if (!metrics_.empty()) {
+        std::cerr << "metrics:\n";
+        metrics_.print(std::cerr);
+      }
+      break;
+    case TraceMode::kChrome: {
+      std::ofstream out(path, std::ios::trunc);
+      if (!out) {
+        std::fprintf(stderr, "ttp-obs: cannot write chrome trace to %s\n",
+                     path.c_str());
+        return;
+      }
+      write_chrome_trace(out, spans);
+      std::fprintf(stderr,
+                   "ttp-obs: wrote chrome trace (%zu spans) to %s — open in "
+                   "chrome://tracing or https://ui.perfetto.dev\n",
+                   spans.size(), path.c_str());
+      break;
+    }
+    case TraceMode::kJsonl: {
+      std::ofstream out(path, std::ios::trunc);
+      if (!out) {
+        std::fprintf(stderr, "ttp-obs: cannot write jsonl trace to %s\n",
+                     path.c_str());
+        return;
+      }
+      write_jsonl(out, spans);
+      std::fprintf(stderr, "ttp-obs: wrote %zu span records to %s\n",
+                   spans.size(), path.c_str());
+      break;
+    }
+  }
+}
+
+}  // namespace ttp::obs

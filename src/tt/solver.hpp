@@ -13,6 +13,7 @@
 #include <limits>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "tt/instance.hpp"
 #include "tt/tree.hpp"
 #include "util/counters.hpp"
@@ -36,7 +37,9 @@ struct SolveResult {
   double cost = kInf;        ///< C(U); kInf when the instance is inadequate.
   Tree tree;                 ///< Empty when infeasible.
   util::StepCounter steps;   ///< Solver-specific cost model, see above.
-  util::CounterMap breakdown;
+  /// Named per-solve counters ("bvm_instructions", "pes", ...). A full
+  /// metrics registry so solvers can also attach histograms/gauges.
+  obs::MetricsRegistry breakdown;
 };
 
 /// Rebuilds the optimal procedure tree by following best_action pointers.

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "obs/trace.hpp"
+
 namespace ttp::tt {
 
 namespace {
@@ -121,6 +123,8 @@ SolveResult BnbSolver::solve(const Instance& ins) const {
   }
 
   SolveResult res;
+  TTP_TRACE_SPAN(root_span, "solve.bnb", res.steps);
+  root_span.attr("k", ins.k());
   const std::size_t states = std::size_t{1} << ins.k();
   res.table.k = ins.k();
   res.table.cost.assign(states, kInf);
@@ -138,6 +142,8 @@ SolveResult BnbSolver::solve(const Instance& ins) const {
   res.steps.total_ops = ctx.memo.size();
   res.breakdown.add("visited_states", ctx.memo.size());
   res.breakdown.add("pruned_actions", ctx.pruned);
+  root_span.attr("visited", static_cast<std::uint64_t>(ctx.memo.size()));
+  root_span.attr("pruned", ctx.pruned);
   return res;
 }
 

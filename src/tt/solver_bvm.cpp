@@ -7,6 +7,7 @@
 #include "bvm/microcode/arith.hpp"
 #include "bvm/microcode/exchange.hpp"
 #include "bvm/microcode/ids.hpp"
+#include "obs/trace.hpp"
 #include "tt/solver_hypercube.hpp"
 
 namespace ttp::tt {
@@ -63,6 +64,12 @@ SolveResult BvmSolver::solve(const Instance& ins) const {
   if (opt_.record_program != nullptr) mach.set_recorder(opt_.record_program);
   SolveResult res;
 
+  TTP_TRACE_SPAN(root_span, "solve.bvm", mach.instr_counter());
+  root_span.attr("k", k);
+  root_span.attr("dims", dims);
+  root_span.attr("pes", mach.num_pes());
+  root_span.attr("value_bits", p);
+
   auto count_phase = [&, last = std::uint64_t{0}](const char* name) mutable {
     const std::uint64_t now = mach.instr_count();
     res.breakdown.add(name, now - last);
@@ -70,14 +77,17 @@ SolveResult BvmSolver::solve(const Instance& ins) const {
   };
 
   // --- Processor-ID: on the fly or precalculated (both sanctioned). ---
+  TTP_TRACE_SPAN(ids_span, "phase.init_ids", mach.instr_counter());
   if (opt_.on_machine_ids) {
     bvm::gen_processor_id(mach, rm.pid, rm.take, rm.tmp);
   } else {
     bvm::load_processor_id_host(mach, rm.pid);
   }
+  ids_span.finish();
   count_phase("init_ids");
 
   // --- Per-action data: T_i membership bits, test flag, cost t_i. ---
+  TTP_TRACE_SPAN(load_span, "phase.init_load", mach.instr_counter());
   auto action_of = [&](std::size_t pe) { return static_cast<int>(pe) & (npad - 1); };
   for (int e = 0; e < k; ++e) {
     load_row(mach, opt_.serial_io, Reg::R(rm.tmask + e), [&](std::size_t pe) {
@@ -99,10 +109,12 @@ SolveResult BvmSolver::solve(const Instance& ins) const {
       return ((raw >> t) & 1u) != 0;
     });
   }
+  load_span.finish();
   count_phase("init_load");
 
   // --- WT = p(S) on the machine: sum of the weight constants of the
   //     objects whose PID set-bit is on. ---
+  TTP_TRACE_SPAN(ps_span, "phase.init_ps", mach.instr_counter());
   set_const(mach, rm.fWT(), 0);
   for (int j = 0; j < k; ++j) {
     const std::uint64_t wraw = util::Fixed::from_double(fmt, ins.weight(j)).raw();
@@ -116,11 +128,13 @@ SolveResult BvmSolver::solve(const Instance& ins) const {
     }
     add_sat(mach, rm.fWT(), rm.fWT(), rm.fX(), rm.tmp);
   }
+  ps_span.finish();
   count_phase("init_ps");
 
   // --- TP = t_i * p(S); S = empty gives 0, pad actions give INF. Both
   //     operands carry `frac` fractional bits, so the product is shifted
   //     back down through a wide accumulator. ---
+  TTP_TRACE_SPAN(tp_span, "phase.init_tp", mach.instr_counter());
   multiply_shift_sat(mach, rm.fTP(), rm.fCT(), rm.fWT(), fmt.frac,
                      rm.fMULS(), rm.ovf, rm.tmp);
   // INF cost times a sub-unit weight would come out finite under pure
@@ -131,9 +145,11 @@ SolveResult BvmSolver::solve(const Instance& ins) const {
   mach.exec(bvm::binop(bvm::Reg::R(rm.take), bvm::kTtAndFNotD,
                        bvm::Reg::R(rm.lt), bvm::Reg::R(rm.eq)));
   or_bit_into(mach, rm.fTP(), rm.take);
+  tp_span.finish();
   count_phase("init_tp");
 
   // --- M = INF except M[empty,i] = 0; BEST = own action index. ---
+  TTP_TRACE_SPAN(m_span, "phase.init_m", mach.instr_counter());
   set_const(mach, rm.fM(), fmt.inf_raw());
   equals_const(mach, rm.eq, rm.fPidSet(), 0, rm.tmp);
   set_const(mach, rm.fX(), 0);
@@ -146,10 +162,13 @@ SolveResult BvmSolver::solve(const Instance& ins) const {
     return sd;
   }(), rm.pid, rm.layer_work);
   layers.init(mach);
+  m_span.finish();
   count_phase("init_m");
 
   // --- The §6 layer loop. ---
   for (int j = 1; j <= k; ++j) {
+    TTP_TRACE_SPAN(layer_span, "layer", mach.instr_counter());
+    layer_span.attr("j", j);
     layers.advance(mach);
     mach.exec(bvm::mov(Reg::R(rm.layerj), Reg::R(layers.flag())));
 

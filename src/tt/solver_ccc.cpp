@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/trace.hpp"
+
 namespace ttp::tt {
 
 net::CccConfig CccSolver::machine_shape(const Instance& ins) {
@@ -23,6 +25,13 @@ SolveResult CccSolver::solve(const Instance& ins) const {
 
   net::CccMachine<TtPeState> m(machine_shape(ins));
 
+  TTP_TRACE_SPAN(root_span, "solve.ccc", res.steps);
+  root_span.attr("k", k);
+  root_span.attr("ccc_r", m.config().r);
+  root_span.attr("ccc_h", m.config().h);
+  root_span.attr("pes", m.size());
+
+  TTP_TRACE_SPAN(init_span, "init", m.steps());
   m.local_step([&](std::size_t pe, TtPeState& st) {
     const int i = static_cast<int>(pe) & (npad - 1);
     const Mask s = static_cast<Mask>(pe >> a);
@@ -44,8 +53,11 @@ SolveResult CccSolver::solve(const Instance& ins) const {
     st.m = (s == 0) ? 0.0 : kInf;
     st.r = st.q = kInf;
   });
+  init_span.finish();
 
   for (int j = 1; j <= k; ++j) {
+    TTP_TRACE_SPAN(layer_span, "layer", m.steps());
+    layer_span.attr("j", j);
     m.local_step([&](std::size_t, TtPeState& st) {
       st.r = st.m;
       st.q = st.m;
@@ -85,6 +97,7 @@ SolveResult CccSolver::solve(const Instance& ins) const {
     });
   }
 
+  TTP_TRACE_SPAN(extract_span, "extract", m.steps());
   const std::size_t states = std::size_t{1} << k;
   res.table.k = k;
   res.table.cost.assign(states, kInf);

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <functional>
 
+#include "obs/trace.hpp"
+
 namespace ttp::tt {
 
 SolveResult RecursiveSolver::solve(const Instance& ins) const {
@@ -12,6 +14,10 @@ SolveResult RecursiveSolver::solve(const Instance& ins) const {
   const int N = ins.num_actions();
   const std::size_t states = std::size_t{1} << k;
   const std::vector<double>& wt = ins.subset_weight_table();
+
+  TTP_TRACE_SPAN(root_span, "solve.recursive", res.steps);
+  root_span.attr("k", k);
+  root_span.attr("actions", N);
 
   res.table.k = k;
   res.table.cost.assign(states, kInf);

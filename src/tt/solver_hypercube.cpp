@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/trace.hpp"
+
 namespace ttp::tt {
 
 int HypercubeSolver::action_dims(const Instance& ins) {
@@ -24,7 +26,13 @@ SolveResult HypercubeSolver::solve(const Instance& ins) const {
 
   net::HypercubeMachine<TtPeState> m(k + a);
 
+  TTP_TRACE_SPAN(root_span, "solve.hypercube", res.steps);
+  root_span.attr("k", k);
+  root_span.attr("dims", k + a);
+  root_span.attr("pes", m.size());
+
   // --- Initialization (paper §5 first loop + §7 PE configuration). ---
+  TTP_TRACE_SPAN(init_span, "init", m.steps());
   m.local_step([&](std::size_t pe, TtPeState& st) {
     const int i = static_cast<int>(pe) & (npad - 1);
     const Mask s = static_cast<Mask>(pe >> a);
@@ -46,8 +54,11 @@ SolveResult HypercubeSolver::solve(const Instance& ins) const {
     st.m = (s == 0) ? 0.0 : kInf;
     st.r = st.q = kInf;
   });
+  init_span.finish();
 
   for (int j = 1; j <= k; ++j) {
+    TTP_TRACE_SPAN(layer_span, "layer", m.steps());
+    layer_span.attr("j", j);
     // Copy: R = Q = M on every PE (predicate P1 has no layer restriction).
     m.local_step([&](std::size_t, TtPeState& st) {
       st.r = st.m;
@@ -94,6 +105,7 @@ SolveResult HypercubeSolver::solve(const Instance& ins) const {
   }
 
   // --- Extraction: PE (S, 0) holds C(S) and the argmin. ---
+  TTP_TRACE_SPAN(extract_span, "extract", m.steps());
   const std::size_t states = std::size_t{1} << k;
   res.table.k = k;
   res.table.cost.assign(states, kInf);

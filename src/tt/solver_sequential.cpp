@@ -1,5 +1,7 @@
 #include "tt/solver_sequential.hpp"
 
+#include "obs/trace.hpp"
+
 namespace ttp::tt {
 
 double action_value(const Instance& ins, const std::vector<double>& cost,
@@ -23,12 +25,18 @@ SolveResult SequentialSolver::solve(const Instance& ins) const {
   const std::size_t states = std::size_t{1} << k;
   const std::vector<double>& wt = ins.subset_weight_table();
 
+  TTP_TRACE_SPAN(root_span, "solve.sequential", res.steps);
+  root_span.attr("k", k);
+  root_span.attr("actions", N);
+
   res.table.k = k;
   res.table.cost.assign(states, kInf);
   res.table.best_action.assign(states, -1);
   res.table.cost[0] = 0.0;
 
   for (int j = 1; j <= k; ++j) {
+    TTP_TRACE_SPAN(layer_span, "layer", res.steps);
+    layer_span.attr("j", j);
     for (Mask s : util::layer_subsets(k, j)) {
       double best = kInf;
       int arg = -1;

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/trace.hpp"
+
 namespace ttp::tt {
 
 SolveResult StateParallelSolver::solve(const Instance& ins) const {
@@ -13,6 +15,11 @@ SolveResult StateParallelSolver::solve(const Instance& ins) const {
 
   net::HypercubeMachine<StatePeState> m(k);
 
+  TTP_TRACE_SPAN(root_span, "solve.state_parallel", res.steps);
+  root_span.attr("k", k);
+  root_span.attr("pes", m.size());
+
+  TTP_TRACE_SPAN(init_span, "init", m.steps());
   m.local_step([&](std::size_t pe, StatePeState& st) {
     const Mask s = static_cast<Mask>(pe);
     st.layer = util::popcount(s);
@@ -20,8 +27,11 @@ SolveResult StateParallelSolver::solve(const Instance& ins) const {
     st.c = s == 0 ? 0.0 : kInf;
     st.best = -1;
   });
+  init_span.finish();
 
   for (int j = 1; j <= k; ++j) {
+    TTP_TRACE_SPAN(layer_span, "layer", m.steps());
+    layer_span.attr("j", j);
     for (int i = 0; i < N; ++i) {
       const Action& act = ins.action(i);
       // R := C, propagated along the dimensions in T_i only: after the
@@ -67,6 +77,7 @@ SolveResult StateParallelSolver::solve(const Instance& ins) const {
     }
   }
 
+  TTP_TRACE_SPAN(extract_span, "extract", m.steps());
   const std::size_t states = std::size_t{1} << k;
   res.table.k = k;
   res.table.cost.assign(states, kInf);

@@ -1,5 +1,6 @@
 #include "tt/solver_threads.hpp"
 
+#include "obs/trace.hpp"
 #include "tt/solver_sequential.hpp"
 
 namespace ttp::tt {
@@ -12,6 +13,12 @@ SolveResult ThreadsSolver::solve(const Instance& ins) const {
   const std::size_t states = std::size_t{1} << k;
   const std::vector<double>& wt = ins.subset_weight_table();
 
+  TTP_TRACE_SPAN(root_span, "solve.threads", res.steps);
+  root_span.attr("k", k);
+  root_span.attr("workers", pool_.size());
+  root_span.attr("mode", mode_ == Mode::kStateParallel ? "state_parallel"
+                                                       : "pair_parallel");
+
   res.table.k = k;
   res.table.cost.assign(states, kInf);
   res.table.best_action.assign(states, -1);
@@ -23,7 +30,10 @@ SolveResult ThreadsSolver::solve(const Instance& ins) const {
   }
 
   for (int j = 1; j <= k; ++j) {
+    TTP_TRACE_SPAN(layer_span, "layer", res.steps);
+    layer_span.attr("j", j);
     const std::vector<Mask> layer = util::layer_subsets(k, j);
+    layer_span.attr("states", static_cast<std::uint64_t>(layer.size()));
     if (mode_ == Mode::kStateParallel) {
       // Reads touch only layers < j (finalized); writes per-state disjoint.
       pool_.parallel_for(layer.size(), [&](std::size_t b, std::size_t e) {

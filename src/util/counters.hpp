@@ -5,8 +5,12 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
 
 namespace ttp::util {
 
@@ -34,19 +38,22 @@ struct StepCounter {
   }
 };
 
-/// Named counters for ad-hoc breakdowns (per-phase instruction counts etc).
+/// Compatibility shim over obs::MetricsRegistry, kept for call sites that
+/// predate the obs layer. add() takes string_view and hashes instead of
+/// walking a std::map of owned strings; all() returns a name-sorted
+/// snapshot so report output stays deterministic. New code should use
+/// obs::MetricsRegistry (counters/gauges/histograms) directly.
 class CounterMap {
  public:
-  void add(const std::string& name, std::uint64_t v) { counters_[name] += v; }
-  std::uint64_t get(const std::string& name) const {
-    auto it = counters_.find(name);
-    return it == counters_.end() ? 0 : it->second;
+  void add(std::string_view name, std::uint64_t v) { reg_.add(name, v); }
+  std::uint64_t get(std::string_view name) const { return reg_.get(name); }
+  std::vector<std::pair<std::string, std::uint64_t>> all() const {
+    return reg_.all();
   }
-  const std::map<std::string, std::uint64_t>& all() const { return counters_; }
-  void reset() { counters_.clear(); }
+  void reset() { reg_.reset(); }
 
  private:
-  std::map<std::string, std::uint64_t> counters_;
+  obs::MetricsRegistry reg_;
 };
 
 }  // namespace ttp::util

@@ -1,6 +1,9 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <string>
+
+#include "obs/trace.hpp"
 
 namespace ttp::util {
 
@@ -27,6 +30,8 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::parallel_for(
     std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn) {
   if (n == 0) return;
+  TTP_METRIC_ADD("threadpool.parallel_for", 1);
+  TTP_METRIC_HIST("threadpool.items", n);
   const std::size_t w = threads_.size();
   std::unique_lock<std::mutex> lock(mu_);
   const std::size_t chunk = (n + w - 1) / w;
@@ -40,20 +45,38 @@ void ThreadPool::parallel_for(
   fn_ = &fn;
   pending_ = w;
   ++epoch_;
+  TTP_METRIC_ADD("threadpool.tasks", active);
+  TTP_METRIC_GAUGE("threadpool.pending", static_cast<double>(w));
   cv_start_.notify_all();
   cv_done_.wait(lock, [this] { return pending_ == 0; });
   fn_ = nullptr;
+  TTP_METRIC_GAUGE("threadpool.pending", 0.0);
   (void)active;
 }
 
 void ThreadPool::worker_loop(std::size_t id) {
   std::uint64_t seen = 0;
+#ifndef TTP_OBS_DISABLED
+  const std::string idle_name =
+      "threadpool.worker." + std::to_string(id) + ".idle_ns";
+#endif
   while (true) {
     Task task;
     const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
     {
       std::unique_lock<std::mutex> lock(mu_);
+#ifndef TTP_OBS_DISABLED
+      const bool timing = obs::trace_enabled();
+      const std::int64_t idle_t0 = timing ? obs::tracer().now_ns() : 0;
+#endif
       cv_start_.wait(lock, [&] { return stop_ || epoch_ != seen; });
+#ifndef TTP_OBS_DISABLED
+      if (timing && obs::trace_enabled()) {
+        obs::Tracer& tr = obs::tracer();
+        tr.metrics().counter(idle_name).add(
+            static_cast<std::uint64_t>(tr.now_ns() - idle_t0));
+      }
+#endif
       if (stop_) return;
       seen = epoch_;
       task = tasks_[id];

@@ -6,7 +6,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <functional>
+#include <string>
 
+#include "obs/trace.hpp"
 #include "tt/generator.hpp"
 #include "tt/solver_bnb.hpp"
 #include "tt/solver_bvm.hpp"
@@ -77,6 +80,76 @@ TEST_P(AllSolvers, OneInstanceOneTable) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, AllSolvers, ::testing::Range(0, 10));
+
+// Observability self-consistency: with tracing on, every backend's root span
+// must account for exactly the steps the solver reports, and the per-layer
+// child spans must partition that total — no step may fall outside a child,
+// none may be double-counted.
+TEST(SolverSpanAccounting, LayerDeltasPartitionSolverTotals) {
+  util::Rng rng(12345);
+  RandomOptions ropt;
+  ropt.num_tests = 4;
+  ropt.num_treatments = 3;
+  ropt.integer_costs = true;
+  ropt.integer_weights = true;
+  ropt.max_cost = 4.0;
+  const Instance ins = random_instance(5, ropt, rng);
+  const int k = ins.k();
+
+  BvmSolverOptions bopt;
+  bopt.format = util::Fixed::Format{20, 0};
+
+  struct Backend {
+    std::string root;
+    std::function<SolveResult()> run;
+    bool wall_only_root = false;  ///< root watches wall+instr, not StepCounter
+  };
+  const std::vector<Backend> backends = {
+      {"solve.sequential", [&] { return SequentialSolver().solve(ins); }},
+      {"solve.threads", [&] { return ThreadsSolver(2).solve(ins); }},
+      {"solve.hypercube", [&] { return HypercubeSolver().solve(ins); }},
+      {"solve.ccc", [&] { return CccSolver().solve(ins); }},
+      {"solve.state_parallel", [&] { return StateParallelSolver().solve(ins); }},
+      {"solve.bvm", [&] { return BvmSolver(bopt).solve(ins); }, true},
+  };
+
+  for (const Backend& backend : backends) {
+    obs::tracer().configure(obs::TraceConfig{obs::TraceMode::kSpans, ""});
+    const SolveResult res = backend.run();
+    const std::vector<obs::SpanRecord> spans = obs::tracer().snapshot();
+    obs::tracer().configure(obs::TraceConfig{});
+
+    const obs::SpanRecord* root = nullptr;
+    for (const obs::SpanRecord& s : spans) {
+      if (s.name == backend.root) {
+        ASSERT_EQ(root, nullptr) << "duplicate root " << backend.root;
+        root = &s;
+      }
+    }
+    ASSERT_NE(root, nullptr) << backend.root;
+    EXPECT_FALSE(root->open) << backend.root;
+    EXPECT_TRUE(root->has_steps) << backend.root;
+    EXPECT_EQ(root->parallel_delta(), res.steps.parallel_steps)
+        << backend.root;
+
+    std::uint64_t sum_parallel = 0, sum_routed = 0, sum_ops = 0;
+    int layer_children = 0;
+    for (const obs::SpanRecord& s : spans) {
+      if (s.parent != root->id) continue;
+      EXPECT_FALSE(s.open) << backend.root << " child " << s.name;
+      sum_parallel += s.parallel_delta();
+      sum_routed += s.routed_delta();
+      sum_ops += s.ops_delta();
+      if (s.name == "layer") ++layer_children;
+    }
+    EXPECT_EQ(layer_children, k) << backend.root;
+    EXPECT_EQ(sum_parallel, res.steps.parallel_steps) << backend.root;
+    if (!backend.wall_only_root) {
+      EXPECT_EQ(sum_routed, res.steps.route_steps) << backend.root;
+      EXPECT_EQ(sum_ops, res.steps.total_ops) << backend.root;
+    }
+  }
+}
 
 }  // namespace
 }  // namespace ttp::tt
