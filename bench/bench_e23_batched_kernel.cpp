@@ -1,0 +1,159 @@
+// E23 — The batched layer-wave kernel vs the classic inner loop.
+//
+// Two questions a serving deployment asks that the paper's step counts do
+// not answer:
+//   1. single-solve latency — how much faster is the tiled SoA kernel
+//      (tt/kernel.*) than the classic per-call action_value sweep on one
+//      host thread? (acceptance: >= 1.5x)
+//   2. batched throughput — instances/sec when independent solves are
+//      pipelined through BatchSolver's worker pool with per-worker arenas.
+//
+// BM_LegacyInnerLoop is a faithful replica of the pre-kernel
+// SequentialSolver (per-call action_value dispatch over vector<Action>,
+// per-layer subset enumeration, per-evaluation step accounting);
+// BM_KernelSolve is today's kernel-backed SequentialSolver producing
+// byte-identical tables. BM_BatchThroughput reports instances/sec via the
+// items_per_second counter.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "tt/generator.hpp"
+#include "tt/kernel.hpp"
+#include "tt/solver_batch.hpp"
+#include "tt/solver_sequential.hpp"
+#include "util/bits.hpp"
+#include "util/counters.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using ttp::tt::Instance;
+using ttp::tt::kInf;
+using ttp::util::Mask;
+
+Instance bench_instance(int k, std::uint64_t seed = 77) {
+  ttp::util::Rng rng(seed);
+  ttp::tt::RandomOptions opt;
+  opt.num_tests = 10;
+  opt.num_treatments = 10;
+  return ttp::tt::random_instance(k, opt, rng);
+}
+
+/// The pre-kernel SequentialSolver::solve, verbatim: layer subsets
+/// re-derived per solve, one out-of-line action_value call and one step()
+/// per (S, i), then the same tree reconstruction and breakdown entry
+/// today's solver produces — a full solve on both sides of the comparison.
+ttp::tt::SolveResult legacy_solve(const Instance& ins) {
+  ins.check();
+  ttp::tt::SolveResult res;
+  const int k = ins.k();
+  const int N = ins.num_actions();
+  const std::size_t states = std::size_t{1} << k;
+  const std::vector<double>& wt = ins.subset_weight_table();
+  res.table.k = k;
+  res.table.cost.assign(states, kInf);
+  res.table.best_action.assign(states, -1);
+  res.table.cost[0] = 0.0;
+  for (int j = 1; j <= k; ++j) {
+    for (Mask s : ttp::util::layer_subsets(k, j)) {
+      double b = kInf;
+      int arg = -1;
+      for (int i = 0; i < N; ++i) {
+        const double v = ttp::tt::action_value(ins, res.table.cost, wt, s, i);
+        res.steps.step(1);
+        if (v < b) {
+          b = v;
+          arg = i;
+        }
+      }
+      res.table.cost[s] = b;
+      res.table.best_action[s] = arg;
+    }
+  }
+  res.cost = res.table.root_cost();
+  res.tree = ttp::tt::reconstruct_tree(ins, res.table);
+  res.breakdown.add("m_evaluations", res.steps.total_ops);
+  return res;
+}
+
+void BM_LegacyInnerLoop(benchmark::State& state) {
+  const auto ins = bench_instance(static_cast<int>(state.range(0)));
+  double cost = 0;
+  for (auto _ : state) {
+    cost = legacy_solve(ins).cost;
+    benchmark::DoNotOptimize(cost);
+  }
+  state.counters["C(U)"] = cost;
+  state.counters["evals/s"] = benchmark::Counter(
+      static_cast<double>(((std::uint64_t{1} << state.range(0)) - 1) *
+                          static_cast<std::uint64_t>(ins.num_actions())),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+
+void BM_KernelSolve(benchmark::State& state) {
+  const auto ins = bench_instance(static_cast<int>(state.range(0)));
+  ttp::tt::SequentialSolver solver;
+  double cost = 0;
+  for (auto _ : state) {
+    cost = solver.solve(ins).cost;
+    benchmark::DoNotOptimize(cost);
+  }
+  state.counters["C(U)"] = cost;
+  state.counters["evals/s"] = benchmark::Counter(
+      static_cast<double>(((std::uint64_t{1} << state.range(0)) - 1) *
+                          static_cast<std::uint64_t>(ins.num_actions())),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+
+/// The kernel sweep alone on a pre-bound arena — what one steady-state
+/// serving worker pays per request once tables and layers are warm.
+void BM_KernelArenaWarm(benchmark::State& state) {
+  const auto ins = bench_instance(static_cast<int>(state.range(0)));
+  ttp::tt::SolveArena arena;
+  double cost = 0;
+  for (auto _ : state) {
+    cost = ttp::tt::solve_with_arena(ins, arena).cost;
+    benchmark::DoNotOptimize(cost);
+  }
+  state.counters["C(U)"] = cost;
+}
+
+void BM_BatchThroughput(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const std::size_t workers = static_cast<std::size_t>(state.range(1));
+  std::vector<Instance> batch;
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    batch.push_back(bench_instance(k, 1000 + i));
+  }
+  ttp::tt::BatchSolver solver(workers);
+  for (auto _ : state) {
+    auto results = solver.solve_many(batch);
+    benchmark::DoNotOptimize(results.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch.size()));
+  state.counters["workers"] = static_cast<double>(workers);
+}
+
+}  // namespace
+
+BENCHMARK(BM_LegacyInnerLoop)->Arg(12)->Arg(14)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_KernelSolve)->Arg(12)->Arg(14)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_KernelArenaWarm)->Arg(12)->Arg(14)
+    ->Unit(benchmark::kMillisecond);
+// UseRealTime: the pool's workers do the solving while the main thread
+// blocks, so wall clock (not main-thread CPU) is the meaningful basis for
+// items_per_second.
+BENCHMARK(BM_BatchThroughput)
+    ->Args({10, 1})
+    ->Args({10, 2})
+    ->Args({10, 4})
+    ->Args({12, 4})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

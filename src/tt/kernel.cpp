@@ -1,0 +1,218 @@
+#include "tt/kernel.hpp"
+
+#include <algorithm>
+
+#include "obs/trace.hpp"
+#include "util/bits.hpp"
+
+namespace ttp::tt {
+
+void ActionSoA::build(const Instance& ins) {
+  const std::size_t n = static_cast<std::size_t>(ins.num_actions());
+  set.resize(n);
+  nset.resize(n);
+  cost.resize(n);
+  is_test.resize(n);
+  num_tests = ins.num_tests();
+  num_actions = ins.num_actions();
+  for (std::size_t i = 0; i < n; ++i) {
+    const Action& a = ins.action(static_cast<int>(i));
+    set[i] = a.set;
+    nset[i] = ~a.set;
+    cost[i] = a.cost;
+    is_test[i] = a.is_test ? 1 : 0;
+  }
+}
+
+void LayerIndex::build(int k) {
+  k_ = k;
+  const std::size_t states = std::size_t{1} << k;
+  masks_.resize(states);
+  offsets_.assign(static_cast<std::size_t>(k) + 2, 0);
+  for (std::size_t s = 0; s < states; ++s) {
+    ++offsets_[static_cast<std::size_t>(util::popcount(static_cast<Mask>(s))) +
+               1];
+  }
+  for (std::size_t j = 1; j < offsets_.size(); ++j) {
+    offsets_[j] += offsets_[j - 1];
+  }
+  // Stable counting sort over ascending s keeps each layer ascending, the
+  // order util::layer_subsets produces and the tests pin down.
+  std::vector<std::size_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (std::size_t s = 0; s < states; ++s) {
+    const int j = util::popcount(static_cast<Mask>(s));
+    masks_[cursor[static_cast<std::size_t>(j)]++] = static_cast<Mask>(s);
+  }
+}
+
+void SolveArena::prepare_tables(std::size_t states) {
+  cost_.assign(states, kInf);
+  best_.assign(states, -1);
+  cost_[0] = 0.0;
+}
+
+namespace {
+
+/// One tile: `m` states against every action, tests first then treatments
+/// (two branch-free runs), running best/argmin held in stack arrays.
+inline void eval_tile(const ActionSoA& a, const double* __restrict wt,
+                      const Mask* __restrict states, std::size_t m,
+                      double* __restrict cost, int* __restrict best) {
+  Mask s_arr[kKernelTile];
+  double ws[kKernelTile];
+  double bv[kKernelTile];
+  int bi[kKernelTile];
+  for (std::size_t t = 0; t < m; ++t) {
+    s_arr[t] = states[t];
+    ws[t] = wt[s_arr[t]];
+    bv[t] = kInf;
+    bi[t] = -1;
+  }
+  for (int i = 0; i < a.num_tests; ++i) {
+    const Mask ts = a.set[static_cast<std::size_t>(i)];
+    const Mask tn = a.nset[static_cast<std::size_t>(i)];
+    const double tc = a.cost[static_cast<std::size_t>(i)];
+    for (std::size_t t = 0; t < m; ++t) {
+      const Mask s = s_arr[t];
+      const Mask inter = s & ts;
+      const Mask minus = s & tn;
+      // Invalid splits read cost[0] == 0 or the state's own still-kInf
+      // slot — finite-or-inf either way, never NaN — so the select after
+      // the arithmetic gives the same value action_value's early returns
+      // produce.
+      double v = m_test_value(tc, ws[t], cost[inter], cost[minus]);
+      v = ((inter == 0) | (minus == 0)) ? kInf : v;
+      const bool lt = v < bv[t];
+      bv[t] = lt ? v : bv[t];
+      bi[t] = lt ? i : bi[t];
+    }
+  }
+  for (int i = a.num_tests; i < a.num_actions; ++i) {
+    const Mask ts = a.set[static_cast<std::size_t>(i)];
+    const Mask tn = a.nset[static_cast<std::size_t>(i)];
+    const double tc = a.cost[static_cast<std::size_t>(i)];
+    for (std::size_t t = 0; t < m; ++t) {
+      const Mask s = s_arr[t];
+      const Mask inter = s & ts;
+      const Mask minus = s & tn;
+      double v = m_treat_value(tc, ws[t], cost[minus]);
+      v = inter == 0 ? kInf : v;
+      const bool lt = v < bv[t];
+      bv[t] = lt ? v : bv[t];
+      bi[t] = lt ? i : bi[t];
+    }
+  }
+  for (std::size_t t = 0; t < m; ++t) {
+    cost[s_arr[t]] = bv[t];
+    best[s_arr[t]] = bi[t];
+  }
+}
+
+}  // namespace
+
+std::uint64_t eval_states(const ActionSoA& a, const double* wt,
+                          const Mask* states, std::size_t count, double* cost,
+                          int* best) {
+  TTP_TRACE_SPAN(wave_span, "kernel.wave");
+  wave_span.attr("states", static_cast<std::uint64_t>(count));
+  wave_span.attr("actions", a.num_actions);
+  for (std::size_t base = 0; base < count; base += kKernelTile) {
+    const std::size_t m = std::min(kKernelTile, count - base);
+    TTP_TRACE_SPAN(tile_span, "kernel.tile");
+    tile_span.attr("base", static_cast<std::uint64_t>(base));
+    tile_span.attr("states", static_cast<std::uint64_t>(m));
+    eval_tile(a, wt, states + base, m, cost, best);
+  }
+  TTP_METRIC_ADD("kernel.waves", 1);
+  TTP_METRIC_HIST("kernel.wave_states", count);
+  return static_cast<std::uint64_t>(count) *
+         static_cast<std::uint64_t>(a.num_actions);
+}
+
+void eval_pairs(const ActionSoA& a, const double* wt, const double* cost,
+                const Mask* states, std::size_t begin, std::size_t end,
+                double* m) {
+  TTP_TRACE_SPAN(span, "kernel.pairs");
+  span.attr("pairs", static_cast<std::uint64_t>(end - begin));
+  const std::size_t n = static_cast<std::size_t>(a.num_actions);
+  std::size_t pos = begin / n;
+  std::size_t i = begin % n;
+  for (std::size_t idx = begin; idx < end; ++idx) {
+    const Mask s = states[pos];
+    const Mask inter = s & a.set[i];
+    const Mask minus = s & a.nset[i];
+    double v;
+    if (i < static_cast<std::size_t>(a.num_tests)) {
+      v = m_test_value(a.cost[i], wt[s], cost[inter], cost[minus]);
+      v = (inter == 0 || minus == 0) ? kInf : v;
+    } else {
+      v = m_treat_value(a.cost[i], wt[s], cost[minus]);
+      v = inter == 0 ? kInf : v;
+    }
+    m[idx] = v;
+    if (++i == n) {
+      i = 0;
+      ++pos;
+    }
+  }
+}
+
+void reduce_pairs(const ActionSoA& a, const double* m, const Mask* states,
+                  std::size_t begin, std::size_t end, double* cost, int* best) {
+  TTP_TRACE_SPAN(span, "kernel.reduce");
+  span.attr("states", static_cast<std::uint64_t>(end - begin));
+  const std::size_t n = static_cast<std::size_t>(a.num_actions);
+  for (std::size_t pos = begin; pos < end; ++pos) {
+    const double* row = m + pos * n;
+    double bv = kInf;
+    int bi = -1;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double v = row[i];
+      const bool lt = v < bv;
+      bv = lt ? v : bv;
+      bi = lt ? static_cast<int>(i) : bi;
+    }
+    cost[states[pos]] = bv;
+    best[states[pos]] = bi;
+  }
+}
+
+SolveResult solve_with_arena(const Instance& ins, SolveArena& arena,
+                             [[maybe_unused]] std::string_view span_name) {
+  ins.check();
+  SolveResult res;
+  const int k = ins.k();
+  const int N = ins.num_actions();
+  const std::size_t states = std::size_t{1} << k;
+  const std::vector<double>& wt = ins.subset_weight_table();
+
+  TTP_TRACE_SPAN(root_span, span_name, res.steps);
+  root_span.attr("k", k);
+  root_span.attr("actions", N);
+
+  const LayerIndex& layers = arena.layers(k);
+  const ActionSoA& soa = arena.actions(ins);
+  arena.prepare_tables(states);
+  double* cost = arena.cost().data();
+  int* best = arena.best().data();
+
+  for (int j = 1; j <= k; ++j) {
+    TTP_TRACE_SPAN(layer_span, "layer", res.steps);
+    layer_span.attr("j", j);
+    const std::span<const Mask> layer = layers.layer(j);
+    const std::uint64_t evals =
+        eval_states(soa, wt.data(), layer.data(), layer.size(), cost, best);
+    // Sequential cost model: one parallel step per M-evaluation.
+    res.steps.charge(evals, evals);
+  }
+
+  res.table.k = k;
+  res.table.cost = arena.cost();
+  res.table.best_action = arena.best();
+  res.cost = res.table.root_cost();
+  res.tree = reconstruct_tree(ins, res.table);
+  res.breakdown.add("m_evaluations", res.steps.total_ops);
+  return res;
+}
+
+}  // namespace ttp::tt

@@ -1,0 +1,172 @@
+// The shared layer-wave DP kernel.
+//
+// Every host-side table-building solver (SequentialSolver, ThreadsSolver,
+// and the hypercube StateParallelSolver's per-action fold) evaluates the
+// same recurrence
+//
+//   M[S,i] = t_i·p(S) + C(S∩T_i) + C(S−T_i)   tests,      ∅ ≠ S∩T_i ≠ S
+//   M[S,i] = t_i·p(S) + C(S−T_i)              treatments, S∩T_i ≠ ∅
+//
+// and this header is where that evaluation lives, once, in a form shaped
+// for throughput rather than exposition:
+//
+//  * ActionSoA — a structure-of-arrays copy of the instance's actions
+//    (set, ~set, cost, is_test). The AoS `Action` carries a std::string
+//    name, so scanning a vector<Action> in the inner loop drags ~56-byte
+//    strides through the cache and a bounds-checked `actions_.at(i)` per
+//    evaluation; the SoA keeps the three words the loop needs contiguous.
+//  * eval_states() — cache-blocked tiling over (layer-states × actions):
+//    states are processed in tiles of kKernelTile, actions in two runs
+//    (tests, then treatments, removing the is_test branch), and validity
+//    is folded in branch-free with selects instead of early returns. The
+//    arithmetic (association order, strict `<` minimization ascending in
+//    i) is bitwise identical to the reference action_value() loop, so
+//    kernel-backed solvers produce byte-identical cost/best_action tables.
+//  * eval_pairs()/reduce_pairs() — the same evaluation split into the
+//    paper's (S,i)-pair phase plus a per-state min phase, for
+//    ThreadsSolver's pair-parallel mode.
+//  * SolveArena — owns the cost/best-action/M-buffer storage plus the
+//    per-k layer index and the SoA, all reused across solves so a
+//    high-QPS caller stops re-deriving layer subsets and re-allocating
+//    tables on every request.
+//  * solve_with_arena() — the full sequential layer sweep on arena
+//    storage: the serving hot path shared by SequentialSolver and
+//    BatchSolver (solver_batch.hpp).
+//
+// Step accounting is the caller's policy, not the kernel's: eval_states
+// returns the number of M-evaluations performed and each solver charges
+// its documented cost model (see solver.hpp).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "tt/solver.hpp"
+
+namespace ttp::tt {
+
+/// M[S,i] for a test, in the exact association order of action_value():
+/// ((t_i·p(S)) + C(S∩T_i)) + C(S−T_i). Single-sourced so the tiled kernel
+/// and the machine solvers' local folds stay bitwise identical.
+inline double m_test_value(double t_cost, double ps, double c_inter,
+                           double c_minus) noexcept {
+  return (t_cost * ps + c_inter) + c_minus;
+}
+
+/// M[S,i] for a treatment: t_i·p(S) + C(S−T_i).
+inline double m_treat_value(double t_cost, double ps,
+                            double c_minus) noexcept {
+  return t_cost * ps + c_minus;
+}
+
+/// Structure-of-arrays action layout. Indices coincide with the instance's
+/// action indices (tests 0..num_tests-1, then treatments), so argmins read
+/// straight out of the kernel are already in the solver's convention.
+struct ActionSoA {
+  std::vector<Mask> set;               ///< T_i
+  std::vector<Mask> nset;              ///< ~T_i (precomputed complement)
+  std::vector<double> cost;            ///< t_i
+  std::vector<std::uint8_t> is_test;   ///< 1 for tests (indices < num_tests)
+  int num_tests = 0;
+  int num_actions = 0;
+
+  void build(const Instance& ins);
+};
+
+/// All 2^k masks grouped by popcount layer (ascending within each layer —
+/// the same order util::layer_subsets produces), built in one counting-sort
+/// pass and cached by SolveArena so repeated solves at the same k never
+/// re-enumerate subsets.
+class LayerIndex {
+ public:
+  void build(int k);
+  int k() const noexcept { return k_; }
+
+  /// The masks of layer |S| == j (j in 0..k).
+  std::span<const Mask> layer(int j) const {
+    const auto b = offsets_[static_cast<std::size_t>(j)];
+    const auto e = offsets_[static_cast<std::size_t>(j) + 1];
+    return {masks_.data() + b, e - b};
+  }
+
+ private:
+  int k_ = -1;
+  std::vector<Mask> masks_;
+  std::vector<std::size_t> offsets_;  ///< k+2 entries; layer j = [j, j+1)
+};
+
+/// States per kernel tile. The tile's running best/argmin and hoisted
+/// p(S) values live in ~3 KiB of stack, well inside L1.
+inline constexpr std::size_t kKernelTile = 128;
+
+/// Evaluates C(S) = min_i M[S,i] and its argmin for `count` states of one
+/// layer (lower layers finalized in `cost`), writing cost[s] and best[s]
+/// for each. Tie rule: lowest action index. Returns the number of
+/// M-evaluations performed (count · num_actions).
+std::uint64_t eval_states(const ActionSoA& a, const double* wt,
+                          const Mask* states, std::size_t count, double* cost,
+                          int* best);
+
+/// Pair phase of the paper's decomposition: M[S,i] for the pair indices
+/// [begin, end) of a layer, where pair idx maps to (states[idx / N],
+/// idx % N). Results land in m[idx] (layer-relative layout).
+void eval_pairs(const ActionSoA& a, const double* wt, const double* cost,
+                const Mask* states, std::size_t begin, std::size_t end,
+                double* m);
+
+/// Reduce phase: per-state min over m[pos·N .. pos·N+N) for state positions
+/// [begin, end), ascending i so ties match eval_states exactly.
+void reduce_pairs(const ActionSoA& a, const double* m, const Mask* states,
+                  std::size_t begin, std::size_t end, double* cost, int* best);
+
+/// Reusable solve storage. One arena per solving thread; everything grows
+/// monotonically and is recycled across solves, so steady-state serving
+/// performs no layer re-derivation and no table allocation beyond the
+/// DpTable handed back to the caller.
+class SolveArena {
+ public:
+  /// Layer index for universe size k (rebuilt only when k changes).
+  const LayerIndex& layers(int k) {
+    if (layers_.k() != k) layers_.build(k);
+    return layers_;
+  }
+
+  /// SoA for this instance's actions (rebuilt per solve; O(N)).
+  const ActionSoA& actions(const Instance& ins) {
+    soa_.build(ins);
+    return soa_;
+  }
+
+  /// Resets the working tables to the DP start state: cost ≡ kInf except
+  /// cost[∅] = 0, best ≡ -1.
+  void prepare_tables(std::size_t states);
+
+  std::vector<double>& cost() noexcept { return cost_; }
+  std::vector<int>& best() noexcept { return best_; }
+
+  /// M-buffer of at least n doubles for the pair-parallel phases.
+  std::vector<double>& m_buffer(std::size_t n) {
+    if (m_.size() < n) m_.resize(n);
+    return m_;
+  }
+
+ private:
+  LayerIndex layers_;
+  ActionSoA soa_;
+  std::vector<double> cost_;
+  std::vector<int> best_;
+  std::vector<double> m_;
+};
+
+/// Full sequential layer-wave solve on `arena` storage. Identical results
+/// (bitwise, including argmins and steps) to the classic per-call
+/// action_value sweep; `span_name` names the root trace span so callers
+/// keep their own identity ("solve.sequential", "solve.batch", ...).
+/// Sequential cost model: steps.parallel_steps == steps.total_ops == number
+/// of M-evaluations.
+SolveResult solve_with_arena(const Instance& ins, SolveArena& arena,
+                             std::string_view span_name = "solve.sequential");
+
+}  // namespace ttp::tt

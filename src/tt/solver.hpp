@@ -2,10 +2,18 @@
 // reconstruction from a solved DP table.
 //
 // Every solver fills a DpTable (C(S) and the argmin action per state) and a
-// StepCounter whose meaning is solver-specific but documented per solver:
-//   - sequential: parallel_steps == total_ops == # of M[S,i] evaluations
-//   - threads:    parallel_steps == critical-path chunk steps
+// StepCounter whose meaning is solver-specific but NORMATIVE — the paper's
+// headline claims are cost-model comparisons, so these must mean the same
+// thing in every backend (tests/test_accounting.cpp enforces this):
+//   - sequential/batch: parallel_steps == total_ops == # of M[S,i]
+//     evaluations == N·(2^k − 1)  (the paper's T_1)
+//   - threads: parallel_steps == Σ_j ceil(|layer j| / width) (one step per
+//     width-wide round); total_ops == N·(2^k − 1), the M-evaluations
+//     actually performed — identical to sequential, partial rounds charged
+//     at their true size
 //   - hypercube/CCC/BVM: simulated machine steps (the paper's cost model)
+// Table-building solvers also record a "m_evaluations" breakdown counter so
+// obs summaries are comparable across backends.
 // Tie-breaking is uniform: among equal-cost actions the lowest index wins,
 // so all solvers reconstruct identical trees.
 #pragma once

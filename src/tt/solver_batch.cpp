@@ -1,0 +1,39 @@
+#include "tt/solver_batch.hpp"
+
+#include <atomic>
+
+#include "obs/trace.hpp"
+#include "tt/kernel.hpp"
+
+namespace ttp::tt {
+
+std::vector<SolveResult> BatchSolver::solve_many(
+    std::span<const Instance> instances) const {
+  std::vector<SolveResult> out(instances.size());
+  if (instances.empty()) return out;
+  // Validate on the caller's thread: a malformed instance throws here, not
+  // inside a pool worker.
+  for (const Instance& ins : instances) ins.check();
+
+  TTP_TRACE_SPAN(span, "solve.batch_many");
+  span.attr("instances", static_cast<std::uint64_t>(instances.size()));
+  span.attr("workers", static_cast<std::uint64_t>(pool_.size()));
+
+  // parallel_for wakes one task per worker; the ranges are ignored and
+  // instances pulled from a shared cursor instead, so heterogeneous sizes
+  // balance dynamically. Result placement is by input index, so the
+  // output is deterministic regardless of which worker solves what.
+  std::atomic<std::size_t> next{0};
+  const std::size_t n = instances.size();
+  pool_.parallel_for(n, [&](std::size_t, std::size_t) {
+    static thread_local SolveArena arena;
+    for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed); i < n;
+         i = next.fetch_add(1, std::memory_order_relaxed)) {
+      out[i] = solve_with_arena(instances[i], arena, "solve.batch");
+    }
+  });
+  TTP_METRIC_ADD("batch.instances", instances.size());
+  return out;
+}
+
+}  // namespace ttp::tt

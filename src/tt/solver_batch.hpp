@@ -1,0 +1,42 @@
+// Batched solving — the serving-shaped entry point.
+//
+// A traffic-serving deployment solves many independent TT instances per
+// second, not one; BatchSolver pipelines a batch through the thread pool
+// with one reusable SolveArena per worker, so steady-state throughput pays
+// no per-solve layer re-derivation and no scratch allocation. Instances
+// are pulled dynamically (not pre-chunked), so a batch mixing small and
+// large instances keeps every worker busy until the queue drains.
+//
+// Each instance is solved by the same layer-wave kernel as
+// SequentialSolver, with the sequential cost model per result
+// (steps.total_ops == that instance's M-evaluation count); results come
+// back in input order. Bench E23 measures instances/sec.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "tt/solver.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ttp::tt {
+
+class BatchSolver {
+ public:
+  /// `workers` == 0 -> hardware concurrency.
+  explicit BatchSolver(std::size_t workers = 0) : pool_(workers) {}
+
+  /// Solves every instance (each must be a distinct object — the lazy
+  /// p(S)-table cache is per instance and not thread-safe to share).
+  /// Results are positionally aligned with the input.
+  std::vector<SolveResult> solve_many(
+      std::span<const Instance> instances) const;
+
+  std::size_t workers() const noexcept { return pool_.size(); }
+
+ private:
+  mutable util::ThreadPool pool_;
+};
+
+}  // namespace ttp::tt

@@ -1,6 +1,6 @@
 #include "tt/solver_sequential.hpp"
 
-#include "obs/trace.hpp"
+#include "tt/kernel.hpp"
 
 namespace ttp::tt {
 
@@ -11,52 +11,17 @@ double action_value(const Instance& ins, const std::vector<double>& cost,
   const Mask minus = s & ~a.set;
   if (a.is_test) {
     if (inter == 0 || minus == 0) return kInf;  // test does not split S
-    return a.cost * weight_table[s] + cost[inter] + cost[minus];
+    return m_test_value(a.cost, weight_table[s], cost[inter], cost[minus]);
   }
   if (inter == 0) return kInf;  // treatment treats nobody in S
-  return a.cost * weight_table[s] + cost[minus];
+  return m_treat_value(a.cost, weight_table[s], cost[minus]);
 }
 
 SolveResult SequentialSolver::solve(const Instance& ins) const {
-  ins.check();
-  SolveResult res;
-  const int k = ins.k();
-  const int N = ins.num_actions();
-  const std::size_t states = std::size_t{1} << k;
-  const std::vector<double>& wt = ins.subset_weight_table();
-
-  TTP_TRACE_SPAN(root_span, "solve.sequential", res.steps);
-  root_span.attr("k", k);
-  root_span.attr("actions", N);
-
-  res.table.k = k;
-  res.table.cost.assign(states, kInf);
-  res.table.best_action.assign(states, -1);
-  res.table.cost[0] = 0.0;
-
-  for (int j = 1; j <= k; ++j) {
-    TTP_TRACE_SPAN(layer_span, "layer", res.steps);
-    layer_span.attr("j", j);
-    for (Mask s : util::layer_subsets(k, j)) {
-      double best = kInf;
-      int arg = -1;
-      for (int i = 0; i < N; ++i) {
-        const double v = action_value(ins, res.table.cost, wt, s, i);
-        res.steps.step(1);
-        if (v < best) {  // strict: ties keep the lower action index
-          best = v;
-          arg = i;
-        }
-      }
-      res.table.cost[s] = best;
-      res.table.best_action[s] = arg;
-    }
-  }
-
-  res.cost = res.table.root_cost();
-  res.tree = reconstruct_tree(ins, res.table);
-  res.breakdown.add("m_evaluations", res.steps.total_ops);
-  return res;
+  // One arena per solving thread, reused across solves: steady-state
+  // callers pay no layer re-derivation and no scratch allocation.
+  static thread_local SolveArena arena;
+  return solve_with_arena(ins, arena, "solve.sequential");
 }
 
 }  // namespace ttp::tt

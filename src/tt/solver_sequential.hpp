@@ -14,9 +14,10 @@ class SequentialSolver {
   SolveResult solve(const Instance& ins) const;
 };
 
-/// Shared inner kernel: computes M[S,i] given finalized costs for strictly
-/// smaller states. Returns kInf for useless/inapplicable actions. All host
-/// solvers call this one function so their arithmetic is bitwise identical.
+/// Reference M[S,i] evaluation: computes M[S,i] given finalized costs for
+/// strictly smaller states; kInf for useless/inapplicable actions. The hot
+/// path is the tiled kernel in tt/kernel.hpp, which tests pin bitwise
+/// against this function; validate.cpp and cross-checks call it directly.
 double action_value(const Instance& ins, const std::vector<double>& cost,
                     const std::vector<double>& weight_table, Mask s, int i);
 

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "obs/trace.hpp"
+#include "tt/kernel.hpp"
 
 namespace ttp::tt {
 
@@ -14,6 +15,11 @@ SolveResult StateParallelSolver::solve(const Instance& ins) const {
   const std::vector<double>& wt = ins.subset_weight_table();
 
   net::HypercubeMachine<StatePeState> m(k);
+
+  // The host-side action loop reads the kernel's SoA layout instead of
+  // dispatching through ins.action(i) per (action, dimension) pair.
+  ActionSoA soa;
+  soa.build(ins);
 
   TTP_TRACE_SPAN(root_span, "solve.state_parallel", res.steps);
   root_span.attr("k", k);
@@ -33,7 +39,10 @@ SolveResult StateParallelSolver::solve(const Instance& ins) const {
     TTP_TRACE_SPAN(layer_span, "layer", m.steps());
     layer_span.attr("j", j);
     for (int i = 0; i < N; ++i) {
-      const Action& act = ins.action(i);
+      const std::size_t ai = static_cast<std::size_t>(i);
+      const Mask act_set = soa.set[ai];
+      const bool act_is_test = soa.is_test[ai] != 0;
+      const double act_cost = soa.cost[ai];
       // R := C, propagated along the dimensions in T_i only: after the
       // sweep R[S] = C(S - T_i) (for e ∉ T_i the identity already holds).
       // Q := C along dims outside T_i: Q[S] = C(S ∩ T_i). Both receivers
@@ -44,30 +53,31 @@ SolveResult StateParallelSolver::solve(const Instance& ins) const {
         st.q = st.c;
       });
       for (int e = 0; e < k; ++e) {
-        if (util::has_bit(act.set, e)) {
+        if (util::has_bit(act_set, e)) {
           m.dim_step(e, [](int, StatePeState& lo, StatePeState& hi) {
             hi.r = lo.r;
           });
-        } else if (act.is_test) {
+        } else if (act_is_test) {
           m.dim_step(e, [](int, StatePeState& lo, StatePeState& hi) {
             hi.q = lo.q;
           });
         }
       }
-      // Local fold: C(S) = min(C(S), M[S,i]) on layer-j PEs. Same
-      // association order as action_value() for bitwise-identical tables.
+      // Local fold: C(S) = min(C(S), M[S,i]) on layer-j PEs, through the
+      // kernel's single-sourced M-value helpers so the association order
+      // stays bitwise identical to every other solver.
       m.local_step([&](std::size_t pe, StatePeState& st) {
         if (st.layer != j) return;
         const Mask s = static_cast<Mask>(pe);
-        const Mask inter = s & act.set;
-        const Mask minus = s & ~act.set;
+        const Mask inter = s & act_set;
+        const Mask minus = s & ~act_set;
         double v;
-        if (act.is_test) {
+        if (act_is_test) {
           if (inter == 0 || minus == 0) return;
-          v = (act.cost * st.ps + st.q) + st.r;
+          v = m_test_value(act_cost, st.ps, st.q, st.r);
         } else {
           if (inter == 0) return;
-          v = act.cost * st.ps + st.r;
+          v = m_treat_value(act_cost, st.ps, st.r);
         }
         if (v < st.c) {
           st.c = v;

@@ -1,7 +1,7 @@
 #include "tt/solver_threads.hpp"
 
 #include "obs/trace.hpp"
-#include "tt/solver_sequential.hpp"
+#include "tt/kernel.hpp"
 
 namespace ttp::tt {
 
@@ -12,6 +12,7 @@ SolveResult ThreadsSolver::solve(const Instance& ins) const {
   const int N = ins.num_actions();
   const std::size_t states = std::size_t{1} << k;
   const std::vector<double>& wt = ins.subset_weight_table();
+  const std::uint64_t width = pool_.size();
 
   TTP_TRACE_SPAN(root_span, "solve.threads", res.steps);
   root_span.attr("k", k);
@@ -19,77 +20,50 @@ SolveResult ThreadsSolver::solve(const Instance& ins) const {
   root_span.attr("mode", mode_ == Mode::kStateParallel ? "state_parallel"
                                                        : "pair_parallel");
 
-  res.table.k = k;
-  res.table.cost.assign(states, kInf);
-  res.table.best_action.assign(states, -1);
-  res.table.cost[0] = 0.0;
-
-  std::vector<double> m_buffer;
-  if (mode_ == Mode::kPairParallel) {
-    m_buffer.resize(states * static_cast<std::size_t>(N));
-  }
+  const LayerIndex& layers = arena_.layers(k);
+  const ActionSoA& soa = arena_.actions(ins);
+  arena_.prepare_tables(states);
+  double* cost = arena_.cost().data();
+  int* best = arena_.best().data();
+  const double* wtp = wt.data();
 
   for (int j = 1; j <= k; ++j) {
     TTP_TRACE_SPAN(layer_span, "layer", res.steps);
     layer_span.attr("j", j);
-    const std::vector<Mask> layer = util::layer_subsets(k, j);
-    layer_span.attr("states", static_cast<std::uint64_t>(layer.size()));
+    const std::span<const Mask> layer = layers.layer(j);
+    const std::size_t n = layer.size();
+    layer_span.attr("states", static_cast<std::uint64_t>(n));
     if (mode_ == Mode::kStateParallel) {
       // Reads touch only layers < j (finalized); writes per-state disjoint.
-      pool_.parallel_for(layer.size(), [&](std::size_t b, std::size_t e) {
-        for (std::size_t idx = b; idx < e; ++idx) {
-          const Mask s = layer[idx];
-          double best = kInf;
-          int arg = -1;
-          for (int i = 0; i < N; ++i) {
-            const double v = action_value(ins, res.table.cost, wt, s, i);
-            if (v < best) {
-              best = v;
-              arg = i;
-            }
-          }
-          res.table.cost[s] = best;
-          res.table.best_action[s] = arg;
-        }
+      pool_.parallel_for(n, [&](std::size_t b, std::size_t e) {
+        eval_states(soa, wtp, layer.data() + b, e - b, cost, best);
       });
     } else {
       // Phase 1: every (S, i) pair independently, like the paper's PEs.
-      const std::size_t pairs = layer.size() * static_cast<std::size_t>(N);
+      const std::size_t pairs = n * static_cast<std::size_t>(N);
+      double* m = arena_.m_buffer(pairs).data();
       pool_.parallel_for(pairs, [&](std::size_t b, std::size_t e) {
-        for (std::size_t idx = b; idx < e; ++idx) {
-          const Mask s = layer[idx / static_cast<std::size_t>(N)];
-          const int i = static_cast<int>(idx % static_cast<std::size_t>(N));
-          m_buffer[static_cast<std::size_t>(s) * N + i] =
-              action_value(ins, res.table.cost, wt, s, i);
-        }
+        eval_pairs(soa, wtp, cost, layer.data(), b, e, m);
       });
       // Phase 2: per-state minimization (ascending i: identical ties).
-      pool_.parallel_for(layer.size(), [&](std::size_t b, std::size_t e) {
-        for (std::size_t idx = b; idx < e; ++idx) {
-          const Mask s = layer[idx];
-          double best = kInf;
-          int arg = -1;
-          for (int i = 0; i < N; ++i) {
-            const double v = m_buffer[static_cast<std::size_t>(s) * N + i];
-            if (v < best) {
-              best = v;
-              arg = i;
-            }
-          }
-          res.table.cost[s] = best;
-          res.table.best_action[s] = arg;
-        }
+      pool_.parallel_for(n, [&](std::size_t b, std::size_t e) {
+        reduce_pairs(soa, m, layer.data(), b, e, cost, best);
       });
     }
-    const std::uint64_t rounds =
-        (layer.size() + pool_.size() - 1) / pool_.size();
-    for (std::uint64_t r = 0; r < rounds; ++r) {
-      res.steps.step(static_cast<std::uint64_t>(N) * pool_.size());
-    }
+    // Normative accounting (solver.hpp): ceil(n / width) W-wide rounds,
+    // each one parallel step; total_ops counts the M-evaluations actually
+    // performed — n·N, exactly the sequential count, partial final round
+    // included.
+    res.steps.charge((n + width - 1) / width,
+                     static_cast<std::uint64_t>(n) * N);
   }
 
+  res.table.k = k;
+  res.table.cost = arena_.cost();
+  res.table.best_action = arena_.best();
   res.cost = res.table.root_cost();
   res.tree = reconstruct_tree(ins, res.table);
+  res.breakdown.add("m_evaluations", res.steps.total_ops);
   return res;
 }
 

@@ -2,16 +2,23 @@
 //
 // The layer schedule is the same as the paper's parallel algorithm — all
 // (S, i) pairs inside layer |S| = j are independent once layers < j are
-// final — so a thread pool sweeps each layer with parallel_for. Results are
-// bitwise identical to SequentialSolver (same kernel, same tie-breaking,
-// disjoint writes).
+// final — so a thread pool sweeps each layer through the shared layer-wave
+// kernel (tt/kernel.hpp). Results are bitwise identical to
+// SequentialSolver (same kernel, same tie-breaking, disjoint writes).
 //
-// steps.parallel_steps models a `width`-wide PRAM: per layer,
-// ceil(layer_states/width) rounds of N-way minimization.
+// Normative step accounting (both modes; see solver.hpp):
+//   steps.parallel_steps == Σ_j ceil(|layer j| / width)   (one step per
+//       width-wide round of N-way state evaluations)
+//   steps.total_ops      == N · (2^k − 1)                 (every M[S,i]
+//       evaluation, the partial final round charged at its true size —
+//       equal to SequentialSolver's evaluation count by construction)
+// The mode changes only the shared-memory work decomposition, never the
+// simulated cost model.
 #pragma once
 
 #include <cstddef>
 
+#include "tt/kernel.hpp"
 #include "tt/solver.hpp"
 #include "util/thread_pool.hpp"
 
@@ -38,6 +45,7 @@ class ThreadsSolver {
 
  private:
   mutable util::ThreadPool pool_;
+  mutable SolveArena arena_;  ///< reused across solves, like pool_
   Mode mode_;
 };
 

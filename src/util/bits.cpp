@@ -6,8 +6,13 @@ Mask next_same_popcount(Mask m, int k) noexcept {
   if (m == 0) return 0;
   const Mask c = m & (0u - m);  // lowest set bit
   const Mask r = m + c;
+  // r wraps to a value below m exactly when m's top run of ones reaches bit
+  // width(Mask)-1, i.e. m was the last subset of its popcount in the full
+  // 32-bit space; Gosper's formula is meaningless past that point.
+  if (r < m) return 0;
   Mask next = (((r ^ m) >> 2) / c) | r;
-  if (next >= (Mask{1} << k)) return 0;
+  // universe(k) instead of (Mask{1} << k): the shift is UB at k == 32.
+  if (next > universe(k)) return 0;
   return next;
 }
 
@@ -29,7 +34,8 @@ std::vector<Mask> layer_subsets(int k, int j) {
     return out;
   }
   if (j > k) return out;
-  Mask m = (Mask{1} << j) - 1;
+  // universe(j), not (Mask{1} << j) - 1: the shift is UB at j == 32.
+  Mask m = universe(j);
   while (m != 0) {
     out.push_back(m);
     m = next_same_popcount(m, k);

@@ -28,6 +28,15 @@ struct StepCounter {
     total_ops += ops;
     if (routed) route_steps += 1;
   }
+
+  /// Bulk form: charges `steps_count` unrouted parallel steps performing
+  /// `ops` PE-operations in total. Equivalent to the matching sequence of
+  /// step() calls; used by the layer-wave kernel so per-evaluation
+  /// accounting stays out of the hot loop.
+  void charge(std::uint64_t steps_count, std::uint64_t ops) {
+    parallel_steps += steps_count;
+    total_ops += ops;
+  }
   void reset() { *this = StepCounter{}; }
 
   StepCounter& operator+=(const StepCounter& o) {

@@ -70,6 +70,48 @@ TEST(Bits, LayerSubsetsEdges) {
   EXPECT_TRUE(layer_subsets(4, 5).empty());
 }
 
+TEST(Bits, LayerSubsetsFullUniverseLayerForEveryK) {
+  // j == k: the single full-universe mask, for every k up to the width of
+  // Mask. k == 32 used to shift Mask{1} by 32 (UB) in both layer_subsets
+  // and next_same_popcount's bound check.
+  for (int k = 1; k <= 32; ++k) {
+    const auto layer = layer_subsets(k, k);
+    ASSERT_EQ(layer.size(), 1u) << k;
+    EXPECT_EQ(layer[0], universe(k)) << k;
+  }
+}
+
+TEST(Bits, LayerSubsetsAtMaximumWidth) {
+  EXPECT_EQ(layer_subsets(32, 1).size(), 32u);
+  EXPECT_EQ(layer_subsets(32, 1).front(), 1u);
+  EXPECT_EQ(layer_subsets(32, 1).back(), 0x80000000u);
+  EXPECT_EQ(layer_subsets(31, 31), std::vector<Mask>{0x7FFFFFFFu});
+  // 31-of-32: the Gosper step from the penultimate mask overflows Mask;
+  // the enumeration must still terminate with all 32 members seen.
+  const auto layer = layer_subsets(32, 31);
+  ASSERT_EQ(layer.size(), 32u);
+  for (std::size_t i = 0; i < layer.size(); ++i) {
+    EXPECT_EQ(popcount(layer[i]), 31) << i;
+    EXPECT_EQ(layer[i], ~(Mask{1} << (31 - i))) << i;
+  }
+}
+
+TEST(Bits, NextSamePopcountTerminatesAtWordBoundary) {
+  // Last subsets of their popcount in the full 32-bit space: m + lowbit
+  // wraps to 0 (or below m); the successor must be "none", not garbage.
+  EXPECT_EQ(next_same_popcount(0xFFFFFFFFu, 32), 0u);
+  EXPECT_EQ(next_same_popcount(0x80000000u, 32), 0u);
+  EXPECT_EQ(next_same_popcount(0xF0000000u, 32), 0u);
+  EXPECT_EQ(next_same_popcount(0xFFFF0000u, 32), 0u);
+  // Not at the boundary: ordinary Gosper successor, still correct.
+  EXPECT_EQ(next_same_popcount(0xC0000001u, 32), 0xC0000002u);
+  EXPECT_EQ(next_same_popcount(0x7FFFFFFFu, 32), 0xBFFFFFFFu);
+  EXPECT_EQ(next_same_popcount(1u, 32), 2u);
+  // And the k-bound still truncates the walk below the word width.
+  EXPECT_EQ(next_same_popcount(0b1100u, 4), 0u);
+  EXPECT_EQ(next_same_popcount(0b1100u, 5), 0b10001u);
+}
+
 TEST(Bits, AllSubsetsOfSparseSpace) {
   const auto subs = all_subsets(0b101u);
   ASSERT_EQ(subs.size(), 4u);
