@@ -1,0 +1,137 @@
+// E24 — What the serving layer buys (and costs) over the raw batched kernel.
+//
+// Three regimes over k=14 instances, reported as requests/sec:
+//   1. BM_RawBatchSolver      — BatchSolver::solve_many with no service on
+//                               top: the cold-compute ceiling.
+//   2. BM_ServiceColdMisses   — the same distinct instances submitted
+//                               through svc::Service with an empty cache
+//                               each iteration. Acceptance: within 10% of
+//                               raw (canon + cache + queue overhead < 10%).
+//   3. BM_ServiceWarmHits     — every request already cached: the
+//                               steady-state popular-traffic regime.
+//                               Acceptance: >= 10x cold throughput.
+// Plus the issue's mixed stream: BM_ServiceMixedStream submits a
+// 50%-duplicate request stream (each instance appears twice) against an
+// empty cache, so half the requests are misses and half are singleflight
+// followers or hits.
+//
+// All service benches submit the whole stream first and then collect (the
+// pipelined pattern a connection handler uses), so misses micro-batch the
+// same way they would under concurrent load.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "svc/service.hpp"
+#include "tt/generator.hpp"
+#include "tt/solver_batch.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using ttp::tt::Instance;
+
+constexpr int kK = 14;
+constexpr std::size_t kDistinct = 16;
+
+std::vector<Instance> distinct_instances(std::size_t n, int k = kK) {
+  std::vector<Instance> out;
+  out.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    ttp::util::Rng rng(9000 + i);
+    ttp::tt::RandomOptions opt;
+    opt.num_tests = 10;
+    opt.num_treatments = 10;
+    out.push_back(ttp::tt::random_instance(k, opt, rng));
+  }
+  return out;
+}
+
+ttp::svc::ServiceConfig bench_config() {
+  ttp::svc::ServiceConfig cfg;
+  // Fire a micro-batch as soon as the staged stream is fully queued rather
+  // than waiting out the gather window.
+  cfg.scheduler.max_batch = kDistinct;
+  cfg.scheduler.batch_delay = std::chrono::microseconds(100);
+  return cfg;
+}
+
+void solve_stream(ttp::svc::Service& svc, const std::vector<Instance>& stream,
+                  benchmark::State& state) {
+  std::vector<ttp::svc::Service::Pending> pending;
+  pending.reserve(stream.size());
+  for (const Instance& ins : stream) pending.push_back(svc.submit(ins));
+  for (auto& p : pending) {
+    const ttp::svc::Response r = p.get();
+    if (!r.ok()) state.SkipWithError(r.error.c_str());
+    benchmark::DoNotOptimize(r.cost);
+  }
+}
+
+void BM_RawBatchSolver(benchmark::State& state) {
+  const auto instances = distinct_instances(kDistinct);
+  ttp::tt::BatchSolver solver;
+  for (auto _ : state) {
+    auto results = solver.solve_many(instances);
+    benchmark::DoNotOptimize(results.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(instances.size()));
+}
+
+void BM_ServiceColdMisses(benchmark::State& state) {
+  const auto instances = distinct_instances(kDistinct);
+  ttp::svc::Service svc(bench_config());
+  for (auto _ : state) {
+    state.PauseTiming();
+    svc.cache().clear();  // every request is a genuine miss
+    state.ResumeTiming();
+    solve_stream(svc, instances, state);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(instances.size()));
+}
+
+void BM_ServiceWarmHits(benchmark::State& state) {
+  const auto instances = distinct_instances(kDistinct);
+  ttp::svc::Service svc(bench_config());
+  solve_stream(svc, instances, state);  // populate the cache once
+  for (auto _ : state) {
+    solve_stream(svc, instances, state);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(instances.size()));
+}
+
+void BM_ServiceMixedStream(benchmark::State& state) {
+  // The issue's acceptance stream: 50% duplicates (each distinct instance
+  // appears exactly twice), served against a cache that starts empty.
+  const auto distinct = distinct_instances(kDistinct);
+  std::vector<Instance> stream;
+  stream.reserve(distinct.size() * 2);
+  for (const Instance& ins : distinct) {
+    stream.push_back(ins);
+    stream.push_back(ins);
+  }
+  ttp::svc::Service svc(bench_config());
+  for (auto _ : state) {
+    state.PauseTiming();
+    svc.cache().clear();
+    state.ResumeTiming();
+    solve_stream(svc, stream, state);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(stream.size()));
+}
+
+}  // namespace
+
+// UseRealTime throughout: the solving happens on pool workers while the
+// main thread blocks in get(), so wall clock is the meaningful basis.
+BENCHMARK(BM_RawBatchSolver)->UseRealTime()->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ServiceColdMisses)->UseRealTime()->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ServiceWarmHits)->UseRealTime()->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ServiceMixedStream)->UseRealTime()->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

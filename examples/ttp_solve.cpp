@@ -1,16 +1,25 @@
 // ttp_solve — command-line solver for TT instance files.
 //
 //   example_ttp_solve                         # solve an embedded sample
-//   example_ttp_solve problem.tt              # solve a file
-//   example_ttp_solve problem.tt --solver=bvm # sequential|threads|
+//   example_ttp_solve a.tt b.tt a.tt          # solve files via the serving
+//                                             #   layer (repeats hit cache)
+//   example_ttp_solve problem.tt --solver=bvm # svc|sequential|threads|
 //                                             #   hypercube|ccc|bvm
 //   example_ttp_solve problem.tt --dot        # emit Graphviz instead
 //   example_ttp_solve problem.tt --protocol   # numbered field protocol
 //
+// The default solver is "svc": every file routes through svc::Service
+// (canonical keying -> procedure cache -> singleflight scheduler -> batched
+// kernel), and each solve prints `cache: hit|miss|inflight`, so passing the
+// same file twice demonstrates the serving layer deduplicating work. The
+// named single-backend solvers bypass the service.
+//
 // File format: see src/tt/serialize.hpp.
 #include <iostream>
 #include <string>
+#include <vector>
 
+#include "svc/service.hpp"
 #include "tt/protocol.hpp"
 #include "tt/report.hpp"
 #include "tt/serialize.hpp"
@@ -41,14 +50,27 @@ ttp::tt::SolveResult run(const std::string& solver,
   if (solver == "ccc") return CccSolver().solve(ins);
   if (solver == "bvm") return BvmSolver().solve(ins);
   throw std::invalid_argument("unknown solver: " + solver +
-                              " (sequential|threads|hypercube|ccc|bvm)");
+                              " (svc|sequential|threads|hypercube|ccc|bvm)");
+}
+
+int emit(const ttp::tt::Instance& ins, const ttp::tt::Tree& tree, bool dot,
+         bool protocol) {
+  if (dot) {
+    std::cout << tree.to_dot(ins);
+    return 0;
+  }
+  if (protocol) {
+    std::cout << ttp::tt::render_protocol(ins, tree);
+    return 0;
+  }
+  return -1;  // caller prints its own summary
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string path;
-  std::string solver = "sequential";
+  std::vector<std::string> paths;
+  std::string solver = "svc";
   bool dot = false;
   bool protocol = false;
   for (int i = 1; i < argc; ++i) {
@@ -60,31 +82,59 @@ int main(int argc, char** argv) {
     } else if (arg == "--protocol") {
       protocol = true;
     } else if (arg == "--help") {
-      std::cout << "usage: ttp_solve [file.tt] [--solver=NAME] [--dot] "
+      std::cout << "usage: ttp_solve [file.tt ...] [--solver=NAME] [--dot] "
                    "[--protocol]\n"
+                   "default solver 'svc' routes through the serving layer "
+                   "(repeated files hit the cache);\n"
+                   "named backends: sequential|threads|hypercube|ccc|bvm\n"
                    "tracing: set TTP_TRACE=summary|spans|chrome:<path>|"
                    "jsonl:<path>\n"
                    "  (chrome: output opens in chrome://tracing or "
                    "ui.perfetto.dev; see docs/observability.md)\n";
       return 0;
     } else {
-      path = arg;
+      paths.push_back(arg);
     }
   }
   try {
-    const ttp::tt::Instance ins =
-        path.empty() ? ttp::tt::from_text(kSample) : ttp::tt::load_file(path);
-    const auto res = run(solver, ins);
-    if (dot) {
-      std::cout << res.tree.to_dot(ins);
+    std::vector<ttp::tt::Instance> instances;
+    if (paths.empty()) {
+      instances.push_back(ttp::tt::from_text(kSample));
+      paths.push_back("<sample>");
+    } else {
+      for (const std::string& p : paths) {
+        instances.push_back(ttp::tt::load_file(p));
+      }
+    }
+
+    if (solver != "svc") {
+      for (std::size_t i = 0; i < instances.size(); ++i) {
+        const auto res = run(solver, instances[i]);
+        if (emit(instances[i], res.tree, dot, protocol) == 0) continue;
+        std::cout << ttp::tt::describe(instances[i]) << '\n';
+        ttp::tt::print_result(std::cout, instances[i], res,
+                              "solver '" + solver + "'");
+      }
       return 0;
     }
-    if (protocol) {
-      std::cout << ttp::tt::render_protocol(ins, res.tree);
-      return 0;
+
+    ttp::svc::Service service;
+    for (std::size_t i = 0; i < instances.size(); ++i) {
+      const ttp::svc::Response res = service.solve(instances[i]);
+      if (!res.ok()) {
+        std::cerr << "error: " << paths[i] << ": "
+                  << ttp::svc::status_name(res.status) << ": " << res.error
+                  << '\n';
+        return 1;
+      }
+      if (emit(instances[i], res.tree, dot, protocol) == 0) continue;
+      std::cout << "== " << paths[i] << " ==\n"
+                << "cache: " << ttp::svc::cache_outcome_name(res.cache)
+                << '\n'
+                << ttp::tt::describe(instances[i]) << '\n'
+                << "expected cost: " << res.cost << '\n'
+                << res.tree.to_string(instances[i]) << '\n';
     }
-    std::cout << ttp::tt::describe(ins) << '\n';
-    ttp::tt::print_result(std::cout, ins, res, "solver '" + solver + "'");
     return 0;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';

@@ -1,0 +1,88 @@
+#include "svc/canon.hpp"
+
+#include <stdexcept>
+
+#include "tt/serialize.hpp"
+
+namespace ttp::svc {
+
+namespace {
+
+constexpr std::uint64_t kFnvPrime = 0x100000001B3ull;
+constexpr std::uint64_t kFnvOffsetLo = 0xCBF29CE484222325ull;  // standard
+constexpr std::uint64_t kFnvOffsetHi = 0x6C62272E07BB0142ull;  // FNV-1a 128 hi
+
+std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+CanonKey hash128(const std::string& bytes) {
+  std::uint64_t lo = kFnvOffsetLo;
+  std::uint64_t hi = kFnvOffsetHi;
+  for (const unsigned char c : bytes) {
+    lo = (lo ^ c) * kFnvPrime;
+    // The hi lane folds the running position-sensitive lo back in, so the
+    // two lanes do not reduce to one mix under a common prefix.
+    hi = (hi ^ (c + (lo >> 56))) * kFnvPrime;
+  }
+  return CanonKey{splitmix64(hi), lo};
+}
+
+std::string CanonKey::hex() const {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(32, '0');
+  for (int i = 0; i < 16; ++i) {
+    out[static_cast<std::size_t>(15 - i)] = kDigits[(hi >> (4 * i)) & 0xF];
+    out[static_cast<std::size_t>(31 - i)] = kDigits[(lo >> (4 * i)) & 0xF];
+  }
+  return out;
+}
+
+Canonical canonicalize(const tt::Instance& ins) {
+  ins.check();
+  double total = 0.0;
+  for (int j = 0; j < ins.k(); ++j) total += ins.weight(j);
+  std::vector<double> weights(static_cast<std::size_t>(ins.k()));
+  for (int j = 0; j < ins.k(); ++j) {
+    weights[static_cast<std::size_t>(j)] = ins.weight(j) / total;
+  }
+
+  std::vector<int> order = tt::canonical_action_order(ins);
+  tt::Instance canon(ins.k(), std::move(weights));
+  for (const int i : order) {
+    const tt::Action& a = ins.action(i);
+    // Empty names regenerate positionally ("test0", "treat0", ...), erasing
+    // requester labels from the keyed text.
+    if (a.is_test) {
+      canon.add_test(a.set, a.cost);
+    } else {
+      canon.add_treatment(a.set, a.cost);
+    }
+  }
+
+  Canonical out{std::move(canon), std::move(order), total, {}, {}};
+  out.text = tt::to_text(out.instance);
+  out.key = hash128(out.text);
+  return out;
+}
+
+tt::Tree remap_tree_actions(const tt::Tree& tree,
+                            const std::vector<int>& to_original) {
+  if (tree.empty()) return tree;
+  std::vector<tt::TreeNode> nodes = tree.nodes();
+  for (tt::TreeNode& n : nodes) {
+    if (n.action < 0 ||
+        n.action >= static_cast<int>(to_original.size())) {
+      throw std::invalid_argument("remap_tree_actions: action out of range");
+    }
+    n.action = to_original[static_cast<std::size_t>(n.action)];
+  }
+  return tt::Tree(std::move(nodes), tree.root());
+}
+
+}  // namespace ttp::svc

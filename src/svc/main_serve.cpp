@@ -1,0 +1,227 @@
+// ttp_serve — the test-and-treatment solver daemon.
+//
+//   ttp_serve                      # serve one session over stdin/stdout
+//   ttp_serve --port=7070          # serve TCP, one thread per connection
+//
+// Both modes speak the newline-framed protocol in svc/wire.hpp (SOLVE /
+// STATS / PING / QUIT) against a single shared Service, so every
+// connection sees the same procedure cache and singleflight scheduler.
+//
+// Knobs (defaults in parentheses):
+//   --workers=N          BatchSolver pool width (hardware)
+//   --cache-mb=N         procedure cache capacity in MiB (64)
+//   --shards=N           cache shards, rounded to a power of two (8)
+//   --ttl-ms=N           cache entry TTL, 0 = never expire (0)
+//   --max-k=N            admission: reject k above this (20)
+//   --max-actions=N      admission: reject N above this (4096)
+//   --max-queue=N        admission: queued-leader cap (1024)
+//   --max-batch=N        micro-batch size cap (32)
+//   --batch-delay-us=N   micro-batch gather window (200)
+#include <csignal>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#ifndef _WIN32
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+#include "svc/service.hpp"
+#include "svc/wire.hpp"
+
+namespace {
+
+using ttp::svc::Service;
+using ttp::svc::ServiceConfig;
+
+struct Args {
+  int port = -1;  ///< -1 = stdio mode.
+  ServiceConfig cfg;
+};
+
+[[noreturn]] void usage(int code) {
+  std::cout
+      << "usage: ttp_serve [--port=N] [--workers=N] [--cache-mb=N]\n"
+         "                 [--shards=N] [--ttl-ms=N] [--max-k=N]\n"
+         "                 [--max-actions=N] [--max-queue=N] [--max-batch=N]\n"
+         "                 [--batch-delay-us=N]\n"
+         "Without --port, serves one session over stdin/stdout.\n"
+         "Protocol: SOLVE\\n<instance text>\\nEND | STATS | PING | QUIT\n"
+         "(grammar in docs/serving.md; instance format in "
+         "src/tt/serialize.hpp)\n";
+  std::exit(code);
+}
+
+long parse_value(const std::string& arg, const char* flag) {
+  const std::string prefix = std::string(flag) + "=";
+  try {
+    return std::stol(arg.substr(prefix.size()));
+  } catch (const std::exception&) {
+    std::cerr << "error: bad value in '" << arg << "'\n";
+    std::exit(2);
+  }
+}
+
+Args parse_args(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto is = [&](const char* flag) {
+      return arg.rfind(std::string(flag) + "=", 0) == 0;
+    };
+    if (arg == "--help" || arg == "-h") {
+      usage(0);
+    } else if (is("--port")) {
+      a.port = static_cast<int>(parse_value(arg, "--port"));
+    } else if (is("--workers")) {
+      a.cfg.workers = static_cast<std::size_t>(parse_value(arg, "--workers"));
+    } else if (is("--cache-mb")) {
+      a.cfg.cache.capacity_bytes =
+          static_cast<std::size_t>(parse_value(arg, "--cache-mb")) << 20;
+    } else if (is("--shards")) {
+      a.cfg.cache.shards =
+          static_cast<std::size_t>(parse_value(arg, "--shards"));
+    } else if (is("--ttl-ms")) {
+      a.cfg.cache.ttl =
+          std::chrono::milliseconds(parse_value(arg, "--ttl-ms"));
+    } else if (is("--max-k")) {
+      a.cfg.scheduler.max_k = static_cast<int>(parse_value(arg, "--max-k"));
+    } else if (is("--max-actions")) {
+      a.cfg.scheduler.max_actions =
+          static_cast<int>(parse_value(arg, "--max-actions"));
+    } else if (is("--max-queue")) {
+      a.cfg.scheduler.max_queue =
+          static_cast<std::size_t>(parse_value(arg, "--max-queue"));
+    } else if (is("--max-batch")) {
+      a.cfg.scheduler.max_batch =
+          static_cast<std::size_t>(parse_value(arg, "--max-batch"));
+    } else if (is("--batch-delay-us")) {
+      a.cfg.scheduler.batch_delay =
+          std::chrono::microseconds(parse_value(arg, "--batch-delay-us"));
+    } else {
+      std::cerr << "error: unknown argument '" << arg << "'\n";
+      usage(2);
+    }
+  }
+  return a;
+}
+
+#ifndef _WIN32
+
+/// Minimal bidirectional streambuf over a connected socket, so the TCP path
+/// reuses the exact iostream-based session handler the stdio path uses.
+class FdStreamBuf final : public std::streambuf {
+ public:
+  explicit FdStreamBuf(int fd) : fd_(fd) {
+    setg(rbuf_, rbuf_, rbuf_);
+    setp(wbuf_, wbuf_ + sizeof(wbuf_));
+  }
+
+ protected:
+  int_type underflow() override {
+    const ssize_t n = ::read(fd_, rbuf_, sizeof(rbuf_));
+    if (n <= 0) return traits_type::eof();
+    setg(rbuf_, rbuf_, rbuf_ + n);
+    return traits_type::to_int_type(rbuf_[0]);
+  }
+
+  int_type overflow(int_type ch) override {
+    if (sync() != 0) return traits_type::eof();
+    if (!traits_type::eq_int_type(ch, traits_type::eof())) {
+      *pptr() = traits_type::to_char_type(ch);
+      pbump(1);
+    }
+    return traits_type::not_eof(ch);
+  }
+
+  int sync() override {
+    const char* p = pbase();
+    while (p < pptr()) {
+      const ssize_t n = ::write(fd_, p, static_cast<std::size_t>(pptr() - p));
+      if (n <= 0) return -1;
+      p += n;
+    }
+    setp(wbuf_, wbuf_ + sizeof(wbuf_));
+    return 0;
+  }
+
+ private:
+  int fd_;
+  char rbuf_[4096];
+  char wbuf_[4096];
+};
+
+int serve_tcp(Service& svc, int port) {
+  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listener < 0) {
+    std::perror("socket");
+    return 1;
+  }
+  const int one = 1;
+  ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    std::perror("bind");
+    ::close(listener);
+    return 1;
+  }
+  if (::listen(listener, 64) < 0) {
+    std::perror("listen");
+    ::close(listener);
+    return 1;
+  }
+  std::cerr << "ttp_serve: listening on port " << port << "\n";
+  // A SOLVE-heavy client holds its connection; one thread per connection is
+  // fine because the solving itself funnels into the shared scheduler.
+  std::vector<std::thread> sessions;
+  for (;;) {
+    const int conn = ::accept(listener, nullptr, nullptr);
+    if (conn < 0) break;
+    sessions.emplace_back([&svc, conn] {
+      FdStreamBuf buf(conn);
+      std::istream in(&buf);
+      std::ostream out(&buf);
+      ttp::svc::serve_session(svc, in, out);
+      out.flush();
+      ::close(conn);
+    });
+  }
+  for (std::thread& t : sessions) t.join();
+  ::close(listener);
+  return 0;
+}
+
+#endif  // !_WIN32
+
+}  // namespace
+
+int main(int argc, char** argv) {
+#ifndef _WIN32
+  // A client dropping its connection mid-reply must not kill the daemon.
+  std::signal(SIGPIPE, SIG_IGN);
+#endif
+  const Args args = parse_args(argc, argv);
+  Service svc(args.cfg);
+  if (args.port < 0) {
+    const std::size_t handled =
+        ttp::svc::serve_session(svc, std::cin, std::cout);
+    std::cerr << "ttp_serve: session closed after " << handled
+              << " commands\n";
+    return 0;
+  }
+#ifndef _WIN32
+  return serve_tcp(svc, args.port);
+#else
+  std::cerr << "error: TCP mode is not supported on this platform\n";
+  return 1;
+#endif
+}

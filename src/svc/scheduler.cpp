@@ -1,0 +1,193 @@
+#include "svc/scheduler.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace ttp::svc {
+
+std::string_view status_name(Status s) noexcept {
+  switch (s) {
+    case Status::kOk:
+      return "ok";
+    case Status::kRejectedOversize:
+      return "rejected-oversize";
+    case Status::kRejectedQueueFull:
+      return "rejected-queue-full";
+    case Status::kCancelled:
+      return "cancelled";
+    case Status::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+Scheduler::Scheduler(ProcedureCache& cache, SchedulerConfig cfg,
+                     obs::MetricsRegistry& metrics, std::size_t workers)
+    : cache_(cache),
+      cfg_(cfg),
+      solver_(workers),
+      leaders_(metrics.counter("svc.sched.leaders")),
+      followers_(metrics.counter("svc.sched.followers")),
+      rejected_oversize_(metrics.counter("svc.sched.rejected_oversize")),
+      rejected_queue_full_(metrics.counter("svc.sched.rejected_queue_full")),
+      cancelled_(metrics.counter("svc.sched.cancelled")),
+      batches_(metrics.counter("svc.solve.batches")),
+      kernel_instances_(metrics.counter("svc.solve.kernel_instances")),
+      batch_size_(metrics.histogram("svc.solve.batch_size")),
+      queue_depth_gauge_(metrics.gauge("svc.queue.depth")) {
+  cfg_.max_batch = std::max<std::size_t>(cfg_.max_batch, 1);
+  if (cfg_.autostart) start();
+}
+
+Scheduler::~Scheduler() { stop(); }
+
+Scheduler::Ticket Scheduler::ready_ticket(Status status, std::string error) {
+  std::promise<SolveOutcome> p;
+  p.set_value(SolveOutcome{status, nullptr, std::move(error)});
+  return Ticket{p.get_future().share(), false};
+}
+
+Scheduler::Ticket Scheduler::submit(const Canonical& canon) {
+  const tt::Instance& ins = canon.instance;
+  if (ins.k() > cfg_.max_k || ins.num_actions() > cfg_.max_actions) {
+    rejected_oversize_.add(1);
+    return ready_ticket(
+        Status::kRejectedOversize,
+        "instance exceeds admission limits: k=" + std::to_string(ins.k()) +
+            " (max " + std::to_string(cfg_.max_k) +
+            "), N=" + std::to_string(ins.num_actions()) + " (max " +
+            std::to_string(cfg_.max_actions) + ")");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (const auto it = inflight_.find(canon.key); it != inflight_.end()) {
+    followers_.add(1);
+    return Ticket{it->second->future, false};
+  }
+  if (queue_.size() >= cfg_.max_queue) {
+    rejected_queue_full_.add(1);
+    return ready_ticket(Status::kRejectedQueueFull,
+                        "request queue full (" +
+                            std::to_string(cfg_.max_queue) + " pending)");
+  }
+  auto entry = std::make_shared<Entry>(canon.key, canon.instance);
+  inflight_.emplace(canon.key, entry);
+  queue_.push_back(entry);
+  leaders_.add(1);
+  queue_depth_gauge_.set(static_cast<double>(queue_.size()));
+  cv_.notify_one();
+  return Ticket{entry->future, true};
+}
+
+void Scheduler::start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_ || stop_) return;
+  running_ = true;
+  drainer_ = std::thread(&Scheduler::drain_loop, this);
+}
+
+void Scheduler::stop() {
+  std::thread drainer;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+    drainer = std::move(drainer_);
+  }
+  cv_.notify_all();
+  // The drain thread finishes (and resolves) its current batch before it
+  // observes stop_, so joining here never abandons a mid-solve entry.
+  if (drainer.joinable()) drainer.join();
+  std::vector<std::shared_ptr<Entry>> orphaned;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    orphaned.reserve(inflight_.size());
+    for (auto& [key, entry] : inflight_) orphaned.push_back(entry);
+    inflight_.clear();
+    queue_.clear();
+    queue_depth_gauge_.set(0.0);
+    running_ = false;
+  }
+  // Resolve outside the lock: a waiter's continuation may call back in.
+  for (auto& entry : orphaned) {
+    cancelled_.add(1);
+    entry->promise.set_value(
+        SolveOutcome{Status::kCancelled, nullptr, "service shutting down"});
+  }
+}
+
+std::size_t Scheduler::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+void Scheduler::drain_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+    if (stop_) return;  // stop() cancels whatever is still queued
+    // Micro-batch window: hold the first miss for up to batch_delay so
+    // concurrent misses ride the same solve_many call.
+    const auto deadline = std::chrono::steady_clock::now() + cfg_.batch_delay;
+    cv_.wait_until(lock, deadline, [&] {
+      return stop_ || queue_.size() >= cfg_.max_batch;
+    });
+    if (stop_) return;
+    std::deque<std::shared_ptr<Entry>> batch;
+    const std::size_t take = std::min(queue_.size(), cfg_.max_batch);
+    for (std::size_t i = 0; i < take; ++i) {
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    queue_depth_gauge_.set(static_cast<double>(queue_.size()));
+    lock.unlock();
+    solve_batch(batch);
+    lock.lock();
+  }
+}
+
+void Scheduler::solve_batch(std::deque<std::shared_ptr<Entry>>& batch) {
+  TTP_TRACE_SPAN(span, "svc.solve");
+  span.attr("batch", static_cast<std::uint64_t>(batch.size()));
+  std::vector<const tt::Instance*> ptrs;
+  ptrs.reserve(batch.size());
+  for (const auto& entry : batch) ptrs.push_back(&entry->instance);
+
+  std::vector<tt::SolveResult> results;
+  std::string error;
+  try {
+    results = solver_.solve_many(std::span<const tt::Instance* const>(ptrs));
+  } catch (const std::exception& e) {
+    error = e.what();
+  }
+  batches_.add(1);
+  batch_size_.record(batch.size());
+
+  std::vector<SolveOutcome> outcomes(batch.size());
+  if (error.empty()) {
+    kernel_instances_.add(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      auto proc = std::make_shared<CachedProcedure>();
+      proc->tree = std::move(results[i].tree);
+      proc->cost = results[i].cost;
+      proc->bytes = approx_bytes(*proc);
+      cache_.insert(batch[i]->key, proc);
+      outcomes[i] = SolveOutcome{Status::kOk, std::move(proc), {}};
+    }
+  } else {
+    for (auto& o : outcomes) {
+      o = SolveOutcome{Status::kError, nullptr, error};
+    }
+  }
+  // Retire AFTER the cache insert so every moment of an entry's life is
+  // covered: in flight (followers join) until here, cached from here on.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& entry : batch) inflight_.erase(entry->key);
+  }
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    batch[i]->promise.set_value(std::move(outcomes[i]));
+  }
+}
+
+}  // namespace ttp::svc

@@ -1,0 +1,141 @@
+// Singleflight scheduler: dedupes in-flight identical keys, micro-batches
+// distinct cache misses into BatchSolver::solve_many, and applies admission
+// control so one oversized 2^k request cannot take down the service.
+//
+// Request lifecycle:
+//
+//   submit(canonical) ── admission ──> typed reject (oversize / queue full)
+//        │
+//        ├─ key already in flight ──> follower: the existing entry's
+//        │                            shared_future (one solve, M waiters)
+//        └─ leader: entry enqueued; the drain thread collects up to
+//           max_batch distinct entries (waiting at most batch_delay after
+//           the first arrival), solves them in one solve_many call, inserts
+//           results into the cache, THEN retires the entries and resolves
+//           their futures — so a request arriving mid-solve joins the
+//           in-flight entry, and one arriving after retirement hits cache.
+//
+// Shutdown (stop()/destructor) joins the drain thread and resolves every
+// still-pending future with Status::kCancelled; no future is ever leaked
+// unresolved, so callers blocked in wait() always wake.
+//
+// Tests can construct with cfg.autostart = false to stage deterministic
+// queue states (fill the queue, observe singleflight, cancel in-flight)
+// before calling start().
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+
+#include "obs/metrics.hpp"
+#include "svc/cache.hpp"
+#include "svc/canon.hpp"
+#include "tt/solver_batch.hpp"
+
+namespace ttp::svc {
+
+/// Terminal status of a request.
+enum class Status {
+  kOk = 0,
+  kRejectedOversize,   ///< k or N above the configured admission limits.
+  kRejectedQueueFull,  ///< Queue depth at max_queue; shed, retry later.
+  kCancelled,          ///< Service shut down before the solve ran.
+  kError,              ///< Malformed instance or solver failure; see error.
+};
+
+std::string_view status_name(Status s) noexcept;
+
+/// What a waiter receives. `proc` is set exactly when status == kOk.
+struct SolveOutcome {
+  Status status = Status::kCancelled;
+  std::shared_ptr<const CachedProcedure> proc;
+  std::string error;
+};
+
+struct SchedulerConfig {
+  std::size_t max_queue = 1024;  ///< Max queued (not yet solving) leaders.
+  std::size_t max_batch = 32;    ///< Micro-batch size cap.
+  /// How long the drain thread waits after the first queued miss for more
+  /// misses to batch with; the latency/throughput knob.
+  std::chrono::microseconds batch_delay{200};
+  int max_k = 20;          ///< Admission: reject instances above this k.
+  int max_actions = 4096;  ///< Admission: reject instances above this N.
+  bool autostart = true;   ///< false: nothing drains until start().
+};
+
+class Scheduler {
+ public:
+  Scheduler(ProcedureCache& cache, SchedulerConfig cfg,
+            obs::MetricsRegistry& metrics, std::size_t workers = 0);
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  struct Ticket {
+    std::shared_future<SolveOutcome> future;
+    bool leader = false;  ///< True when this submit enqueued the solve.
+  };
+
+  /// Admission check + singleflight join + enqueue. Rejections come back as
+  /// already-resolved futures, so callers have a single wait path.
+  Ticket submit(const Canonical& canon);
+
+  /// Launches the drain thread (idempotent). Called from the constructor
+  /// unless cfg.autostart is false.
+  void start();
+  /// Stops draining and cancels everything still pending (idempotent).
+  void stop();
+
+  std::size_t queue_depth() const;
+  std::size_t workers() const noexcept { return solver_.workers(); }
+
+ private:
+  struct Entry {
+    CanonKey key;
+    tt::Instance instance;  // canonical form; solved as-is
+    std::promise<SolveOutcome> promise;
+    std::shared_future<SolveOutcome> future;
+    Entry(const CanonKey& k, tt::Instance ins)
+        : key(k), instance(std::move(ins)), future(promise.get_future()) {}
+  };
+
+  static Ticket ready_ticket(Status status, std::string error);
+  void drain_loop();
+  void solve_batch(std::deque<std::shared_ptr<Entry>>& batch);
+
+  ProcedureCache& cache_;
+  SchedulerConfig cfg_;
+  tt::BatchSolver solver_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::shared_ptr<Entry>> queue_;  ///< Leaders not yet solving.
+  /// Every unresolved entry (queued or mid-solve); followers join here.
+  std::unordered_map<CanonKey, std::shared_ptr<Entry>, CanonKeyHash>
+      inflight_;
+  bool running_ = false;
+  bool stop_ = false;
+  std::thread drainer_;
+
+  obs::Counter& leaders_;
+  obs::Counter& followers_;
+  obs::Counter& rejected_oversize_;
+  obs::Counter& rejected_queue_full_;
+  obs::Counter& cancelled_;
+  obs::Counter& batches_;
+  obs::Counter& kernel_instances_;
+  obs::Histogram& batch_size_;
+  obs::Gauge& queue_depth_gauge_;
+};
+
+}  // namespace ttp::svc

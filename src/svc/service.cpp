@@ -1,0 +1,128 @@
+#include "svc/service.hpp"
+
+#include <chrono>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/trace.hpp"
+
+namespace ttp::svc {
+
+std::string_view cache_outcome_name(CacheOutcome o) noexcept {
+  switch (o) {
+    case CacheOutcome::kHit:
+      return "hit";
+    case CacheOutcome::kMiss:
+      return "miss";
+    case CacheOutcome::kInflight:
+      return "inflight";
+    case CacheOutcome::kNone:
+      return "none";
+  }
+  return "unknown";
+}
+
+Service::Service(ServiceConfig cfg)
+    : cache_(std::make_unique<ProcedureCache>(cfg.cache, metrics_)),
+      scheduler_(std::make_unique<Scheduler>(*cache_, cfg.scheduler, metrics_,
+                                             cfg.workers)) {}
+
+Response Service::from_outcome(const SolveOutcome& outcome,
+                               const std::vector<int>& to_original,
+                               double weight_scale, CacheOutcome cache) {
+  Response r;
+  r.status = outcome.status;
+  r.cache = cache;
+  r.error = outcome.error;
+  if (outcome.status == Status::kOk && outcome.proc != nullptr) {
+    r.tree = remap_tree_actions(outcome.proc->tree, to_original);
+    r.cost = outcome.proc->cost * weight_scale;
+  }
+  return r;
+}
+
+Service::Pending Service::submit(const tt::Instance& ins) {
+  Pending p;
+  metrics_.counter("svc.requests").add(1);
+  TTP_TRACE_SPAN(span, "svc.request");
+
+  std::optional<Canonical> canon;
+  try {
+    TTP_TRACE_SPAN(canon_span, "svc.canon");
+    canon.emplace(canonicalize(ins));
+  } catch (const std::exception& e) {
+    metrics_.counter("svc.requests.malformed").add(1);
+    p.is_resolved_ = true;
+    p.resolved_.status = Status::kError;
+    p.resolved_.cache = CacheOutcome::kNone;
+    p.resolved_.error = e.what();
+    return p;
+  }
+  p.to_original_ = std::move(canon->to_original);
+  p.weight_scale_ = canon->weight_scale;
+
+  std::shared_ptr<const CachedProcedure> cached;
+  {
+    TTP_TRACE_SPAN(cache_span, "svc.cache");
+    cached = cache_->find(canon->key);
+  }
+  if (cached != nullptr) {
+    p.is_resolved_ = true;
+    p.cache_ = CacheOutcome::kHit;
+    p.resolved_ = from_outcome(SolveOutcome{Status::kOk, std::move(cached), {}},
+                               p.to_original_, p.weight_scale_,
+                               CacheOutcome::kHit);
+    return p;
+  }
+
+  Scheduler::Ticket ticket;
+  {
+    TTP_TRACE_SPAN(queue_span, "svc.queue");
+    ticket = scheduler_->submit(*canon);
+  }
+  p.cache_ = ticket.leader ? CacheOutcome::kMiss : CacheOutcome::kInflight;
+  p.future_ = std::move(ticket.future);
+  return p;
+}
+
+Response Service::solve(const tt::Instance& ins) {
+  const auto t0 = std::chrono::steady_clock::now();
+  Response r = submit(ins).get();
+  const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+  metrics_.histogram("svc.request.us").record(static_cast<std::uint64_t>(us));
+  metrics_
+      .counter(std::string("svc.responses.") +
+               std::string(status_name(r.status)))
+      .add(1);
+  return r;
+}
+
+Response Service::Pending::get() {
+  if (is_resolved_) return resolved_;
+  const SolveOutcome outcome = future_.get();
+  // cache_ distinguishes leader (miss) from follower (inflight); rejections
+  // and cancellations report kNone since the cache never participated.
+  const CacheOutcome cache =
+      outcome.status == Status::kOk ? cache_ : CacheOutcome::kNone;
+  resolved_ =
+      Service::from_outcome(outcome, to_original_, weight_scale_, cache);
+  is_resolved_ = true;
+  return resolved_;
+}
+
+bool Service::Pending::ready() const {
+  if (is_resolved_) return true;
+  return future_.wait_for(std::chrono::seconds(0)) ==
+         std::future_status::ready;
+}
+
+std::string Service::stats_text() const {
+  std::ostringstream os;
+  metrics_.print(os, "");
+  return os.str();
+}
+
+}  // namespace ttp::svc

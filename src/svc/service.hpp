@@ -1,0 +1,110 @@
+// The in-process serving facade: canon -> cache -> scheduler -> BatchSolver.
+//
+// Service is what an embedding server (or the ttp_serve daemon) holds one
+// of. A request flows through four stages, each wrapped in an obs span when
+// tracing is on and counted in the service's own always-on MetricsRegistry:
+//
+//   svc.canon   canonicalize the instance (sort/normalize/hash)
+//   svc.cache   sharded LRU lookup by canonical key
+//   svc.queue   singleflight join + micro-batch queue (misses only)
+//   svc.solve   BatchSolver::solve_many over the drained micro-batch
+//
+// Responses are translated back into the requester's coordinate system: the
+// cached tree's action indices are remapped through the canonicalization
+// permutation and the canonical cost is multiplied by the request's weight
+// scale, so callers never see the canonical form.
+//
+// solve() is the blocking convenience; submit() returns a Pending handle so
+// a connection handler can pipeline many requests into one micro-batch
+// before waiting.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "svc/cache.hpp"
+#include "svc/canon.hpp"
+#include "svc/scheduler.hpp"
+#include "tt/instance.hpp"
+#include "tt/tree.hpp"
+
+namespace ttp::svc {
+
+/// How the cache participated in a response.
+enum class CacheOutcome {
+  kHit,       ///< Served from the procedure cache.
+  kMiss,      ///< This request led a kernel solve.
+  kInflight,  ///< Joined another request's in-flight solve (singleflight).
+  kNone,      ///< Rejected/errored before the cache mattered.
+};
+
+std::string_view cache_outcome_name(CacheOutcome o) noexcept;
+
+struct ServiceConfig {
+  CacheConfig cache;
+  SchedulerConfig scheduler;
+  std::size_t workers = 0;  ///< BatchSolver pool width; 0 = hardware.
+};
+
+struct Response {
+  Status status = Status::kError;
+  CacheOutcome cache = CacheOutcome::kNone;
+  double cost = 0.0;  ///< Expected cost in the request's weight scale.
+  tt::Tree tree;      ///< Action indices refer to the request's actions.
+  std::string error;  ///< Set when status != kOk.
+
+  bool ok() const noexcept { return status == Status::kOk; }
+};
+
+class Service {
+ public:
+  explicit Service(ServiceConfig cfg = {});
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// A submitted request. get() blocks until the solve (if any) completes
+  /// and builds the requester-coordinate Response; ready() never blocks.
+  class Pending {
+   public:
+    Response get();
+    bool ready() const;
+
+   private:
+    friend class Service;
+    Response resolved_;           // rejections/hits/errors resolve inline
+    bool is_resolved_ = false;
+    std::shared_future<SolveOutcome> future_;
+    std::vector<int> to_original_;
+    double weight_scale_ = 1.0;
+    CacheOutcome cache_ = CacheOutcome::kNone;
+  };
+
+  /// Canonicalize + cache lookup + (on miss) enqueue. Never blocks on the
+  /// solve; malformed instances resolve to Status::kError.
+  Pending submit(const tt::Instance& ins);
+
+  /// submit().get() with a latency histogram (svc.request.us) around it.
+  Response solve(const tt::Instance& ins);
+
+  obs::MetricsRegistry& metrics() noexcept { return metrics_; }
+  const obs::MetricsRegistry& metrics() const noexcept { return metrics_; }
+  ProcedureCache& cache() noexcept { return *cache_; }
+  Scheduler& scheduler() noexcept { return *scheduler_; }
+
+  /// Human-readable metrics dump (the daemon's STATS payload).
+  std::string stats_text() const;
+
+ private:
+  static Response from_outcome(const SolveOutcome& outcome,
+                               const std::vector<int>& to_original,
+                               double weight_scale, CacheOutcome cache);
+
+  obs::MetricsRegistry metrics_;
+  std::unique_ptr<ProcedureCache> cache_;
+  std::unique_ptr<Scheduler> scheduler_;
+};
+
+}  // namespace ttp::svc

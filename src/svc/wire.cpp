@@ -1,0 +1,160 @@
+#include "svc/wire.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "tt/serialize.hpp"
+#include "util/bits.hpp"
+
+namespace ttp::svc {
+
+namespace {
+
+/// getline that strips a trailing '\r' so telnet/CRLF clients work.
+bool get_line(std::istream& in, std::string& line) {
+  if (!std::getline(in, line)) return false;
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  return true;
+}
+
+std::string_view err_code(Status s) noexcept {
+  switch (s) {
+    case Status::kRejectedOversize:
+      return "oversize";
+    case Status::kRejectedQueueFull:
+      return "overload";
+    case Status::kCancelled:
+      return "cancelled";
+    case Status::kOk:
+    case Status::kError:
+      break;
+  }
+  return "internal";
+}
+
+void reply_err(std::ostream& out, std::string_view code,
+               const std::string& message) {
+  // Newline-framed protocol: the message must stay on one line.
+  std::string flat = message;
+  for (char& c : flat) {
+    if (c == '\n' || c == '\r') c = ' ';
+  }
+  out << "ERR " << code << ' ' << flat << '\n' << std::flush;
+}
+
+void handle_solve(Service& svc, std::istream& in, std::ostream& out) {
+  std::string blob;
+  std::string line;
+  bool terminated = false;
+  while (get_line(in, line)) {
+    if (line == "END") {
+      terminated = true;
+      break;
+    }
+    blob += line;
+    blob += '\n';
+  }
+  if (!terminated) {
+    reply_err(out, "bad-request", "SOLVE frame not terminated by END");
+    return;
+  }
+  Response res;
+  try {
+    res = svc.solve(tt::from_text(blob));
+  } catch (const std::exception& e) {
+    reply_err(out, "bad-request", e.what());
+    return;
+  }
+  if (!res.ok()) {
+    reply_err(out, err_code(res.status), res.error);
+    return;
+  }
+  std::ostringstream reply;
+  reply.precision(17);
+  reply << "OK cache=" << cache_outcome_name(res.cache) << " cost=" << res.cost
+        << " nodes=" << res.tree.size() << '\n'
+        << tree_to_wire(res.tree) << "END\n";
+  out << reply.str() << std::flush;
+}
+
+}  // namespace
+
+std::string tree_to_wire(const tt::Tree& tree) {
+  std::ostringstream os;
+  os << "tree " << tree.root() << '\n';
+  for (int i = 0; i < tree.size(); ++i) {
+    const tt::TreeNode& n = tree.node(i);
+    os << "node " << i << ' ' << n.action << ' ' << n.yes << ' ' << n.no << ' '
+       << util::mask_to_string(n.state) << '\n';
+  }
+  return os.str();
+}
+
+tt::Tree tree_from_wire(const std::string& text) {
+  std::istringstream is(text);
+  std::string kw;
+  int root = -1;
+  if (!(is >> kw) || kw != "tree" || !(is >> root)) {
+    throw std::invalid_argument("tree_from_wire: missing 'tree <root>'");
+  }
+  std::vector<tt::TreeNode> nodes;
+  while (is >> kw) {
+    if (kw != "node") {
+      throw std::invalid_argument("tree_from_wire: expected 'node', got '" +
+                                  kw + "'");
+    }
+    int idx = 0;
+    tt::TreeNode n;
+    std::string set_tok;
+    if (!(is >> idx >> n.action >> n.yes >> n.no >> set_tok)) {
+      throw std::invalid_argument("tree_from_wire: malformed node line");
+    }
+    if (idx != static_cast<int>(nodes.size())) {
+      throw std::invalid_argument("tree_from_wire: node indices must ascend");
+    }
+    if (set_tok.size() < 2 || set_tok.front() != '{' ||
+        set_tok.back() != '}') {
+      throw std::invalid_argument("tree_from_wire: bad state set '" + set_tok +
+                                  "'");
+    }
+    tt::Mask state = 0;
+    std::stringstream inner(set_tok.substr(1, set_tok.size() - 2));
+    std::string piece;
+    while (std::getline(inner, piece, ',')) {
+      if (!piece.empty()) state |= util::bit(std::stoi(piece));
+    }
+    n.state = state;
+    nodes.push_back(n);
+  }
+  if (nodes.empty() && root >= 0) {
+    throw std::invalid_argument("tree_from_wire: root without nodes");
+  }
+  if (nodes.empty()) return tt::Tree();
+  return tt::Tree(std::move(nodes), root);
+}
+
+std::size_t serve_session(Service& svc, std::istream& in, std::ostream& out) {
+  std::size_t handled = 0;
+  std::string line;
+  while (get_line(in, line)) {
+    if (line.empty()) continue;
+    ++handled;
+    if (line == "SOLVE") {
+      handle_solve(svc, in, out);
+    } else if (line == "STATS") {
+      out << "STATS\n" << svc.stats_text() << "END\n" << std::flush;
+    } else if (line == "PING") {
+      out << "PONG\n" << std::flush;
+    } else if (line == "QUIT") {
+      out << "BYE\n" << std::flush;
+      break;
+    } else {
+      reply_err(out, "bad-request", "unknown command '" + line + "'");
+    }
+  }
+  return handled;
+}
+
+}  // namespace ttp::svc

@@ -1,0 +1,54 @@
+// Newline-framed text protocol for ttp_serve, factored out of the daemon so
+// the stdio loop, the TCP connection handler, and the tests all drive the
+// exact same code over plain iostreams.
+//
+// Request grammar (one command per line; '\r' tolerated before '\n'):
+//
+//   session  := command*
+//   command  := solve | stats | ping | quit
+//   solve    := "SOLVE" NL instance-text NL "END" NL
+//   stats    := "STATS" NL
+//   ping     := "PING" NL
+//   quit     := "QUIT" NL
+//
+// where instance-text is the tt/serialize format (src/tt/serialize.hpp) —
+// the wire reuses the library serialization verbatim, including comments.
+//
+// Replies:
+//
+//   solve ok  := "OK cache=" outcome " cost=" float " nodes=" int NL
+//                tree-text "END" NL
+//   tree-text := "tree" int(root) NL node*          (see tree_to_wire)
+//   node      := "node" idx action yes no {state} NL
+//   solve err := "ERR " code " " message NL
+//   stats     := "STATS" NL metric-lines "END" NL
+//   ping      := "PONG" NL
+//   quit      := "BYE" NL (handler returns)
+//
+// Error codes: bad-request (unparseable frame or malformed instance),
+// oversize, overload (queue full), cancelled (shutdown), internal.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "svc/service.hpp"
+#include "tt/tree.hpp"
+
+namespace ttp::svc {
+
+/// Serializes a tree for the wire: "tree <root>\n" then one
+/// "node <idx> <action> <yes> <no> {state}\n" per node (indices as in
+/// Tree::nodes(), -1 for absent arcs). An empty tree is "tree -1\n".
+std::string tree_to_wire(const tt::Tree& tree);
+
+/// Parses tree_to_wire output; throws std::invalid_argument on malformed
+/// input. Round-trips structurally (used by client-side tests).
+tt::Tree tree_from_wire(const std::string& text);
+
+/// Runs one session: reads commands from `in` until EOF or QUIT, writes
+/// replies to `out` (flushed per reply). Protocol errors produce ERR
+/// replies, never exceptions; returns the number of commands handled.
+std::size_t serve_session(Service& svc, std::istream& in, std::ostream& out);
+
+}  // namespace ttp::svc

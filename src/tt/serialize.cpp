@@ -1,8 +1,11 @@
 #include "tt/serialize.hpp"
 
+#include <algorithm>
 #include <fstream>
+#include <numeric>
 #include <sstream>
 #include <stdexcept>
+#include <tuple>
 
 namespace ttp::tt {
 
@@ -47,6 +50,40 @@ void write_text(std::ostream& os, const Instance& ins) {
 std::string to_text(const Instance& ins) {
   std::ostringstream os;
   write_text(os, ins);
+  return os.str();
+}
+
+std::vector<int> canonical_action_order(const Instance& ins) {
+  std::vector<int> ord(static_cast<std::size_t>(ins.num_actions()));
+  std::iota(ord.begin(), ord.end(), 0);
+  // Index as the last key makes plain sort stable: duplicate (kind, set,
+  // cost) actions keep their relative input order deterministically.
+  std::sort(ord.begin(), ord.end(), [&](int a, int b) {
+    const Action& x = ins.action(a);
+    const Action& y = ins.action(b);
+    // Tests (is_test == true) sort before treatments.
+    return std::make_tuple(!x.is_test, x.set, x.cost, a) <
+           std::make_tuple(!y.is_test, y.set, y.cost, b);
+  });
+  return ord;
+}
+
+void write_canonical_text(std::ostream& os, const Instance& ins) {
+  os.precision(17);  // lossless double round-trip
+  os << "tt " << ins.k() << "\n";
+  os << "weights";
+  for (int j = 0; j < ins.k(); ++j) os << ' ' << ins.weight(j);
+  os << "\n";
+  for (const int i : canonical_action_order(ins)) {
+    const Action& a = ins.action(i);
+    os << (a.is_test ? "test " : "treat ") << a.name << ' '
+       << set_to_text(a.set) << ' ' << a.cost << "\n";
+  }
+}
+
+std::string to_canonical_text(const Instance& ins) {
+  std::ostringstream os;
+  write_canonical_text(os, ins);
   return os.str();
 }
 

@@ -12,14 +12,31 @@
 
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "tt/instance.hpp"
 
 namespace ttp::tt {
 
-/// Writes the canonical text form.
+/// Writes the plain text form, actions in insertion order (order matters to
+/// solvers — ties break toward the lowest action index — so the default
+/// serialization never reorders).
 std::string to_text(const Instance& ins);
 void write_text(std::ostream& os, const Instance& ins);
+
+/// The canonical action order used by the serving layer (svc/canon) to make
+/// semantically identical instances collide: tests before treatments, each
+/// group stably sorted by (set, cost). Returns a permutation `ord` with
+/// `ord[i]` = the original index of the i-th canonical action; duplicate
+/// (set, cost) actions keep their relative order, so the permutation is
+/// deterministic.
+std::vector<int> canonical_action_order(const Instance& ins);
+
+/// Text form with actions emitted in canonical_action_order. Parsing it
+/// yields the canonically ordered instance (names preserved); svc/canon
+/// additionally normalizes weights and regenerates names before hashing.
+std::string to_canonical_text(const Instance& ins);
+void write_canonical_text(std::ostream& os, const Instance& ins);
 
 /// Parses the text form; throws std::invalid_argument with a line-numbered
 /// message on malformed input.

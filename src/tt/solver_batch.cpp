@@ -1,6 +1,8 @@
 #include "tt/solver_batch.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <cassert>
 
 #include "obs/trace.hpp"
 #include "tt/kernel.hpp"
@@ -9,11 +11,29 @@ namespace ttp::tt {
 
 std::vector<SolveResult> BatchSolver::solve_many(
     std::span<const Instance> instances) const {
+  std::vector<const Instance*> ptrs;
+  ptrs.reserve(instances.size());
+  for (const Instance& ins : instances) ptrs.push_back(&ins);
+  return solve_many(std::span<const Instance* const>(ptrs));
+}
+
+std::vector<SolveResult> BatchSolver::solve_many(
+    std::span<const Instance* const> instances) const {
   std::vector<SolveResult> out(instances.size());
   if (instances.empty()) return out;
+#ifndef NDEBUG
+  {
+    // The lazy p(S) cache is per instance and not thread-safe to share: two
+    // workers solving the same object would race on subset_weight_table().
+    std::vector<const Instance*> sorted(instances.begin(), instances.end());
+    std::sort(sorted.begin(), sorted.end());
+    assert(std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end() &&
+           "BatchSolver::solve_many: instance pointers must be distinct");
+  }
+#endif
   // Validate on the caller's thread: a malformed instance throws here, not
   // inside a pool worker.
-  for (const Instance& ins : instances) ins.check();
+  for (const Instance* ins : instances) ins->check();
 
   TTP_TRACE_SPAN(span, "solve.batch_many");
   span.attr("instances", static_cast<std::uint64_t>(instances.size()));
@@ -29,7 +49,7 @@ std::vector<SolveResult> BatchSolver::solve_many(
     static thread_local SolveArena arena;
     for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed); i < n;
          i = next.fetch_add(1, std::memory_order_relaxed)) {
-      out[i] = solve_with_arena(instances[i], arena, "solve.batch");
+      out[i] = solve_with_arena(*instances[i], arena, "solve.batch");
     }
   });
   TTP_METRIC_ADD("batch.instances", instances.size());

@@ -27,11 +27,20 @@ class BatchSolver {
   /// `workers` == 0 -> hardware concurrency.
   explicit BatchSolver(std::size_t workers = 0) : pool_(workers) {}
 
-  /// Solves every instance (each must be a distinct object — the lazy
-  /// p(S)-table cache is per instance and not thread-safe to share).
-  /// Results are positionally aligned with the input.
+  /// Solves every instance; results are positionally aligned with the input.
+  /// (Elements of a contiguous span are distinct objects by construction, so
+  /// the pointer-overload's aliasing restriction cannot be violated here.)
   std::vector<SolveResult> solve_many(
       std::span<const Instance> instances) const;
+
+  /// Pointer-span overload for callers whose instances are not contiguous
+  /// (e.g. the svc scheduler's queued entries). NO ALIASING: all pointers
+  /// must refer to distinct Instance objects. The lazy p(S) subset-weight
+  /// table is a mutable per-instance cache with no synchronization, so two
+  /// pool workers solving the same object race on it; debug builds assert
+  /// distinctness, release builds do not check.
+  std::vector<SolveResult> solve_many(
+      std::span<const Instance* const> instances) const;
 
   std::size_t workers() const noexcept { return pool_.size(); }
 

@@ -193,7 +193,7 @@ TEST(BatchSolver, MatchesPerInstanceSolvesInOrder) {
 }
 
 TEST(BatchSolver, EmptyAndSingleAndOversubscribed) {
-  EXPECT_TRUE(BatchSolver(2).solve_many({}).empty());
+  EXPECT_TRUE(BatchSolver(2).solve_many(std::span<const Instance>{}).empty());
 
   std::vector<Instance> one{fig1_example()};
   const auto r1 = BatchSolver(4).solve_many(one);  // more workers than items

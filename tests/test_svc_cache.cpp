@@ -1,0 +1,151 @@
+// Sharded LRU procedure cache: hit/miss flow, byte-accounted eviction, TTL
+// expiry on an injected clock, and counter bookkeeping.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "obs/metrics.hpp"
+#include "svc/cache.hpp"
+
+namespace ttp::svc {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+CanonKey key(std::uint64_t n) {
+  return hash128("key-" + std::to_string(n));
+}
+
+std::shared_ptr<const CachedProcedure> proc_of_bytes(std::size_t bytes,
+                                                     double cost = 1.0) {
+  auto p = std::make_shared<CachedProcedure>();
+  p->cost = cost;
+  p->bytes = bytes;
+  return p;
+}
+
+TEST(SvcCache, MissThenHit) {
+  obs::MetricsRegistry m;
+  ProcedureCache cache(CacheConfig{}, m);
+  EXPECT_EQ(cache.find(key(1)), nullptr);
+  cache.insert(key(1), proc_of_bytes(100, 42.0));
+  const auto got = cache.find(key(1));
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(got->cost, 42.0);
+  EXPECT_EQ(m.get("svc.cache.misses"), 1u);
+  EXPECT_EQ(m.get("svc.cache.hits"), 1u);
+  EXPECT_EQ(m.get("svc.cache.inserts"), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.bytes(), 100u);
+}
+
+TEST(SvcCache, LruEvictionUnderByteCapacity) {
+  obs::MetricsRegistry m;
+  CacheConfig cfg;
+  cfg.capacity_bytes = 350;
+  cfg.shards = 1;  // single shard so the LRU order is global
+  ProcedureCache cache(cfg, m);
+  cache.insert(key(1), proc_of_bytes(100));
+  cache.insert(key(2), proc_of_bytes(100));
+  cache.insert(key(3), proc_of_bytes(100));
+  EXPECT_EQ(cache.size(), 3u);
+  // Touch 1 so 2 becomes least-recently-used, then overflow.
+  EXPECT_NE(cache.find(key(1)), nullptr);
+  cache.insert(key(4), proc_of_bytes(100));
+  EXPECT_EQ(m.get("svc.cache.evictions"), 1u);
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.bytes(), 300u);
+  EXPECT_EQ(cache.find(key(2)), nullptr);  // the LRU victim
+  EXPECT_NE(cache.find(key(1)), nullptr);
+  EXPECT_NE(cache.find(key(3)), nullptr);
+  EXPECT_NE(cache.find(key(4)), nullptr);
+}
+
+TEST(SvcCache, OversizedEntryIsAdmittedAlone) {
+  obs::MetricsRegistry m;
+  CacheConfig cfg;
+  cfg.capacity_bytes = 100;
+  cfg.shards = 1;
+  ProcedureCache cache(cfg, m);
+  cache.insert(key(1), proc_of_bytes(50));
+  cache.insert(key(2), proc_of_bytes(500));  // alone exceeds capacity
+  // The newcomer survives (evicting it would make this key unservable from
+  // cache forever); everything else goes.
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_NE(cache.find(key(2)), nullptr);
+}
+
+TEST(SvcCache, ReinsertReplacesAndReaccounts) {
+  obs::MetricsRegistry m;
+  CacheConfig cfg;
+  cfg.shards = 1;
+  ProcedureCache cache(cfg, m);
+  cache.insert(key(1), proc_of_bytes(100, 1.0));
+  cache.insert(key(1), proc_of_bytes(300, 2.0));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.bytes(), 300u);
+  EXPECT_EQ(cache.find(key(1))->cost, 2.0);
+}
+
+TEST(SvcCache, TtlExpiryOnInjectedClock) {
+  obs::MetricsRegistry m;
+  Clock::time_point fake_now{};  // epoch
+  CacheConfig cfg;
+  cfg.ttl = std::chrono::seconds(10);
+  cfg.now = [&fake_now] { return fake_now; };
+  ProcedureCache cache(cfg, m);
+
+  cache.insert(key(1), proc_of_bytes(100));
+  fake_now += std::chrono::seconds(9);
+  EXPECT_NE(cache.find(key(1)), nullptr) << "entry should survive inside TTL";
+  fake_now += std::chrono::seconds(2);  // now 11s after insert
+  EXPECT_EQ(cache.find(key(1)), nullptr) << "entry should expire past TTL";
+  EXPECT_EQ(m.get("svc.cache.expired"), 1u);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.bytes(), 0u);
+
+  // A fresh insert after expiry serves again (its TTL restarts from now).
+  cache.insert(key(1), proc_of_bytes(100));
+  EXPECT_NE(cache.find(key(1)), nullptr);
+}
+
+TEST(SvcCache, ShardCountRoundsToPowerOfTwo) {
+  obs::MetricsRegistry m;
+  CacheConfig cfg;
+  cfg.shards = 5;
+  ProcedureCache cache(cfg, m);
+  EXPECT_EQ(cache.shard_count(), 8u);
+  cfg.shards = 0;
+  ProcedureCache one(cfg, m);
+  EXPECT_EQ(one.shard_count(), 1u);
+}
+
+TEST(SvcCache, ClearDropsEverything) {
+  obs::MetricsRegistry m;
+  ProcedureCache cache(CacheConfig{}, m);
+  for (std::uint64_t i = 0; i < 32; ++i) {
+    cache.insert(key(i), proc_of_bytes(64));
+  }
+  EXPECT_EQ(cache.size(), 32u);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.bytes(), 0u);
+  EXPECT_EQ(cache.find(key(0)), nullptr);
+}
+
+TEST(SvcCache, EvictedEntryStaysAliveForHolders) {
+  obs::MetricsRegistry m;
+  CacheConfig cfg;
+  cfg.capacity_bytes = 100;
+  cfg.shards = 1;
+  ProcedureCache cache(cfg, m);
+  cache.insert(key(1), proc_of_bytes(80, 7.0));
+  const auto held = cache.find(key(1));
+  cache.insert(key(2), proc_of_bytes(80));  // evicts key 1
+  EXPECT_EQ(cache.find(key(1)), nullptr);
+  ASSERT_NE(held, nullptr);  // shared_ptr keeps the evicted entry alive
+  EXPECT_EQ(held->cost, 7.0);
+}
+
+}  // namespace
+}  // namespace ttp::svc

@@ -1,0 +1,161 @@
+// Canonical instance keying: semantically identical requests collide,
+// different problems do not, and cached canonical results translate back
+// into the requester's coordinates.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "svc/canon.hpp"
+#include "tt/generator.hpp"
+#include "tt/solver_sequential.hpp"
+#include "tt/validate.hpp"
+#include "util/rng.hpp"
+
+namespace ttp::svc {
+namespace {
+
+using tt::Instance;
+using util::bit;
+
+Instance shuffled_renamed_scaled(double scale) {
+  // fig1_example with actions reordered within groups, fresh names, and all
+  // weights multiplied by `scale` — the same problem, differently spelled.
+  Instance ins(4, {0.4 * scale, 0.3 * scale, 0.2 * scale, 0.1 * scale});
+  ins.add_test(bit(0) | bit(2), 1.5, "secondTest");
+  ins.add_test(bit(0) | bit(1), 1.0, "firstTest");
+  ins.add_treatment(bit(2) | bit(3), 2.5, "z");
+  ins.add_treatment(bit(0), 2.0, "y");
+  ins.add_treatment(bit(1) | bit(2), 3.0, "x");
+  return ins;
+}
+
+TEST(SvcCanon, Hash128IsStableAndSensitive) {
+  const CanonKey a = hash128("tt 4\n");
+  EXPECT_EQ(a, hash128("tt 4\n"));
+  EXPECT_NE(a, hash128("tt 5\n"));
+  EXPECT_NE(a, hash128("tt 4"));
+  EXPECT_NE(hash128(""), CanonKey{});
+  // hi and lo are independent mixes: flipping one byte changes both.
+  const CanonKey b = hash128("tt 5\n");
+  EXPECT_NE(a.hi, b.hi);
+  EXPECT_NE(a.lo, b.lo);
+  EXPECT_EQ(a.hex().size(), 32u);
+  EXPECT_NE(a.hex(), b.hex());
+}
+
+TEST(SvcCanon, EquivalentSpellingsCollide) {
+  const Canonical base = canonicalize(tt::fig1_example());
+  for (const double scale : {1.0, 2.0, 8.0, 0.5}) {
+    const Canonical other = canonicalize(shuffled_renamed_scaled(scale));
+    EXPECT_EQ(base.key, other.key) << "scale=" << scale;
+    EXPECT_EQ(base.text, other.text) << "scale=" << scale;
+    EXPECT_DOUBLE_EQ(other.weight_scale, scale);
+  }
+}
+
+TEST(SvcCanon, DistinctProblemsGetDistinctKeys) {
+  util::Rng rng(7);
+  std::unordered_set<std::string> keys;
+  for (int i = 0; i < 50; ++i) {
+    tt::RandomOptions opt;
+    opt.num_tests = 3 + i % 3;
+    opt.num_treatments = 4;
+    keys.insert(canonicalize(tt::random_instance(5 + i % 3, opt, rng)).key.hex());
+  }
+  EXPECT_EQ(keys.size(), 50u);
+}
+
+TEST(SvcCanon, CostChangesTheKey) {
+  Instance a = tt::fig1_example();
+  Instance b = tt::fig1_example();
+  Instance c(4, {0.4, 0.3, 0.2, 0.1});
+  c.add_test(bit(0) | bit(1), 1.0 + 1e-9, "testAB");  // one cost nudged
+  c.add_test(bit(0) | bit(2), 1.5, "testAC");
+  c.add_treatment(bit(0), 2.0, "cureA");
+  c.add_treatment(bit(1) | bit(2), 3.0, "cureBC");
+  c.add_treatment(bit(2) | bit(3), 2.5, "cureCD");
+  EXPECT_EQ(canonicalize(a).key, canonicalize(b).key);
+  EXPECT_NE(canonicalize(a).key, canonicalize(c).key);
+}
+
+TEST(SvcCanon, TestTreatmentKindIsPartOfTheKey) {
+  // Same sets and costs, but one action flips kind: different problem.
+  Instance a(2, {0.5, 0.5});
+  a.add_test(bit(0), 1.0);
+  a.add_treatment(bit(0) | bit(1), 1.0);
+  Instance b(2, {0.5, 0.5});
+  b.add_treatment(bit(0), 1.0);
+  b.add_treatment(bit(0) | bit(1), 1.0);
+  EXPECT_NE(canonicalize(a).key, canonicalize(b).key);
+}
+
+TEST(SvcCanon, MappingTranslatesCanonicalActionsToOriginal) {
+  const Instance original = shuffled_renamed_scaled(3.0);
+  const Canonical canon = canonicalize(original);
+  ASSERT_EQ(canon.to_original.size(),
+            static_cast<std::size_t>(original.num_actions()));
+  for (int i = 0; i < canon.instance.num_actions(); ++i) {
+    const tt::Action& c = canon.instance.action(i);
+    const tt::Action& o =
+        original.action(canon.to_original[static_cast<std::size_t>(i)]);
+    EXPECT_EQ(c.set, o.set) << i;
+    EXPECT_EQ(c.cost, o.cost) << i;
+    EXPECT_EQ(c.is_test, o.is_test) << i;
+  }
+  // Canonical weights are normalized to sum 1.
+  double sum = 0.0;
+  for (int j = 0; j < canon.instance.k(); ++j) sum += canon.instance.weight(j);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(canon.weight_scale, 3.0);
+}
+
+TEST(SvcCanon, RemappedTreeIsOptimalForTheOriginal) {
+  util::Rng rng(21);
+  for (int trial = 0; trial < 8; ++trial) {
+    tt::RandomOptions opt;
+    opt.num_tests = 4;
+    opt.num_treatments = 5;
+    const Instance original = tt::random_instance(6, opt, rng);
+    const Canonical canon = canonicalize(original);
+
+    const auto canon_res = tt::SequentialSolver().solve(canon.instance);
+    const tt::Tree remapped =
+        remap_tree_actions(canon_res.tree, canon.to_original);
+    const double original_cost = canon_res.cost * canon.weight_scale;
+
+    // The remapped tree must be a valid procedure for the ORIGINAL instance
+    // achieving the (rescaled) canonical cost...
+    const auto report =
+        tt::validate_tree(original, remapped, original_cost, 1e-9);
+    EXPECT_TRUE(report.ok) << (report.errors.empty() ? ""
+                                                     : report.errors.front());
+    // ...and that cost must equal the original's own optimum.
+    const auto direct = tt::SequentialSolver().solve(original);
+    EXPECT_NEAR(original_cost, direct.cost,
+                1e-9 * std::max(1.0, direct.cost));
+  }
+}
+
+TEST(SvcCanon, CanonicalizationIsIdempotentOnKeys) {
+  // Weights with an exactly-representable sum (1.0), so re-normalizing the
+  // canonical form divides by exactly 1.0 and the key is a fixed point.
+  // (For general weights idempotence holds only up to last-ulp rounding —
+  // that costs at most a duplicate solve, never a wrong answer.)
+  Instance ins(4, {0.5, 0.25, 0.125, 0.125});
+  ins.add_test(bit(0) | bit(1), 1.0);
+  ins.add_treatment(bit(0) | bit(1), 2.0);
+  ins.add_treatment(bit(2) | bit(3), 2.5);
+  const Canonical once = canonicalize(ins);
+  const Canonical twice = canonicalize(once.instance);
+  EXPECT_EQ(once.key, twice.key);
+  EXPECT_EQ(once.text, twice.text);
+}
+
+TEST(SvcCanon, MalformedInstanceThrows) {
+  Instance bad(2, {0.5, 0.5});
+  bad.add_treatment(bit(0) | bit(1), -1.0);  // negative cost
+  EXPECT_THROW(canonicalize(bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ttp::svc
