@@ -16,6 +16,8 @@
 // items_per_second counter.
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
+
 #include <cstdint>
 #include <vector>
 
@@ -39,6 +41,17 @@ Instance bench_instance(int k, std::uint64_t seed = 77) {
   opt.num_tests = 10;
   opt.num_treatments = 10;
   return ttp::tt::random_instance(k, opt, rng);
+}
+
+/// The bench_json.hpp record fields: problem shape as counters, the kernel
+/// variant the run actually dispatched to as the label ("legacy" for the
+/// pre-kernel replica, which bypasses dispatch entirely).
+void annotate(benchmark::State& state, const Instance& ins,
+              std::string_view variant = {}) {
+  state.counters["k"] = static_cast<double>(ins.k());
+  state.counters["N"] = static_cast<double>(ins.num_actions());
+  state.SetLabel(std::string(
+      variant.empty() ? ttp::tt::active_kernel_variant_name() : variant));
 }
 
 /// The pre-kernel SequentialSolver::solve, verbatim: layer subsets
@@ -90,6 +103,7 @@ void BM_LegacyInnerLoop(benchmark::State& state) {
       static_cast<double>(((std::uint64_t{1} << state.range(0)) - 1) *
                           static_cast<std::uint64_t>(ins.num_actions())),
       benchmark::Counter::kIsIterationInvariantRate);
+  annotate(state, ins, "legacy");
 }
 
 void BM_KernelSolve(benchmark::State& state) {
@@ -105,6 +119,7 @@ void BM_KernelSolve(benchmark::State& state) {
       static_cast<double>(((std::uint64_t{1} << state.range(0)) - 1) *
                           static_cast<std::uint64_t>(ins.num_actions())),
       benchmark::Counter::kIsIterationInvariantRate);
+  annotate(state, ins);
 }
 
 /// The kernel sweep alone on a pre-bound arena — what one steady-state
@@ -118,6 +133,7 @@ void BM_KernelArenaWarm(benchmark::State& state) {
     benchmark::DoNotOptimize(cost);
   }
   state.counters["C(U)"] = cost;
+  annotate(state, ins);
 }
 
 void BM_BatchThroughput(benchmark::State& state) {
@@ -135,6 +151,7 @@ void BM_BatchThroughput(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(batch.size()));
   state.counters["workers"] = static_cast<double>(workers);
+  annotate(state, batch.front());
 }
 
 }  // namespace
@@ -156,4 +173,4 @@ BENCHMARK(BM_BatchThroughput)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+TTP_BENCH_JSON_MAIN()

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "obs/trace.hpp"
+#include "tt/kernel.hpp"
 
 namespace ttp::svc {
 
@@ -28,6 +29,7 @@ Scheduler::Scheduler(ProcedureCache& cache, SchedulerConfig cfg,
     : cache_(cache),
       cfg_(cfg),
       solver_(workers),
+      metrics_(metrics),
       leaders_(metrics.counter("svc.sched.leaders")),
       followers_(metrics.counter("svc.sched.followers")),
       rejected_oversize_(metrics.counter("svc.sched.rejected_oversize")),
@@ -166,6 +168,13 @@ void Scheduler::solve_batch(std::deque<std::shared_ptr<Entry>>& batch) {
   std::vector<SolveOutcome> outcomes(batch.size());
   if (error.empty()) {
     kernel_instances_.add(batch.size());
+    // Per-solve variant attribution: svc.solve.variant.{scalar,simd-*}
+    // counts instances, so STATS shows how much traffic each kernel path
+    // actually served (the active variant can change at runtime).
+    metrics_
+        .counter(std::string("svc.solve.variant.") +
+                 std::string(tt::active_kernel_variant_name()))
+        .add(batch.size());
     for (std::size_t i = 0; i < batch.size(); ++i) {
       auto proc = std::make_shared<CachedProcedure>();
       proc->tree = std::move(results[i].tree);

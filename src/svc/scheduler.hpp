@@ -116,6 +116,10 @@ class Scheduler {
   ProcedureCache& cache_;
   SchedulerConfig cfg_;
   tt::BatchSolver solver_;
+  /// For the per-solve kernel-variant counters: the variant can be re-pinned
+  /// at runtime (set_kernel_variant), so the counter name is looked up per
+  /// batch rather than bound once in the constructor.
+  obs::MetricsRegistry& metrics_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

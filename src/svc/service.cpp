@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "obs/trace.hpp"
+#include "tt/kernel.hpp"
 
 namespace ttp::svc {
 
@@ -121,6 +122,10 @@ bool Service::Pending::ready() const {
 
 std::string Service::stats_text() const {
   std::ostringstream os;
+  // Which kernel the solve path dispatches to (scalar | simd-portable |
+  // simd-avx2) — operators reading STATS see at a glance whether the
+  // binary picked up AVX2 on this host or was pinned via TTP_KERNEL.
+  os << "kernel.variant: " << tt::active_kernel_variant_name() << "\n";
   metrics_.print(os, "");
   return os.str();
 }

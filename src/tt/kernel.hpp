@@ -15,30 +15,49 @@
 //    name, so scanning a vector<Action> in the inner loop drags ~56-byte
 //    strides through the cache and a bounds-checked `actions_.at(i)` per
 //    evaluation; the SoA keeps the three words the loop needs contiguous.
-//  * eval_states() — cache-blocked tiling over (layer-states × actions):
-//    states are processed in tiles of kKernelTile, actions in two runs
-//    (tests, then treatments, removing the is_test branch), and validity
-//    is folded in branch-free with selects instead of early returns. The
-//    arithmetic (association order, strict `<` minimization ascending in
-//    i) is bitwise identical to the reference action_value() loop, so
-//    kernel-backed solvers produce byte-identical cost/best_action tables.
+//  * eval_states() — the per-layer wave. Dispatches once, at first use, to
+//    one of three byte-identical implementations (see "Kernel variants"
+//    below): the scalar reference (cache-blocked tiles, branch-free
+//    selects), a portable 4-wide SIMD path (GCC/Clang vector extensions),
+//    or an AVX2 path (gathered table reads, vector blend min/argmin).
+//    The arithmetic (association order, strict `<` minimization ascending
+//    in i) is lane-for-lane identical to the reference action_value()
+//    loop, so every variant produces byte-identical cost/best_action
+//    tables (tests/test_kernel_simd.cpp enforces this).
 //  * eval_pairs()/reduce_pairs() — the same evaluation split into the
 //    paper's (S,i)-pair phase plus a per-state min phase, for
-//    ThreadsSolver's pair-parallel mode.
-//  * SolveArena — owns the cost/best-action/M-buffer storage plus the
-//    per-k layer index and the SoA, all reused across solves so a
-//    high-QPS caller stops re-deriving layer subsets and re-allocating
-//    tables on every request.
+//    ThreadsSolver's pair-parallel mode. Dispatched like eval_states.
+//  * SolveArena — owns the cost/best-action/M-buffer storage (64-byte
+//    aligned, growth-capped — see AlignedBuf) plus the per-k layer index,
+//    the SoA, and the per-(k, action-set) gather-index table (PairIndex),
+//    all reused across solves so a high-QPS caller stops re-deriving layer
+//    subsets and re-allocating tables on every request.
 //  * solve_with_arena() — the full sequential layer sweep on arena
 //    storage: the serving hot path shared by SequentialSolver and
 //    BatchSolver (solver_batch.hpp).
+//
+// Kernel variants & dispatch
+// --------------------------
+// The active variant is resolved once from the TTP_KERNEL environment
+// variable ("scalar", "simd", "portable", "avx2", "auto"; unset == auto ==
+// best SIMD the CPU supports) plus a one-time CPUID check, and can be
+// forced programmatically with set_kernel_variant() (tests, benches, the
+// serving daemon's knob). The scalar path is the normative reference; the
+// SIMD paths assign one STATE per vector lane and walk actions in the same
+// ascending order with the same strict-< blend, so min/argmin association
+// matches the scalar loop lane for lane (docs/kernel.md has the proof
+// sketch). Remainder states (count % lane-width) always go through the
+// scalar tile, so layer sizes not divisible by the vector width cannot
+// diverge.
 //
 // Step accounting is the caller's policy, not the kernel's: eval_states
 // returns the number of M-evaluations performed and each solver charges
 // its documented cost model (see solver.hpp).
 #pragma once
 
+#include <cassert>
 #include <cstdint>
+#include <new>
 #include <span>
 #include <string_view>
 #include <vector>
@@ -60,6 +79,39 @@ inline double m_treat_value(double t_cost, double ps,
                             double c_minus) noexcept {
   return t_cost * ps + c_minus;
 }
+
+// ---------------------------------------------------------------------------
+// Kernel variant selection
+
+/// The resolved kernel implementations. kScalar is the normative reference;
+/// the two SIMD variants are byte-identical accelerations of it.
+enum class KernelVariant {
+  kScalar,        ///< Reference tiles (PR 2).
+  kSimdPortable,  ///< 4-wide GCC/Clang vector extensions; any target.
+  kSimdAvx2,      ///< AVX2 gathers + blends; needs CPU + build support.
+};
+
+/// The variant all kernel entry points currently dispatch to. First call
+/// resolves TTP_KERNEL + CPUID; later calls are one relaxed atomic load.
+KernelVariant active_kernel_variant() noexcept;
+
+/// "scalar", "simd-portable", or "simd-avx2".
+std::string_view kernel_variant_name(KernelVariant v) noexcept;
+
+/// kernel_variant_name(active_kernel_variant()).
+std::string_view active_kernel_variant_name() noexcept;
+
+/// Forces the dispatch. Accepts "scalar", "portable", "avx2", "simd" (best
+/// available SIMD), or "auto" (same resolution as an unset TTP_KERNEL).
+/// Returns false — and leaves the dispatch unchanged — when the requested
+/// variant is not available on this CPU/build (only possible for "avx2").
+bool set_kernel_variant(std::string_view spec) noexcept;
+
+/// True when the AVX2 variant is compiled in AND the CPU reports AVX2.
+bool kernel_avx2_available() noexcept;
+
+// ---------------------------------------------------------------------------
+// Shared data structures
 
 /// Structure-of-arrays action layout. Indices coincide with the instance's
 /// action indices (tests 0..num_tests-1, then treatments), so argmins read
@@ -91,23 +143,158 @@ class LayerIndex {
     return {masks_.data() + b, e - b};
   }
 
+  /// Position of layer j's first state within the 0..2^k-1 enumeration
+  /// (PairIndex rows are laid out in this global order).
+  std::size_t layer_begin(int j) const {
+    return offsets_[static_cast<std::size_t>(j)];
+  }
+
  private:
   int k_ = -1;
   std::vector<Mask> masks_;
   std::vector<std::size_t> offsets_;  ///< k+2 entries; layer j = [j, j+1)
 };
 
-/// States per kernel tile. The tile's running best/argmin and hoisted
-/// p(S) values live in ~3 KiB of stack, well inside L1.
+/// 64-byte-aligned, growth-capped storage for the arena's flat tables.
+/// resize_discard() never copies old contents on growth — every user fully
+/// reinitializes (prepare_tables, PairIndex::build, the pair-phase M
+/// buffer) — and capacity is monotone, so steady-state arena reuse touches
+/// the allocator exactly zero times. Alignment is asserted in debug builds;
+/// 64 bytes covers a full cache line and every vector width up to AVX-512.
+template <typename T>
+class AlignedBuf {
+  static_assert(std::is_trivial_v<T>,
+                "AlignedBuf skips construction; trivial types only");
+
+ public:
+  static constexpr std::size_t kAlign = 64;
+
+  AlignedBuf() = default;
+  AlignedBuf(const AlignedBuf&) = delete;
+  AlignedBuf& operator=(const AlignedBuf&) = delete;
+  ~AlignedBuf() { release(); }
+
+  T* data() noexcept { return ptr_; }
+  const T* data() const noexcept { return ptr_; }
+  std::size_t size() const noexcept { return size_; }
+
+  /// size() becomes n; contents are indeterminate (never copied). Only
+  /// reallocates when n exceeds every size seen before.
+  void resize_discard(std::size_t n) {
+    if (n > cap_) {
+      release();
+      ptr_ = static_cast<T*>(
+          ::operator new(n * sizeof(T), std::align_val_t{kAlign}));
+      cap_ = n;
+    }
+    size_ = n;
+    assert(reinterpret_cast<std::uintptr_t>(ptr_) % kAlign == 0 &&
+           "SolveArena tables must be 64-byte aligned");
+  }
+
+ private:
+  void release() noexcept {
+    if (ptr_ != nullptr) {
+      ::operator delete(ptr_, std::align_val_t{kAlign});
+      ptr_ = nullptr;
+    }
+    cap_ = 0;
+    size_ = 0;
+  }
+
+  T* ptr_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t cap_ = 0;
+};
+
+/// Precomputed gather indices: for every (layer j, action i, position p)
+/// the subset indices the recurrence reads, laid out action-major and
+/// layer-contiguous:
+///
+///   inter[row(j,i) + p] = states_j[p] & T_i      (= index of C(S∩T_i))
+///   minus[row(j,i) + p] = states_j[p] & ~T_i     (= index of C(S−T_i))
+///
+/// where states_j is LayerIndex::layer(j) and row(j,i) starts at
+/// layer_begin(j)·N + i·|layer j|. The SIMD eval_states loads four indices
+/// with one 128-bit load (and prefetches the next tile's) instead of
+/// recomputing the ANDs per evaluation, and — because the table depends
+/// only on (k, action sets) — BatchSolver / serving arenas reuse it across
+/// every request with the same action structure. Weights and costs do NOT
+/// invalidate it.
+class PairIndex {
+ public:
+  /// Hard cap on table bytes (inter + minus). Above this, ensure() reports
+  /// false and the SIMD paths compute indices in-register instead; keeps a
+  /// k=24 arena from allocating gigabytes behind the caller's back.
+  static constexpr std::size_t kMaxBytes = std::size_t{64} << 20;
+
+  /// Builds for (layers.k(), a) unless the cached table already matches
+  /// (exact set comparison, no hash collisions). Returns false when the
+  /// table would exceed kMaxBytes.
+  bool ensure(const LayerIndex& layers, const ActionSoA& a);
+
+  /// Row base for (layer j, action i); valid positions are
+  /// 0..|layer j|-1. Call only after a successful ensure().
+  const std::uint32_t* inter_row(int j, int i) const noexcept {
+    return inter_.data() + row_offset(j, i);
+  }
+  const std::uint32_t* minus_row(int j, int i) const noexcept {
+    return minus_.data() + row_offset(j, i);
+  }
+
+  /// Distance between consecutive action rows of layer j (= |layer j|).
+  std::size_t stride(int j) const noexcept {
+    return layer_size_[static_cast<std::size_t>(j)];
+  }
+
+ private:
+  std::size_t row_offset(int j, int i) const noexcept {
+    return layer_off_[static_cast<std::size_t>(j)] +
+           static_cast<std::size_t>(i) * stride(j);
+  }
+
+  int k_ = -1;
+  std::vector<Mask> sets_;  ///< exact match key: the action sets
+  std::vector<std::size_t> layer_off_;
+  std::vector<std::size_t> layer_size_;
+  AlignedBuf<std::uint32_t> inter_;
+  AlignedBuf<std::uint32_t> minus_;
+};
+
+/// Largest PairIndex (inter + minus bytes) the solve paths will route
+/// through a KernelCtx. The precomputed rows only pay off while they stay
+/// cache-resident: each evaluation trades two register ANDs for an 8-byte
+/// index load, so once the table spills L2 the loads cost more bandwidth
+/// than they save (measured ~20% regression at k=14, N=20 on a 2 MiB-L2
+/// part). Above this, solves run ctx-free and the SIMD kernels compute
+/// indices in-register.
+inline constexpr std::size_t kPairIndexHotBytes = std::size_t{1} << 20;
+
+/// Optional acceleration context for eval_states: the PairIndex rows of the
+/// layer being evaluated. `inter`/`minus` point at the (j, action 0) rows,
+/// `stride` is the layer size, and `base` is the position of states[0]
+/// within the layer (nonzero when a caller evaluates a sub-range, as
+/// ThreadsSolver does). Passing nullptr is always valid — the SIMD paths
+/// then compute the ANDs in vector registers.
+struct KernelCtx {
+  const std::uint32_t* inter = nullptr;
+  const std::uint32_t* minus = nullptr;
+  std::size_t stride = 0;
+  std::size_t base = 0;
+};
+
+/// States per scalar kernel tile. The tile's running best/argmin and
+/// hoisted p(S) values live in ~3 KiB of stack, well inside L1.
 inline constexpr std::size_t kKernelTile = 128;
 
 /// Evaluates C(S) = min_i M[S,i] and its argmin for `count` states of one
 /// layer (lower layers finalized in `cost`), writing cost[s] and best[s]
 /// for each. Tie rule: lowest action index. Returns the number of
-/// M-evaluations performed (count · num_actions).
+/// M-evaluations performed (count · num_actions). Dispatches to the active
+/// kernel variant; `ctx` (optional) supplies precomputed gather indices.
 std::uint64_t eval_states(const ActionSoA& a, const double* wt,
                           const Mask* states, std::size_t count, double* cost,
-                          int* best);
+                          int* best, const KernelCtx* ctx = nullptr);
 
 /// Pair phase of the paper's decomposition: M[S,i] for the pair indices
 /// [begin, end) of a layer, where pair idx maps to (states[idx / N],
@@ -143,21 +330,33 @@ class SolveArena {
   /// cost[∅] = 0, best ≡ -1.
   void prepare_tables(std::size_t states);
 
-  std::vector<double>& cost() noexcept { return cost_; }
-  std::vector<int>& best() noexcept { return best_; }
+  double* cost() noexcept { return cost_.data(); }
+  const double* cost() const noexcept { return cost_.data(); }
+  int* best() noexcept { return best_.data(); }
+  const int* best() const noexcept { return best_.data(); }
+  std::size_t table_size() const noexcept { return cost_.size(); }
 
-  /// M-buffer of at least n doubles for the pair-parallel phases.
-  std::vector<double>& m_buffer(std::size_t n) {
-    if (m_.size() < n) m_.resize(n);
-    return m_;
+  /// M-buffer of at least n doubles for the pair-parallel phases (contents
+  /// indeterminate — every pair slot is written before it is read).
+  double* m_buffer(std::size_t n) {
+    if (m_.size() < n) m_.resize_discard(n);
+    return m_.data();
+  }
+
+  /// Gather-index table for the current (layers(), actions()) pair —
+  /// call those first. Returns nullptr when the table would exceed
+  /// PairIndex::kMaxBytes; solve paths then run without a KernelCtx.
+  const PairIndex* pair_index() {
+    return pairs_.ensure(layers_, soa_) ? &pairs_ : nullptr;
   }
 
  private:
   LayerIndex layers_;
   ActionSoA soa_;
-  std::vector<double> cost_;
-  std::vector<int> best_;
-  std::vector<double> m_;
+  AlignedBuf<double> cost_;
+  AlignedBuf<int> best_;
+  AlignedBuf<double> m_;
+  PairIndex pairs_;
 };
 
 /// Full sequential layer-wave solve on `arena` storage. Identical results
@@ -168,5 +367,38 @@ class SolveArena {
 /// of M-evaluations.
 SolveResult solve_with_arena(const Instance& ins, SolveArena& arena,
                              std::string_view span_name = "solve.sequential");
+
+namespace detail {
+
+/// The dispatch table every public kernel entry point routes through. One
+/// instance per variant; resolve/force swings an atomic pointer.
+struct KernelOps {
+  std::uint64_t (*eval_states)(const ActionSoA&, const double*, const Mask*,
+                               std::size_t, double*, int*, const KernelCtx*);
+  void (*eval_pairs)(const ActionSoA&, const double*, const double*,
+                     const Mask*, std::size_t, std::size_t, double*);
+  void (*reduce_pairs)(const ActionSoA&, const double*, const Mask*,
+                       std::size_t, std::size_t, double*, int*);
+  KernelVariant variant;
+};
+
+/// The scalar reference tile (m <= kKernelTile): the SIMD variants call it
+/// for remainder lanes so sub-width counts stay byte-identical by
+/// construction.
+void eval_tile_scalar(const ActionSoA& a, const double* wt, const Mask* states,
+                      std::size_t m, double* cost, int* best);
+
+/// One scalar M[S,i] with the validity select folded in; shared by the
+/// SIMD eval_pairs remainder paths.
+double eval_pair_scalar(const ActionSoA& a, const double* wt,
+                        const double* cost, Mask s, std::size_t i);
+
+const KernelOps& scalar_ops() noexcept;
+const KernelOps& portable_ops() noexcept;  // kernel_simd.cpp
+#if defined(TTP_KERNEL_HAS_AVX2)
+const KernelOps& avx2_ops() noexcept;      // kernel_simd_avx2.cpp
+#endif
+
+}  // namespace detail
 
 }  // namespace ttp::tt

@@ -1,0 +1,237 @@
+// Portable 4-wide SIMD kernel variant (GCC/Clang vector extensions).
+//
+// Lane discipline — the whole correctness argument in one paragraph: each
+// vector LANE owns one STATE, and actions are walked in the same ascending
+// order as the scalar reference with the same strict-< blend. Every lane
+// therefore performs the identical sequence of IEEE operations — the
+// multiply/add association of m_test_value/m_treat_value, the validity
+// select, the running-min compare — that the scalar tile performs for that
+// state, so cost/best_action come out byte-identical by construction, ties
+// included (lowest action index wins because a later equal value fails the
+// strict <). Remainder states (count % 4) go through the scalar tile.
+//
+// This TU is compiled for the baseline target (no -m flags): the vector
+// extensions lower to whatever the base ISA offers (SSE2 pairs on x86-64,
+// NEON on aarch64), which is why this variant is the universal fallback
+// when AVX2 is absent. kernel_simd_avx2.cpp is the same algorithm with
+// hardware gathers.
+#include <cstdint>
+
+#include "tt/kernel.hpp"
+
+namespace ttp::tt::detail {
+namespace {
+
+typedef double v4df __attribute__((vector_size(32)));
+typedef long long v4di __attribute__((vector_size(32)));
+typedef unsigned v4su __attribute__((vector_size(16)));
+
+constexpr v4su kZero = {0, 0, 0, 0};
+
+/// Bitwise select: lane l gets a[l] where mask[l] is all-ones, else b[l].
+inline v4df blend_pd(v4di mask, v4df a, v4df b) {
+  return reinterpret_cast<v4df>((mask & reinterpret_cast<v4di>(a)) |
+                                (~mask & reinterpret_cast<v4di>(b)));
+}
+
+inline v4di blend_i64(v4di mask, v4di a, v4di b) {
+  return (mask & a) | (~mask & b);
+}
+
+inline v4df gather_pd(const double* p, v4su idx) {
+  return v4df{p[idx[0]], p[idx[1]], p[idx[2]], p[idx[3]]};
+}
+
+inline v4su load_u32(const std::uint32_t* p) {
+  return v4su{p[0], p[1], p[2], p[3]};
+}
+
+std::uint64_t eval_states_portable(const ActionSoA& a, const double* wt,
+                                   const Mask* states, std::size_t count,
+                                   double* cost, int* best,
+                                   const KernelCtx* ctx) {
+  const v4df vinf = {kInf, kInf, kInf, kInf};
+  const std::size_t main = count & ~std::size_t{3};
+  for (std::size_t t = 0; t < main; t += 4) {
+    const v4su s4 = load_u32(states + t);
+    const v4df ps = gather_pd(wt, s4);
+    v4df bv = vinf;
+    v4di bi = {-1, -1, -1, -1};
+    for (int i = 0; i < a.num_actions; ++i) {
+      const std::size_t ui = static_cast<std::size_t>(i);
+      v4su iv, mv;
+      if (ctx != nullptr) {
+        const std::uint32_t* ir = ctx->inter + ui * ctx->stride + ctx->base + t;
+        const std::uint32_t* mr = ctx->minus + ui * ctx->stride + ctx->base + t;
+        // Next-tile indices for this action row (t+4 .. t+19 land within
+        // the next few outer iterations; one line ahead keeps the N index
+        // streams resident without waiting on the hardware prefetcher).
+        __builtin_prefetch(ir + 16);
+        __builtin_prefetch(mr + 16);
+        iv = load_u32(ir);
+        mv = load_u32(mr);
+      } else {
+        const Mask ts = a.set[ui];
+        const Mask tn = a.nset[ui];
+        iv = s4 & v4su{ts, ts, ts, ts};
+        mv = s4 & v4su{tn, tn, tn, tn};
+      }
+      const double c = a.cost[ui];
+      const v4df tc = {c, c, c, c};
+      const v4df cm = gather_pd(cost, mv);
+      v4df v;
+      v4di bad;
+      if (i < a.num_tests) {
+        const v4df ci = gather_pd(cost, iv);
+        v = (tc * ps + ci) + cm;  // m_test_value association, per lane
+        bad = __builtin_convertvector(iv == kZero, v4di) |
+              __builtin_convertvector(mv == kZero, v4di);
+      } else {
+        v = tc * ps + cm;  // m_treat_value
+        bad = __builtin_convertvector(iv == kZero, v4di);
+      }
+      v = blend_pd(bad, vinf, v);
+      const v4di lt = v < bv;  // strict <, exactly the scalar update
+      bv = blend_pd(lt, v, bv);
+      bi = blend_i64(lt, v4di{i, i, i, i}, bi);
+    }
+    for (int l = 0; l < 4; ++l) {
+      cost[states[t + static_cast<std::size_t>(l)]] = bv[l];
+      best[states[t + static_cast<std::size_t>(l)]] = static_cast<int>(bi[l]);
+    }
+  }
+  if (main < count) {
+    eval_tile_scalar(a, wt, states + main, count - main, cost, best);
+  }
+  return static_cast<std::uint64_t>(count) *
+         static_cast<std::uint64_t>(a.num_actions);
+}
+
+/// Vectorized stretch of one pair row: actions [i0, i1) of state `s`, all
+/// tests or all treatments (caller splits at num_tests). Pure elementwise
+/// arithmetic — no reduction — so vector order cannot matter.
+void eval_pair_run(const ActionSoA& a, double ws, const double* cost, Mask s,
+                   std::size_t i0, std::size_t i1, bool tests, double* out) {
+  const v4df vinf = {kInf, kInf, kInf, kInf};
+  const v4df ps = {ws, ws, ws, ws};
+  const v4su s4 = {s, s, s, s};
+  std::size_t i = i0;
+  for (; i + 4 <= i1; i += 4) {
+    const v4su ts = load_u32(a.set.data() + i);
+    const v4su tn = load_u32(a.nset.data() + i);
+    const v4su iv = s4 & ts;
+    const v4su mv = s4 & tn;
+    const v4df tc = {a.cost[i], a.cost[i + 1], a.cost[i + 2], a.cost[i + 3]};
+    const v4df cm = gather_pd(cost, mv);
+    v4df v;
+    v4di bad;
+    if (tests) {
+      const v4df ci = gather_pd(cost, iv);
+      v = (tc * ps + ci) + cm;
+      bad = __builtin_convertvector(iv == kZero, v4di) |
+            __builtin_convertvector(mv == kZero, v4di);
+    } else {
+      v = tc * ps + cm;
+      bad = __builtin_convertvector(iv == kZero, v4di);
+    }
+    v = blend_pd(bad, vinf, v);
+    out[i - i0] = v[0];
+    out[i - i0 + 1] = v[1];
+    out[i - i0 + 2] = v[2];
+    out[i - i0 + 3] = v[3];
+  }
+  for (; i < i1; ++i) {
+    // wt lookup already hoisted into ws by the caller; eval_pair_scalar
+    // wants the table, so inline the scalar select here instead.
+    const Mask inter = s & a.set[i];
+    const Mask minus = s & a.nset[i];
+    double v;
+    if (tests) {
+      v = m_test_value(a.cost[i], ws, cost[inter], cost[minus]);
+      v = (inter == 0 || minus == 0) ? kInf : v;
+    } else {
+      v = m_treat_value(a.cost[i], ws, cost[minus]);
+      v = inter == 0 ? kInf : v;
+    }
+    out[i - i0] = v;
+  }
+}
+
+void eval_pairs_portable(const ActionSoA& a, const double* wt,
+                         const double* cost, const Mask* states,
+                         std::size_t begin, std::size_t end, double* m) {
+  const std::size_t n = static_cast<std::size_t>(a.num_actions);
+  const std::size_t nt = static_cast<std::size_t>(a.num_tests);
+  std::size_t idx = begin;
+  while (idx < end) {
+    const std::size_t pos = idx / n;
+    const std::size_t i0 = idx % n;
+    const std::size_t i1 = std::min(n, i0 + (end - idx));
+    const Mask s = states[pos];
+    const double ws = wt[s];
+    // Split the row stretch at the test/treatment boundary; each side is a
+    // homogeneous vector run.
+    if (i0 < nt) {
+      const std::size_t te = std::min(i1, nt);
+      eval_pair_run(a, ws, cost, s, i0, te, true, m + idx);
+      if (i1 > nt) {
+        eval_pair_run(a, ws, cost, s, nt, i1, false, m + idx + (nt - i0));
+      }
+    } else {
+      eval_pair_run(a, ws, cost, s, i0, i1, false, m + idx);
+    }
+    idx += i1 - i0;
+  }
+}
+
+void reduce_pairs_portable(const ActionSoA& a, const double* m,
+                           const Mask* states, std::size_t begin,
+                           std::size_t end, double* cost, int* best) {
+  const std::size_t n = static_cast<std::size_t>(a.num_actions);
+  const v4df vinf = {kInf, kInf, kInf, kInf};
+  std::size_t pos = begin;
+  for (; pos + 4 <= end; pos += 4) {
+    const double* r0 = m + pos * n;
+    const double* r1 = r0 + n;
+    const double* r2 = r1 + n;
+    const double* r3 = r2 + n;
+    v4df bv = vinf;
+    v4di bi = {-1, -1, -1, -1};
+    for (std::size_t i = 0; i < n; ++i) {
+      const v4df v = {r0[i], r1[i], r2[i], r3[i]};
+      const v4di lt = v < bv;
+      bv = blend_pd(lt, v, bv);
+      const long long ii = static_cast<long long>(i);
+      bi = blend_i64(lt, v4di{ii, ii, ii, ii}, bi);
+    }
+    for (int l = 0; l < 4; ++l) {
+      const Mask s = states[pos + static_cast<std::size_t>(l)];
+      cost[s] = bv[l];
+      best[s] = static_cast<int>(bi[l]);
+    }
+  }
+  for (; pos < end; ++pos) {
+    const double* row = m + pos * n;
+    double bv = kInf;
+    int bi = -1;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double v = row[i];
+      const bool lt = v < bv;
+      bv = lt ? v : bv;
+      bi = lt ? static_cast<int>(i) : bi;
+    }
+    cost[states[pos]] = bv;
+    best[states[pos]] = bi;
+  }
+}
+
+}  // namespace
+
+const KernelOps& portable_ops() noexcept {
+  static constexpr KernelOps ops{eval_states_portable, eval_pairs_portable,
+                                 reduce_pairs_portable,
+                                 KernelVariant::kSimdPortable};
+  return ops;
+}
+
+}  // namespace ttp::tt::detail

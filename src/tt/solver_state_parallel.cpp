@@ -24,6 +24,10 @@ SolveResult StateParallelSolver::solve(const Instance& ins) const {
   TTP_TRACE_SPAN(root_span, "solve.state_parallel", res.steps);
   root_span.attr("k", k);
   root_span.attr("pes", m.size());
+  // The simulated per-PE fold shares m_test_value/m_treat_value with the
+  // host kernel but never routes through its dispatch; the attr makes that
+  // visible next to the host solvers' spans.
+  root_span.attr("kernel", "simulated");
 
   TTP_TRACE_SPAN(init_span, "init", m.steps());
   m.local_step([&](std::size_t pe, StatePeState& st) {

@@ -19,12 +19,22 @@ SolveResult ThreadsSolver::solve(const Instance& ins) const {
   root_span.attr("workers", pool_.size());
   root_span.attr("mode", mode_ == Mode::kStateParallel ? "state_parallel"
                                                        : "pair_parallel");
+  root_span.attr("kernel", active_kernel_variant_name());
 
   const LayerIndex& layers = arena_.layers(k);
   const ActionSoA& soa = arena_.actions(ins);
+  // Precomputed gather indices (reused across solves with the same action
+  // structure); the scalar variant never reads them, and past
+  // kPairIndexHotBytes the index loads cost more than the in-register ANDs
+  // they replace (see kernel.hpp), so both cases skip the build.
+  const bool want_ctx =
+      active_kernel_variant() != KernelVariant::kScalar &&
+      states * static_cast<std::size_t>(N) * 2 * sizeof(std::uint32_t) <=
+          kPairIndexHotBytes;
+  const PairIndex* pidx = want_ctx ? arena_.pair_index() : nullptr;
   arena_.prepare_tables(states);
-  double* cost = arena_.cost().data();
-  int* best = arena_.best().data();
+  double* cost = arena_.cost();
+  int* best = arena_.best();
   const double* wtp = wt.data();
 
   for (int j = 1; j <= k; ++j) {
@@ -36,12 +46,20 @@ SolveResult ThreadsSolver::solve(const Instance& ins) const {
     if (mode_ == Mode::kStateParallel) {
       // Reads touch only layers < j (finalized); writes per-state disjoint.
       pool_.parallel_for(n, [&](std::size_t b, std::size_t e) {
-        eval_states(soa, wtp, layer.data() + b, e - b, cost, best);
+        KernelCtx ctx;
+        if (pidx != nullptr) {
+          ctx.inter = pidx->inter_row(j, 0);
+          ctx.minus = pidx->minus_row(j, 0);
+          ctx.stride = pidx->stride(j);
+          ctx.base = b;
+        }
+        eval_states(soa, wtp, layer.data() + b, e - b, cost, best,
+                    pidx != nullptr ? &ctx : nullptr);
       });
     } else {
       // Phase 1: every (S, i) pair independently, like the paper's PEs.
       const std::size_t pairs = n * static_cast<std::size_t>(N);
-      double* m = arena_.m_buffer(pairs).data();
+      double* m = arena_.m_buffer(pairs);
       pool_.parallel_for(pairs, [&](std::size_t b, std::size_t e) {
         eval_pairs(soa, wtp, cost, layer.data(), b, e, m);
       });
@@ -59,8 +77,8 @@ SolveResult ThreadsSolver::solve(const Instance& ins) const {
   }
 
   res.table.k = k;
-  res.table.cost = arena_.cost();
-  res.table.best_action = arena_.best();
+  res.table.cost.assign(arena_.cost(), arena_.cost() + states);
+  res.table.best_action.assign(arena_.best(), arena_.best() + states);
   res.cost = res.table.root_cost();
   res.tree = reconstruct_tree(ins, res.table);
   res.breakdown.add("m_evaluations", res.steps.total_ops);
