@@ -19,6 +19,17 @@
 //   variant       state.SetLabel(...) — the kernel variant the run forced
 //   ns_per_solve  real wall time per iteration in nanoseconds
 //   items_per_sec state.SetItemsProcessed rate (0 when unused)
+//   kernel        the dispatch's active kernel variant at emission time —
+//                 records whether the host resolved to scalar /
+//                 simd-portable / simd-avx2, independent of any per-case
+//                 variant pin
+//   obs           the observability mode the run executed under (the
+//                 TTP_TRACE value; "off" when unset) — numbers taken with
+//                 tracing on are not comparable to numbers taken with it
+//                 off, and the stamp keeps them from being silently mixed
+//
+// kernel and obs are provenance stamps: tools/bench_compare.py keys on
+// (bench, args, k, N, variant) and ignores them.
 //
 // Aggregate runs (--benchmark_repetitions aggregates) are skipped: records
 // hold raw per-run numbers, and tools/bench_compare.py does the judging.
@@ -29,10 +40,20 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "tt/kernel.hpp"
+
 namespace ttp::benchjson {
+
+/// The TTP_TRACE mode this process runs under ("off" when unset/empty).
+inline std::string obs_mode() {
+  const char* env = std::getenv("TTP_TRACE");
+  return (env == nullptr || *env == '\0') ? std::string("off")
+                                          : std::string(env);
+}
 
 /// One emitted record; see the header comment for field semantics.
 struct Record {
@@ -143,9 +164,14 @@ inline bool write_json(const std::string& path,
     out += num;
     append_json_string(out, r.variant);
     std::snprintf(num, sizeof(num),
-                  ", \"ns_per_solve\": %.1f, \"items_per_sec\": %.1f}",
+                  ", \"ns_per_solve\": %.1f, \"items_per_sec\": %.1f",
                   r.ns_per_solve, r.items_per_sec);
     out += num;
+    out += ", \"kernel\": ";
+    append_json_string(out, std::string(tt::active_kernel_variant_name()));
+    out += ", \"obs\": ";
+    append_json_string(out, obs_mode());
+    out += '}';
     out += i + 1 < records.size() ? ",\n" : "\n";
   }
   out += "]\n";

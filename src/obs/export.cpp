@@ -46,6 +46,7 @@ std::string format_ns(std::int64_t ns) {
 void print_one(std::ostream& os, const SpanRecord& s, int indent) {
   for (int i = 0; i < indent; ++i) os << "  ";
   os << s.name;
+  if (s.trace != 0) os << " trace=" << trace_hex(s.trace);
   for (const auto& [k, v] : s.attrs) os << ' ' << k << '=' << v;
   if (s.open) {
     os << "  [open]";
@@ -125,7 +126,11 @@ std::string json_escape(std::string_view s) {
         out += "\\t";
         break;
       default:
-        if (static_cast<unsigned char>(c) < 0x20) {
+        // Control range (including NUL) and DEL become \u escapes; bytes
+        // >= 0x80 pass through untouched, so multi-byte UTF-8 sequences in
+        // attrs and instance names survive verbatim.
+        if (static_cast<unsigned char>(c) < 0x20 ||
+            static_cast<unsigned char>(c) == 0x7F) {
           char buf[8];
           std::snprintf(buf, sizeof buf, "\\u%04x",
                         static_cast<unsigned>(static_cast<unsigned char>(c)));
@@ -158,6 +163,9 @@ void write_attrs_object(std::ostream& os, const SpanRecord& s) {
     field("route_steps", std::to_string(s.routed_delta()), false);
     field("total_ops", std::to_string(s.ops_delta()), false);
   }
+  // Hex string, not a JSON number: 64-bit IDs overflow double-backed JSON
+  // parsers, and the hex spelling matches the wire's trace= field.
+  if (s.trace != 0) field("trace", trace_hex(s.trace), true);
   for (const auto& [k, v] : s.attrs) field(k, v, true);
   os << '}';
 }

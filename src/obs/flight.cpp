@@ -1,0 +1,125 @@
+#include "obs/flight.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+
+namespace ttp::obs {
+
+namespace {
+
+// FlightRecord <-> 11 uint64 words. Packing by hand (instead of memcpy into
+// a byte buffer) keeps every store/load a relaxed atomic word op: no data
+// race for TSan to flag, no torn halves within a field.
+void pack(const FlightRecord& r, std::uint64_t w[]) noexcept {
+  w[0] = r.trace;
+  w[1] = r.leader;
+  w[2] = r.key_hi;
+  w[3] = r.key_lo;
+  w[4] = static_cast<std::uint64_t>(r.start_ns);
+  w[5] = r.e2e_us;
+  w[6] = r.admit_us | (std::uint64_t{r.queue_us} << 32);
+  w[7] = r.batch_us | (std::uint64_t{r.solve_us} << 32);
+  w[8] = r.respond_us | (std::uint64_t{r.batch_seq} << 32);
+  w[9] = r.k | (std::uint64_t{r.actions} << 16) |
+         (std::uint64_t{r.outcome} << 32) | (std::uint64_t{r.status} << 40);
+  w[10] = r.batch;
+}
+
+FlightRecord unpack(const std::uint64_t w[]) noexcept {
+  FlightRecord r;
+  r.trace = w[0];
+  r.leader = w[1];
+  r.key_hi = w[2];
+  r.key_lo = w[3];
+  r.start_ns = static_cast<std::int64_t>(w[4]);
+  r.e2e_us = w[5];
+  r.admit_us = static_cast<std::uint32_t>(w[6]);
+  r.queue_us = static_cast<std::uint32_t>(w[6] >> 32);
+  r.batch_us = static_cast<std::uint32_t>(w[7]);
+  r.solve_us = static_cast<std::uint32_t>(w[7] >> 32);
+  r.respond_us = static_cast<std::uint32_t>(w[8]);
+  r.batch_seq = static_cast<std::uint32_t>(w[8] >> 32);
+  r.k = static_cast<std::uint16_t>(w[9]);
+  r.actions = static_cast<std::uint16_t>(w[9] >> 16);
+  r.outcome = static_cast<std::uint8_t>(w[9] >> 32);
+  r.status = static_cast<std::uint8_t>(w[9] >> 40);
+  r.batch = static_cast<std::uint32_t>(w[10]);
+  return r;
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(std::size_t capacity) {
+  capacity = std::bit_ceil(std::max<std::size_t>(capacity, 8));
+  mask_ = capacity - 1;
+  slots_ = std::make_unique<Slot[]>(capacity);
+}
+
+void FlightRecorder::record(const FlightRecord& rec) noexcept {
+  const std::uint64_t idx = head_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[static_cast<std::size_t>(idx) & mask_];
+  // Seqlock publish: odd = writing. The sequence encodes which lap of the
+  // ring wrote the slot, so a reader that raced a wrap sees a mismatch.
+  slot.seq.store(2 * idx + 1, std::memory_order_release);
+  std::uint64_t words[kWords];
+  pack(rec, words);
+  for (std::size_t i = 0; i < kWords; ++i) {
+    slot.words[i].store(words[i], std::memory_order_relaxed);
+  }
+  slot.seq.store(2 * idx + 2, std::memory_order_release);
+}
+
+bool FlightRecorder::read_slot(const Slot& slot,
+                               FlightRecord& out) const noexcept {
+  const std::uint64_t before = slot.seq.load(std::memory_order_acquire);
+  if (before == 0 || (before & 1) != 0) return false;  // empty or mid-write
+  std::uint64_t words[kWords];
+  for (std::size_t i = 0; i < kWords; ++i) {
+    words[i] = slot.words[i].load(std::memory_order_relaxed);
+  }
+  std::atomic_thread_fence(std::memory_order_acquire);
+  if (slot.seq.load(std::memory_order_relaxed) != before) return false;
+  out = unpack(words);
+  return true;
+}
+
+std::optional<FlightRecord> FlightRecorder::find(
+    std::uint64_t trace) const noexcept {
+  const std::uint64_t head = head_.load(std::memory_order_acquire);
+  const std::uint64_t n =
+      std::min<std::uint64_t>(head, static_cast<std::uint64_t>(mask_) + 1);
+  // Newest first, so a re-submitted trace returns its latest journey.
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::uint64_t idx = head - 1 - i;
+    FlightRecord rec;
+    if (read_slot(slots_[static_cast<std::size_t>(idx) & mask_], rec) &&
+        rec.trace == trace) {
+      return rec;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<FlightRecord> FlightRecorder::snapshot() const {
+  const std::uint64_t head = head_.load(std::memory_order_acquire);
+  const std::uint64_t n =
+      std::min<std::uint64_t>(head, static_cast<std::uint64_t>(mask_) + 1);
+  std::vector<FlightRecord> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t idx = head - n; idx < head; ++idx) {
+    FlightRecord rec;
+    if (read_slot(slots_[static_cast<std::size_t>(idx) & mask_], rec)) {
+      out.push_back(rec);
+    }
+  }
+  return out;
+}
+
+std::int64_t steady_now_ns() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace ttp::obs

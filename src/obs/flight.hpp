@@ -1,0 +1,96 @@
+// Flight recorder: a lock-free fixed-size ring of compact per-request
+// records, always on at near-zero cost.
+//
+// Every request that passes through the serving layer leaves one
+// FlightRecord — trace ID, per-stage latencies, cache outcome, canonical
+// key, batch linkage — in a power-of-two ring. When something goes wrong
+// in production the last N requests are already captured; the daemon's
+// `TRACE <id>` verb replays a record, and the slow-request capture path
+// (svc) dumps the matching span tree alongside it.
+//
+// Concurrency: writers claim a slot with one fetch_add and publish the
+// payload word-by-word through relaxed atomics guarded by a per-slot
+// seqlock (odd sequence = write in progress). Readers copy the words and
+// re-check the sequence; a torn or in-progress slot is simply skipped.
+// No mutex anywhere, so a reader scraping the ring never stalls request
+// threads — and every access is an atomic op, so TSan stays quiet.
+//
+// Layering: obs depends on nothing else in the repo, so outcome/status are
+// opaque uint8 codes here; the serving layer owns their meaning.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+namespace ttp::obs {
+
+/// One request's compact journey. Durations are microseconds; start_ns is
+/// steady-clock nanoseconds (same epoch as steady_now_ns()).
+struct FlightRecord {
+  std::uint64_t trace = 0;      ///< Request trace ID (never 0 once admitted).
+  std::uint64_t leader = 0;     ///< Leader's trace when this request joined
+                                ///< an in-flight solve; 0 when it led.
+  std::uint64_t key_hi = 0;     ///< Canonical content key.
+  std::uint64_t key_lo = 0;
+  std::int64_t start_ns = 0;    ///< Admission time (steady clock).
+  std::uint64_t e2e_us = 0;     ///< Admission -> response, end to end.
+  std::uint32_t admit_us = 0;   ///< Canonicalize + cache lookup.
+  std::uint32_t queue_us = 0;   ///< Waiting for the drain thread.
+  std::uint32_t batch_us = 0;   ///< Micro-batch formation window.
+  std::uint32_t solve_us = 0;   ///< Kernel solve (whole batch).
+  std::uint32_t respond_us = 0; ///< Future wake -> response built.
+  std::uint16_t k = 0;          ///< Universe size.
+  std::uint16_t actions = 0;    ///< Action count.
+  std::uint8_t outcome = 0;     ///< svc::CacheOutcome code.
+  std::uint8_t status = 0;      ///< svc::Status code.
+  std::uint32_t batch = 0;      ///< Instances in the solving batch (0 = none).
+  std::uint32_t batch_seq = 0;  ///< Which drain batch solved it (0 = none).
+};
+
+class FlightRecorder {
+ public:
+  /// `capacity` is rounded up to a power of two, minimum 8.
+  explicit FlightRecorder(std::size_t capacity = 4096);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Lock-free, wait-free publish; overwrites the oldest record when full.
+  void record(const FlightRecord& rec) noexcept;
+
+  /// Most recent consistent record with this trace ID, if still in the ring.
+  std::optional<FlightRecord> find(std::uint64_t trace) const noexcept;
+
+  /// All consistent records, oldest first. Slots mid-write are skipped.
+  std::vector<FlightRecord> snapshot() const;
+
+  std::size_t capacity() const noexcept { return mask_ + 1; }
+  /// Total records ever written (>= capacity means the ring has wrapped).
+  std::uint64_t total_recorded() const noexcept {
+    return head_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  // FlightRecord packed into relaxed-atomic words (see flight.cpp).
+  static constexpr std::size_t kWords = 11;
+  struct Slot {
+    std::atomic<std::uint64_t> seq{0};  ///< Odd while a write is in flight.
+    std::atomic<std::uint64_t> words[kWords]{};
+  };
+
+  bool read_slot(const Slot& slot, FlightRecord& out) const noexcept;
+
+  std::size_t mask_;
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<std::uint64_t> head_{0};
+};
+
+/// Steady-clock nanoseconds since an arbitrary fixed epoch — the shared
+/// timebase for FlightRecord stamps across threads.
+std::int64_t steady_now_ns() noexcept;
+
+}  // namespace ttp::obs

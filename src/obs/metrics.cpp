@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <ostream>
+#include <sstream>
 
 namespace ttp::obs {
 
@@ -133,30 +134,41 @@ void MetricsRegistry::reset() {
 }
 
 void MetricsRegistry::print(std::ostream& os, std::string_view indent) const {
+  // One merged stream, sorted by name across all three instrument kinds —
+  // the dump (and therefore STATS/stats_text) is byte-stable across runs,
+  // so smoke tests and operator diffs never chase map-iteration noise.
+  std::vector<std::pair<std::string, std::string>> lines;
   for (const auto& [name, v] : all()) {
-    os << indent << name << " = " << v << '\n';
+    lines.emplace_back(name, " = " + std::to_string(v));
   }
   for (const auto& [name, v] : gauges()) {
-    os << indent << name << " = " << v << '\n';
+    std::ostringstream val;
+    val << " = " << v;
+    lines.emplace_back(name, val.str());
   }
   visit_histograms([&](const std::string& name, const Histogram& h) {
-    os << indent << name << ": count=" << h.count() << " sum=" << h.sum();
+    std::ostringstream val;
+    val << ": count=" << h.count() << " sum=" << h.sum();
     if (h.count() > 0) {
-      os << " min=" << h.min() << " max=" << h.max();
-      os << " buckets[";
+      val << " min=" << h.min() << " max=" << h.max();
+      val << " buckets[";
       bool first = true;
       for (int b = 0; b < Histogram::kBuckets; ++b) {
         const std::uint64_t n = h.bucket_count(b);
         if (n == 0) continue;
-        if (!first) os << ' ';
+        if (!first) val << ' ';
         first = false;
-        os << Histogram::bucket_lo(b) << "..=" << Histogram::bucket_hi(b)
-           << ":" << n;
+        val << Histogram::bucket_lo(b) << "..=" << Histogram::bucket_hi(b)
+            << ":" << n;
       }
-      os << ']';
+      val << ']';
     }
-    os << '\n';
+    lines.emplace_back(name, val.str());
   });
+  std::sort(lines.begin(), lines.end());
+  for (const auto& [name, rest] : lines) {
+    os << indent << name << rest << '\n';
+  }
 }
 
 }  // namespace ttp::obs

@@ -1,0 +1,95 @@
+#include "obs/prom.hpp"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+#include <ostream>
+
+namespace ttp::obs {
+
+namespace {
+
+/// %.17g round-trips doubles; integers print without exponent.
+std::string num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+std::string num(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+  return buf;
+}
+
+}  // namespace
+
+std::string prom_name(std::string_view name, std::string_view prefix) {
+  std::string out(prefix);
+  out.reserve(prefix.size() + name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  // A leading digit after the prefix is fine (the prefix starts the name),
+  // but an empty prefix with a digit-leading name is not valid Prometheus.
+  if (!out.empty() && std::isdigit(static_cast<unsigned char>(out[0]))) {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+void write_prometheus(std::ostream& os, const MetricsRegistry& reg,
+                      std::string_view prefix) {
+  // all() / gauges() / visit_histograms are each sorted by name already.
+  for (const auto& [name, v] : reg.all()) {
+    const std::string p = prom_name(name, prefix);
+    os << "# TYPE " << p << "_total counter\n";
+    os << p << "_total " << num(v) << '\n';
+  }
+  for (const auto& [name, v] : reg.gauges()) {
+    const std::string p = prom_name(name, prefix);
+    os << "# TYPE " << p << " gauge\n";
+    os << p << ' ' << num(v) << '\n';
+  }
+  reg.visit_histograms([&](const std::string& name, const Histogram& h) {
+    const std::string p = prom_name(name, prefix);
+    os << "# TYPE " << p << " histogram\n";
+    std::uint64_t cum = 0;
+    const int top = h.count() == 0 ? 0 : Histogram::bucket_of(h.max());
+    for (int b = 0; b <= top; ++b) {
+      cum += h.bucket_count(b);
+      os << p << "_bucket{le=\"" << num(Histogram::bucket_hi(b)) << "\"} "
+         << num(cum) << '\n';
+    }
+    os << p << "_bucket{le=\"+Inf\"} " << num(h.count()) << '\n';
+    os << p << "_sum " << num(h.sum()) << '\n';
+    os << p << "_count " << num(h.count()) << '\n';
+  });
+}
+
+void write_prometheus_summary(std::ostream& os, std::string_view name,
+                              std::string_view label,
+                              const QuantileSnapshot& snap, double scale,
+                              bool with_type_header) {
+  const std::string p = prom_name(name);
+  if (with_type_header) {
+    os << "# TYPE " << p << " summary\n";
+  }
+  const std::string sep = label.empty() ? "" : std::string(label) + ",";
+  static constexpr double kQs[] = {0.5, 0.9, 0.99, 0.999};
+  static constexpr const char* kQNames[] = {"0.5", "0.9", "0.99", "0.999"};
+  for (std::size_t i = 0; i < 4; ++i) {
+    os << p << '{' << sep << "quantile=\"" << kQNames[i] << "\"} "
+       << num(static_cast<double>(snap.quantile(kQs[i])) * scale) << '\n';
+  }
+  os << p << "_sum";
+  if (!label.empty()) os << '{' << label << '}';
+  os << ' ' << num(static_cast<double>(snap.sum()) * scale) << '\n';
+  os << p << "_count";
+  if (!label.empty()) os << '{' << label << '}';
+  os << ' ' << num(snap.count()) << '\n';
+}
+
+}  // namespace ttp::obs

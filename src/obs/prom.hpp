@@ -1,0 +1,47 @@
+// Prometheus text exposition for the metrics registry and quantile
+// sketches — what the daemon's METRICS verb serves.
+//
+// Mapping:
+//   Counter    -> "# TYPE <prefix><name>_total counter" + one sample
+//   Gauge      -> "# TYPE <prefix><name> gauge" + one sample
+//   Histogram  -> classic Prometheus histogram: cumulative _bucket{le=...}
+//                 samples at the log2 boundaries, then _sum and _count
+//   QuantileSnapshot -> summary: {quantile="0.5|0.9|0.99|0.999"} samples
+//                 plus _sum and _count, all under one metric name with a
+//                 caller-supplied label (the serving layer labels by stage)
+//
+// Names are sanitized ('.' and anything outside [a-zA-Z0-9_] become '_'),
+// and output is sorted by metric name within each writer so scrapes are
+// byte-stable across runs.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+#include "obs/quantiles.hpp"
+
+namespace ttp::obs {
+
+/// "svc.cache.hits" -> "ttp_svc_cache_hits" (with the default prefix).
+std::string prom_name(std::string_view name,
+                      std::string_view prefix = "ttp_");
+
+/// Counters, gauges, and histograms of `reg` in Prometheus text format.
+void write_prometheus(std::ostream& os, const MetricsRegistry& reg,
+                      std::string_view prefix = "ttp_");
+
+/// One summary metric from a quantile snapshot. `name` is sanitized via
+/// prom_name (default prefix), so "svc.latency.seconds" becomes
+/// "ttp_svc_latency_seconds". `label` rides on every sample (e.g.
+/// `stage="e2e"`); pass empty for none. `scale` converts the sketch's
+/// recorded unit into the exposed one (1e-6 for us -> seconds). Emits the
+/// "# TYPE" header only when `with_type_header` (so several stages can
+/// share one metric family).
+void write_prometheus_summary(std::ostream& os, std::string_view name,
+                              std::string_view label,
+                              const QuantileSnapshot& snap, double scale,
+                              bool with_type_header);
+
+}  // namespace ttp::obs

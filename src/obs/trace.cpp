@@ -23,7 +23,48 @@ struct ThreadStack {
 thread_local ThreadStack t_stack;
 thread_local int t_tid = -1;
 
+std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
 }  // namespace
+
+std::uint64_t next_trace_id() noexcept {
+  static std::atomic<std::uint64_t> counter{1};
+  const std::uint64_t id =
+      splitmix64(counter.fetch_add(1, std::memory_order_relaxed));
+  return id == 0 ? 1 : id;  // 0 is "no trace"; splitmix64 hits it once ever
+}
+
+std::string trace_hex(std::uint64_t trace) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(trace));
+  return buf;
+}
+
+std::uint64_t trace_from_hex(std::string_view s) noexcept {
+  if (s.rfind("0x", 0) == 0 || s.rfind("0X", 0) == 0) s.remove_prefix(2);
+  if (s.empty() || s.size() > 16) return 0;
+  std::uint64_t v = 0;
+  for (const char c : s) {
+    int d;
+    if (c >= '0' && c <= '9') {
+      d = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      d = c - 'a' + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      d = c - 'A' + 10;
+    } else {
+      return 0;
+    }
+    v = (v << 4) | static_cast<std::uint64_t>(d);
+  }
+  return v;
+}
 
 TraceConfig TraceConfig::parse(std::string_view value) {
   TraceConfig cfg;
@@ -145,6 +186,7 @@ std::uint64_t Tracer::begin_span(std::string_view name,
 
   SpanRecord rec;
   rec.id = next_id_++;
+  rec.trace = current_trace();
   rec.name.assign(name);
   rec.tid = thread_index();
   rec.start_ns = now;
@@ -196,6 +238,16 @@ void Tracer::span_attr(std::uint64_t token, std::string_view key,
 std::vector<SpanRecord> Tracer::snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   return spans_;
+}
+
+std::vector<SpanRecord> Tracer::snapshot_trace(std::uint64_t trace) const {
+  std::vector<SpanRecord> out;
+  if (trace == 0) return out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const SpanRecord& s : spans_) {
+    if (s.trace == trace) out.push_back(s);
+  }
+  return out;
 }
 
 void Tracer::flush() {

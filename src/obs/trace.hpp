@@ -79,11 +79,54 @@ struct TraceConfig {
   static TraceConfig from_env() noexcept;
 };
 
+// --- request-scoped trace IDs ----------------------------------------------
+//
+// A trace ID names one request's journey across threads: the serving layer
+// mints one per admitted request (next_trace_id), binds it on whichever
+// thread is currently working for that request (TraceBinding), and every
+// span begun while a binding is active carries the ID. One ID therefore
+// stitches wire -> scheduler -> batch -> kernel spans back together even
+// though they run on different threads.
+
+namespace detail {
+inline thread_local std::uint64_t t_trace = 0;
+}  // namespace detail
+
+/// Never returns 0. IDs are process-unique and well-mixed (splitmix64 over
+/// a global counter), so prefixes of the hex spelling already distinguish
+/// requests in logs.
+std::uint64_t next_trace_id() noexcept;
+
+/// The trace ID bound to this thread (0 = none).
+inline std::uint64_t current_trace() noexcept { return detail::t_trace; }
+
+/// 16 lowercase hex chars — the wire/log spelling of a trace ID.
+std::string trace_hex(std::uint64_t trace);
+/// Parses trace_hex output (with or without a 0x prefix); 0 on garbage.
+std::uint64_t trace_from_hex(std::string_view s) noexcept;
+
+/// RAII scope: spans begun on this thread while alive carry `trace`.
+/// Nest freely; the previous binding is restored on destruction.
+class TraceBinding {
+ public:
+  explicit TraceBinding(std::uint64_t trace) noexcept
+      : prev_(detail::t_trace) {
+    detail::t_trace = trace;
+  }
+  ~TraceBinding() { detail::t_trace = prev_; }
+  TraceBinding(const TraceBinding&) = delete;
+  TraceBinding& operator=(const TraceBinding&) = delete;
+
+ private:
+  std::uint64_t prev_;
+};
+
 /// One finished (or still-open) span. Times are nanoseconds relative to the
 /// tracer's epoch; step snapshots are the watched counters at entry/exit.
 struct SpanRecord {
   std::uint64_t id = 0;
   std::uint64_t parent = 0;  ///< 0 for roots
+  std::uint64_t trace = 0;   ///< Request trace ID bound at begin (0 = none)
   int depth = 0;
   int tid = 0;  ///< small dense thread index, not the OS id
   std::string name;
@@ -128,6 +171,10 @@ class Tracer {
 
   /// Copy of everything recorded so far (finished spans have open=false).
   std::vector<SpanRecord> snapshot() const;
+
+  /// Spans carrying this trace ID, in recording order — the raw material
+  /// for a slow-request dump or a TRACE replay.
+  std::vector<SpanRecord> snapshot_trace(std::uint64_t trace) const;
 
   /// Writes the exporters for the current mode (tree/summary to stderr,
   /// chrome/jsonl to the configured file). Called automatically at process

@@ -75,6 +75,8 @@ class ProcedureCache {
   void clear();
 
   std::size_t shard_count() const noexcept { return shards_.size(); }
+  /// Configured byte budget across all shards (HEALTH reports bytes/capacity).
+  std::size_t capacity_bytes() const noexcept { return cfg_.capacity_bytes; }
 
  private:
   using Clock = std::chrono::steady_clock;

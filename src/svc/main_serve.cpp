@@ -17,6 +17,10 @@
 //   --max-queue=N        admission: queued-leader cap (1024)
 //   --max-batch=N        micro-batch size cap (32)
 //   --batch-delay-us=N   micro-batch gather window (200)
+//   --slow-ms=N          slow-request capture threshold; 0 = capture all,
+//                        unset = defer to TTP_SLOW_MS (off when unset)
+//   --slow-log=PATH      slow-request JSONL destination (stderr)
+//   --flight-cap=N       flight-recorder ring size (4096)
 #include <csignal>
 #include <cstring>
 #include <iostream>
@@ -50,9 +54,11 @@ struct Args {
       << "usage: ttp_serve [--port=N] [--workers=N] [--cache-mb=N]\n"
          "                 [--shards=N] [--ttl-ms=N] [--max-k=N]\n"
          "                 [--max-actions=N] [--max-queue=N] [--max-batch=N]\n"
-         "                 [--batch-delay-us=N]\n"
+         "                 [--batch-delay-us=N] [--slow-ms=N]\n"
+         "                 [--slow-log=PATH] [--flight-cap=N]\n"
          "Without --port, serves one session over stdin/stdout.\n"
-         "Protocol: SOLVE\\n<instance text>\\nEND | STATS | PING | QUIT\n"
+         "Protocol: SOLVE\\n<instance text>\\nEND | STATS | METRICS |\n"
+         "          HEALTH | TRACE <id> | PING | QUIT\n"
          "(grammar in docs/serving.md; instance format in "
          "src/tt/serialize.hpp)\n";
   std::exit(code);
@@ -104,6 +110,14 @@ Args parse_args(int argc, char** argv) {
     } else if (is("--batch-delay-us")) {
       a.cfg.scheduler.batch_delay =
           std::chrono::microseconds(parse_value(arg, "--batch-delay-us"));
+    } else if (is("--slow-ms")) {
+      a.cfg.telemetry.slow_ms =
+          static_cast<int>(parse_value(arg, "--slow-ms"));
+    } else if (is("--slow-log")) {
+      a.cfg.telemetry.slow_log = arg.substr(std::strlen("--slow-log="));
+    } else if (is("--flight-cap")) {
+      a.cfg.telemetry.flight_capacity =
+          static_cast<std::size_t>(parse_value(arg, "--flight-cap"));
     } else {
       std::cerr << "error: unknown argument '" << arg << "'\n";
       usage(2);

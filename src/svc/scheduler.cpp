@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "obs/flight.hpp"
 #include "obs/trace.hpp"
 #include "tt/kernel.hpp"
 
@@ -51,7 +52,8 @@ Scheduler::Ticket Scheduler::ready_ticket(Status status, std::string error) {
   return Ticket{p.get_future().share(), false};
 }
 
-Scheduler::Ticket Scheduler::submit(const Canonical& canon) {
+Scheduler::Ticket Scheduler::submit(const Canonical& canon,
+                                    std::uint64_t trace) {
   const tt::Instance& ins = canon.instance;
   if (ins.k() > cfg_.max_k || ins.num_actions() > cfg_.max_actions) {
     rejected_oversize_.add(1);
@@ -65,7 +67,9 @@ Scheduler::Ticket Scheduler::submit(const Canonical& canon) {
   std::lock_guard<std::mutex> lock(mu_);
   if (const auto it = inflight_.find(canon.key); it != inflight_.end()) {
     followers_.add(1);
-    return Ticket{it->second->future, false};
+    // The follower->leader link: the joined solve belongs to the leader's
+    // trace, which is what a TRACE replay of this request points at.
+    return Ticket{it->second->future, false, it->second->trace};
   }
   if (queue_.size() >= cfg_.max_queue) {
     rejected_queue_full_.add(1);
@@ -73,13 +77,13 @@ Scheduler::Ticket Scheduler::submit(const Canonical& canon) {
                         "request queue full (" +
                             std::to_string(cfg_.max_queue) + " pending)");
   }
-  auto entry = std::make_shared<Entry>(canon.key, canon.instance);
+  auto entry = std::make_shared<Entry>(canon.key, canon.instance, trace);
   inflight_.emplace(canon.key, entry);
   queue_.push_back(entry);
   leaders_.add(1);
   queue_depth_gauge_.set(static_cast<double>(queue_.size()));
   cv_.notify_one();
-  return Ticket{entry->future, true};
+  return Ticket{entry->future, true, trace};
 }
 
 void Scheduler::start() {
@@ -149,23 +153,41 @@ void Scheduler::drain_loop() {
 }
 
 void Scheduler::solve_batch(std::deque<std::shared_ptr<Entry>>& batch) {
+  const std::int64_t drain_ns = obs::steady_now_ns();
+  const std::uint32_t batch_seq = ++batch_seq_;
   TTP_TRACE_SPAN(span, "svc.solve");
   span.attr("batch", static_cast<std::uint64_t>(batch.size()));
+  span.attr("batch_seq", static_cast<std::uint64_t>(batch_seq));
   std::vector<const tt::Instance*> ptrs;
+  std::vector<std::uint64_t> traces;
   ptrs.reserve(batch.size());
-  for (const auto& entry : batch) ptrs.push_back(&entry->instance);
+  traces.reserve(batch.size());
+  for (const auto& entry : batch) {
+    ptrs.push_back(&entry->instance);
+    traces.push_back(entry->trace);
+  }
 
   std::vector<tt::SolveResult> results;
   std::string error;
+  const std::int64_t solve_start_ns = obs::steady_now_ns();
   try {
-    results = solver_.solve_many(std::span<const tt::Instance* const>(ptrs));
+    results = solver_.solve_many(std::span<const tt::Instance* const>(ptrs),
+                                 traces);
   } catch (const std::exception& e) {
     error = e.what();
   }
+  const std::int64_t solve_end_ns = obs::steady_now_ns();
   batches_.add(1);
   batch_size_.record(batch.size());
 
   std::vector<SolveOutcome> outcomes(batch.size());
+  for (auto& o : outcomes) {
+    o.drain_ns = drain_ns;
+    o.solve_start_ns = solve_start_ns;
+    o.solve_end_ns = solve_end_ns;
+    o.batch = static_cast<std::uint32_t>(batch.size());
+    o.batch_seq = batch_seq;
+  }
   if (error.empty()) {
     kernel_instances_.add(batch.size());
     // Per-solve variant attribution: svc.solve.variant.{scalar,simd-*}
@@ -181,11 +203,13 @@ void Scheduler::solve_batch(std::deque<std::shared_ptr<Entry>>& batch) {
       proc->cost = results[i].cost;
       proc->bytes = approx_bytes(*proc);
       cache_.insert(batch[i]->key, proc);
-      outcomes[i] = SolveOutcome{Status::kOk, std::move(proc), {}};
+      outcomes[i].status = Status::kOk;
+      outcomes[i].proc = std::move(proc);
     }
   } else {
     for (auto& o : outcomes) {
-      o = SolveOutcome{Status::kError, nullptr, error};
+      o.status = Status::kError;
+      o.error = error;
     }
   }
   // Retire AFTER the cache insert so every moment of an entry's life is

@@ -27,6 +27,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <future>
 #include <memory>
@@ -55,10 +56,19 @@ enum class Status {
 std::string_view status_name(Status s) noexcept;
 
 /// What a waiter receives. `proc` is set exactly when status == kOk.
+/// The *_ns stamps (obs::steady_now_ns timebase) let each waiter compute
+/// its own per-stage latencies: queue wait ends at drain_ns, batch
+/// formation at solve_start_ns, the kernel at solve_end_ns. All zero for
+/// outcomes that never reached the drain thread (rejects, cancels).
 struct SolveOutcome {
   Status status = Status::kCancelled;
   std::shared_ptr<const CachedProcedure> proc;
   std::string error;
+  std::int64_t drain_ns = 0;        ///< Entry left the queue.
+  std::int64_t solve_start_ns = 0;  ///< solve_many began.
+  std::int64_t solve_end_ns = 0;    ///< solve_many returned.
+  std::uint32_t batch = 0;          ///< Instances in the solving batch.
+  std::uint32_t batch_seq = 0;      ///< 1-based drain-batch ordinal.
 };
 
 struct SchedulerConfig {
@@ -84,11 +94,17 @@ class Scheduler {
   struct Ticket {
     std::shared_future<SolveOutcome> future;
     bool leader = false;  ///< True when this submit enqueued the solve.
+    /// Trace ID of the request that owns the in-flight solve: the caller's
+    /// own ID when leader, the leader's when joining as a follower (the
+    /// follower->leader link the flight recorder stores), 0 on rejection.
+    std::uint64_t leader_trace = 0;
   };
 
   /// Admission check + singleflight join + enqueue. Rejections come back as
   /// already-resolved futures, so callers have a single wait path.
-  Ticket submit(const Canonical& canon);
+  /// `trace` is the caller's request trace ID; it propagates into the
+  /// kernel-level spans of the solve this request leads.
+  Ticket submit(const Canonical& canon, std::uint64_t trace = 0);
 
   /// Launches the drain thread (idempotent). Called from the constructor
   /// unless cfg.autostart is false.
@@ -103,10 +119,14 @@ class Scheduler {
   struct Entry {
     CanonKey key;
     tt::Instance instance;  // canonical form; solved as-is
+    std::uint64_t trace;    // leader's trace ID (followers link to it)
     std::promise<SolveOutcome> promise;
     std::shared_future<SolveOutcome> future;
-    Entry(const CanonKey& k, tt::Instance ins)
-        : key(k), instance(std::move(ins)), future(promise.get_future()) {}
+    Entry(const CanonKey& k, tt::Instance ins, std::uint64_t t)
+        : key(k),
+          instance(std::move(ins)),
+          trace(t),
+          future(promise.get_future()) {}
   };
 
   static Ticket ready_ticket(Status status, std::string error);
@@ -129,6 +149,7 @@ class Scheduler {
       inflight_;
   bool running_ = false;
   bool stop_ = false;
+  std::uint32_t batch_seq_ = 0;  ///< Drain-batch ordinal (drain thread only).
   std::thread drainer_;
 
   obs::Counter& leaders_;

@@ -20,10 +20,14 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
+#include "obs/quantiles.hpp"
 #include "svc/cache.hpp"
 #include "svc/canon.hpp"
 #include "svc/scheduler.hpp"
@@ -42,9 +46,23 @@ enum class CacheOutcome {
 
 std::string_view cache_outcome_name(CacheOutcome o) noexcept;
 
+/// Request-scoped telemetry knobs (the tentpole's serving-side config).
+struct TelemetryConfig {
+  /// Slow-request capture threshold in milliseconds: a request whose e2e
+  /// latency reaches this dumps its flight record + span tree as one JSONL
+  /// line. 0 captures everything; -1 defers to the TTP_SLOW_MS environment
+  /// variable (unset -> capture disabled).
+  int slow_ms = -1;
+  /// Where slow-request JSONL lines go; empty = stderr.
+  std::string slow_log;
+  /// Flight-recorder ring size (rounded up to a power of two, min 8).
+  std::size_t flight_capacity = 4096;
+};
+
 struct ServiceConfig {
   CacheConfig cache;
   SchedulerConfig scheduler;
+  TelemetryConfig telemetry;
   std::size_t workers = 0;  ///< BatchSolver pool width; 0 = hardware.
 };
 
@@ -54,6 +72,10 @@ struct Response {
   double cost = 0.0;  ///< Expected cost in the request's weight scale.
   tt::Tree tree;      ///< Action indices refer to the request's actions.
   std::string error;  ///< Set when status != kOk.
+  /// Request trace ID: minted at admission, threaded through the scheduler
+  /// and kernel spans, replayable via `TRACE <id>` while still in the
+  /// flight-recorder ring. 0 only if the request never reached submit().
+  std::uint64_t trace = 0;
 
   bool ok() const noexcept { return status == Status::kOk; }
 };
@@ -67,10 +89,17 @@ class Service {
 
   /// A submitted request. get() blocks until the solve (if any) completes
   /// and builds the requester-coordinate Response; ready() never blocks.
+  /// get() also finalizes the request's telemetry (per-stage sketches,
+  /// flight record, slow capture), so a Pending must not outlive its
+  /// Service, and telemetry for an abandoned Pending is recorded at
+  /// whatever point get() first runs (or never, if it never does).
   class Pending {
    public:
     Response get();
     bool ready() const;
+
+    /// The trace ID minted for this request at admission.
+    std::uint64_t trace() const noexcept { return trace_; }
 
    private:
     friend class Service;
@@ -80,6 +109,15 @@ class Service {
     std::vector<int> to_original_;
     double weight_scale_ = 1.0;
     CacheOutcome cache_ = CacheOutcome::kNone;
+    // Telemetry context carried from submit() into get()'s finalize.
+    Service* svc_ = nullptr;
+    std::uint64_t trace_ = 0;
+    std::uint64_t leader_trace_ = 0;  ///< Nonzero only for followers.
+    CanonKey key_{};
+    std::int64_t t0_ns_ = 0;       ///< Admission stamp (steady_now_ns).
+    std::uint32_t admit_us_ = 0;   ///< Canonicalize + cache lookup.
+    std::uint16_t k_ = 0;
+    std::uint16_t actions_ = 0;
   };
 
   /// Canonicalize + cache lookup + (on miss) enqueue. Never blocks on the
@@ -93,16 +131,56 @@ class Service {
   const obs::MetricsRegistry& metrics() const noexcept { return metrics_; }
   ProcedureCache& cache() noexcept { return *cache_; }
   Scheduler& scheduler() noexcept { return *scheduler_; }
+  const obs::FlightRecorder& flight() const noexcept { return flight_; }
 
   /// Human-readable metrics dump (the daemon's STATS payload).
   std::string stats_text() const;
 
+  /// Prometheus text exposition: registry counters/gauges/histograms plus
+  /// the per-stage latency summary family ttp_svc_latency_seconds
+  /// {stage="admit|queue|batch|solve|respond|e2e"} (the daemon's METRICS
+  /// payload).
+  std::string metrics_text() const;
+
+  /// Liveness/pressure report (the daemon's HEALTH payload): first line is
+  /// "ready" or "degraded" (queue depth at >= half max_queue), then
+  /// key: value lines for queue depth, cache byte pressure, and workers.
+  std::string health_text() const;
+
+  /// Effective slow-capture threshold in ms (-1 = disabled) after
+  /// resolving TelemetryConfig::slow_ms against TTP_SLOW_MS.
+  int slow_threshold_ms() const noexcept { return slow_ms_; }
+
  private:
+  /// Index into stage_sketches_ / the Prometheus stage label set.
+  enum Stage : std::size_t {
+    kAdmit = 0,
+    kQueue,
+    kBatch,
+    kSolve,
+    kRespond,
+    kE2e,
+    kStageCount
+  };
+  static const char* stage_name(std::size_t s) noexcept;
+
   static Response from_outcome(const SolveOutcome& outcome,
                                const std::vector<int>& to_original,
                                double weight_scale, CacheOutcome cache);
 
+  /// One exit point for every request: fills the flight record's stage
+  /// fields into the sketches, publishes the record, and (when the request
+  /// is slow and capture is on) dumps record + span tree as JSONL.
+  void finalize(const obs::FlightRecord& rec);
+  void write_slow_capture(const obs::FlightRecord& rec);
+
   obs::MetricsRegistry metrics_;
+  obs::FlightRecorder flight_;
+  obs::ShardedQuantiles stage_sketches_[kStageCount];  ///< Microseconds.
+  int slow_ms_ = -1;
+  std::string slow_log_path_;
+  std::mutex slow_log_mu_;  ///< Serializes JSONL lines across requests.
+  ServiceConfig cfg_;       ///< Kept for HEALTH (max_queue, capacity).
   std::unique_ptr<ProcedureCache> cache_;
   std::unique_ptr<Scheduler> scheduler_;
 };

@@ -5,6 +5,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
 #include "tt/serialize.hpp"
 #include "util/bits.hpp"
 
@@ -74,8 +75,49 @@ void handle_solve(Service& svc, std::istream& in, std::ostream& out) {
   std::ostringstream reply;
   reply.precision(17);
   reply << "OK cache=" << cache_outcome_name(res.cache) << " cost=" << res.cost
-        << " nodes=" << res.tree.size() << '\n'
+        << " nodes=" << res.tree.size()
+        << " trace=" << obs::trace_hex(res.trace) << '\n'
         << tree_to_wire(res.tree) << "END\n";
+  out << reply.str() << std::flush;
+}
+
+/// TRACE <id>: replay one request's flight record from the ring.
+void handle_trace(Service& svc, const std::string& arg, std::ostream& out) {
+  const std::uint64_t trace = obs::trace_from_hex(arg);
+  if (trace == 0) {
+    reply_err(out, "bad-request", "TRACE expects a 16-hex-digit id");
+    return;
+  }
+  const auto rec = svc.flight().find(trace);
+  if (!rec.has_value()) {
+    reply_err(out, "not-found",
+              "trace " + arg + " not in the flight recorder (ring holds " +
+                  std::to_string(svc.flight().capacity()) +
+                  " most recent requests)");
+    return;
+  }
+  std::ostringstream reply;
+  reply << "TRACE\n"
+        << "trace: " << obs::trace_hex(rec->trace) << '\n';
+  if (rec->leader != 0) {
+    reply << "leader: " << obs::trace_hex(rec->leader) << '\n';
+  }
+  reply << "key: " << obs::trace_hex(rec->key_hi)
+        << obs::trace_hex(rec->key_lo) << '\n'
+        << "outcome: "
+        << cache_outcome_name(static_cast<CacheOutcome>(rec->outcome)) << '\n'
+        << "status: " << status_name(static_cast<Status>(rec->status)) << '\n'
+        << "k: " << rec->k << '\n'
+        << "actions: " << rec->actions << '\n'
+        << "batch: " << rec->batch << '\n'
+        << "batch_seq: " << rec->batch_seq << '\n'
+        << "admit_us: " << rec->admit_us << '\n'
+        << "queue_us: " << rec->queue_us << '\n'
+        << "batch_us: " << rec->batch_us << '\n'
+        << "solve_us: " << rec->solve_us << '\n'
+        << "respond_us: " << rec->respond_us << '\n'
+        << "e2e_us: " << rec->e2e_us << '\n'
+        << "END\n";
   out << reply.str() << std::flush;
 }
 
@@ -145,6 +187,12 @@ std::size_t serve_session(Service& svc, std::istream& in, std::ostream& out) {
       handle_solve(svc, in, out);
     } else if (line == "STATS") {
       out << "STATS\n" << svc.stats_text() << "END\n" << std::flush;
+    } else if (line == "METRICS") {
+      out << "METRICS\n" << svc.metrics_text() << "END\n" << std::flush;
+    } else if (line == "HEALTH") {
+      out << "HEALTH\n" << svc.health_text() << "END\n" << std::flush;
+    } else if (line.rfind("TRACE ", 0) == 0) {
+      handle_trace(svc, line.substr(6), out);
     } else if (line == "PING") {
       out << "PONG\n" << std::flush;
     } else if (line == "QUIT") {

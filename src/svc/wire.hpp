@@ -5,9 +5,13 @@
 // Request grammar (one command per line; '\r' tolerated before '\n'):
 //
 //   session  := command*
-//   command  := solve | stats | ping | quit
+//   command  := solve | stats | metrics | health | trace | ping | quit
 //   solve    := "SOLVE" NL instance-text NL "END" NL
 //   stats    := "STATS" NL
+//   metrics  := "METRICS" NL
+//   health   := "HEALTH" NL
+//   trace    := "TRACE" SP trace-id NL        (trace-id: 16 hex chars,
+//                                              as reported in solve ok)
 //   ping     := "PING" NL
 //   quit     := "QUIT" NL
 //
@@ -16,17 +20,22 @@
 //
 // Replies:
 //
-//   solve ok  := "OK cache=" outcome " cost=" float " nodes=" int NL
-//                tree-text "END" NL
+//   solve ok  := "OK cache=" outcome " cost=" float " nodes=" int
+//                " trace=" hex16 NL tree-text "END" NL
 //   tree-text := "tree" int(root) NL node*          (see tree_to_wire)
 //   node      := "node" idx action yes no {state} NL
 //   solve err := "ERR " code " " message NL
 //   stats     := "STATS" NL metric-lines "END" NL
+//   metrics   := "METRICS" NL prometheus-text "END" NL
+//   health    := "HEALTH" NL ready|degraded NL key-value-lines "END" NL
+//   trace     := "TRACE" NL flight-record-lines "END" NL
+//                (or "ERR not-found ..." when the ring no longer holds it)
 //   ping      := "PONG" NL
 //   quit      := "BYE" NL (handler returns)
 //
 // Error codes: bad-request (unparseable frame or malformed instance),
-// oversize, overload (queue full), cancelled (shutdown), internal.
+// oversize, overload (queue full), cancelled (shutdown), not-found
+// (TRACE id absent from the flight recorder), internal.
 #pragma once
 
 #include <iosfwd>

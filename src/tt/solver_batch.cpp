@@ -18,9 +18,12 @@ std::vector<SolveResult> BatchSolver::solve_many(
 }
 
 std::vector<SolveResult> BatchSolver::solve_many(
-    std::span<const Instance* const> instances) const {
+    std::span<const Instance* const> instances,
+    std::span<const std::uint64_t> traces) const {
   std::vector<SolveResult> out(instances.size());
   if (instances.empty()) return out;
+  assert((traces.empty() || traces.size() == instances.size()) &&
+         "BatchSolver::solve_many: traces must align with instances");
 #ifndef NDEBUG
   {
     // The lazy p(S) cache is per instance and not thread-safe to share: two
@@ -49,6 +52,10 @@ std::vector<SolveResult> BatchSolver::solve_many(
     static thread_local SolveArena arena;
     for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed); i < n;
          i = next.fetch_add(1, std::memory_order_relaxed)) {
+      // Bind the request's trace ID on this worker so the kernel-level
+      // span for this instance joins the request's journey.
+      const obs::TraceBinding bind(traces.empty() ? obs::current_trace()
+                                                  : traces[i]);
       out[i] = solve_with_arena(*instances[i], arena, "solve.batch");
     }
   });

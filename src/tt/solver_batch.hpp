@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -39,8 +40,14 @@ class BatchSolver {
   /// table is a mutable per-instance cache with no synchronization, so two
   /// pool workers solving the same object race on it; debug builds assert
   /// distinctness, release builds do not check.
+  ///
+  /// `traces`, when non-empty, must be positionally aligned with
+  /// `instances`: the worker binds traces[i] as the obs trace ID around
+  /// instance i's solve, so the per-instance kernel spans ("solve.batch")
+  /// carry the request's trace ID even though they run on pool threads.
   std::vector<SolveResult> solve_many(
-      std::span<const Instance* const> instances) const;
+      std::span<const Instance* const> instances,
+      std::span<const std::uint64_t> traces = {}) const;
 
   std::size_t workers() const noexcept { return pool_.size(); }
 

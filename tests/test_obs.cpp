@@ -458,6 +458,117 @@ TEST_F(ObsTest, JsonEscape) {
   EXPECT_EQ(json_escape(std::string_view("\x01", 1)), "\\u0001");
 }
 
+TEST_F(ObsTest, JsonEscapeEdgeCases) {
+  // Embedded NUL must not truncate the string.
+  EXPECT_EQ(json_escape(std::string_view("a\0b", 3)), "a\\u0000b");
+  // DEL (0x7F) is a control character in JSON-consumer practice; escape it.
+  EXPECT_EQ(json_escape("a\x7f" "b"), "a\\u007fb");
+  // Multi-byte UTF-8 passes through verbatim — escaping the bytes
+  // individually would corrupt the sequence.
+  EXPECT_EQ(json_escape("k\xc3\xa9"), "k\xc3\xa9");          // é
+  EXPECT_EQ(json_escape("\xe2\x86\x92"), "\xe2\x86\x92");    // →
+  EXPECT_EQ(json_escape("\xf0\x9f\x94\xa5"), "\xf0\x9f\x94\xa5");  // 🔥
+  // Boundary control chars around the 0x20 threshold.
+  EXPECT_EQ(json_escape(std::string_view("\x1f", 1)), "\\u001f");
+  EXPECT_EQ(json_escape(" "), " ");
+}
+
+TEST_F(ObsTest, RegistryPrintIsNameSortedAcrossKinds) {
+  MetricsRegistry reg;
+  reg.counter("zebra.count").add(3);
+  reg.gauge("alpha.gauge").set(1.5);
+  reg.histogram("mid.hist").record(7);
+  reg.counter("alpha.count").add(1);
+  std::ostringstream os;
+  reg.print(os, "");
+  const std::string out = os.str();
+  // All four lines present, in sorted name order regardless of kind.
+  const std::size_t a = out.find("alpha.count");
+  const std::size_t g = out.find("alpha.gauge");
+  const std::size_t h = out.find("mid.hist");
+  const std::size_t z = out.find("zebra.count");
+  ASSERT_NE(a, std::string::npos);
+  ASSERT_NE(g, std::string::npos);
+  ASSERT_NE(h, std::string::npos);
+  ASSERT_NE(z, std::string::npos);
+  EXPECT_LT(a, g);
+  EXPECT_LT(g, h);
+  EXPECT_LT(h, z);
+  // Byte-stable: a second print renders identically.
+  std::ostringstream os2;
+  reg.print(os2, "");
+  EXPECT_EQ(out, os2.str());
+}
+
+// --- request trace IDs ------------------------------------------------------
+
+TEST_F(ObsTest, TraceIdsAreUniqueAndNonzero) {
+  const std::uint64_t a = next_trace_id();
+  const std::uint64_t b = next_trace_id();
+  EXPECT_NE(a, 0u);
+  EXPECT_NE(b, 0u);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(trace_hex(a).size(), 16u);
+  EXPECT_EQ(trace_from_hex(trace_hex(a)), a);
+  EXPECT_EQ(trace_from_hex("0x" + trace_hex(b)), b);
+  EXPECT_EQ(trace_from_hex("not-hex"), 0u);
+  EXPECT_EQ(trace_from_hex(""), 0u);
+  EXPECT_EQ(trace_from_hex("12345678901234567"), 0u);  // 17 digits
+}
+
+TEST_F(ObsTest, TraceBindingScopesAndNests) {
+  EXPECT_EQ(current_trace(), 0u);
+  {
+    TraceBinding outer(42);
+    EXPECT_EQ(current_trace(), 42u);
+    {
+      TraceBinding inner(7);
+      EXPECT_EQ(current_trace(), 7u);
+    }
+    EXPECT_EQ(current_trace(), 42u);
+  }
+  EXPECT_EQ(current_trace(), 0u);
+}
+
+TEST_F(ObsTest, SpansInheritBoundTrace) {
+  tracer().configure(TraceConfig{TraceMode::kSpans, ""});
+  {
+    TTP_TRACE_SPAN(unbound, "no.trace");
+  }
+  {
+    TraceBinding bind(0xabcdef12u);
+    TTP_TRACE_SPAN(bound, "with.trace");
+  }
+  const auto spans = tracer().snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].trace, 0u);
+  EXPECT_EQ(spans[1].trace, 0xabcdef12u);
+  // snapshot_trace filters to exactly the bound span.
+  const auto filtered = tracer().snapshot_trace(0xabcdef12u);
+  ASSERT_EQ(filtered.size(), 1u);
+  EXPECT_EQ(filtered[0].name, "with.trace");
+}
+
+TEST_F(ObsTest, JsonlCarriesTraceField) {
+  tracer().configure(TraceConfig{TraceMode::kSpans, ""});
+  {
+    TraceBinding bind(0x1234u);
+    TTP_TRACE_SPAN(s, "traced.span");
+  }
+  std::ostringstream os;
+  write_jsonl(os, tracer().snapshot());
+  std::istringstream in(os.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  const JsonValue v = JsonParser(line).parse();
+  ASSERT_EQ(v.type, JsonValue::Type::kObject);
+  const JsonValue* args = v.find("args");
+  ASSERT_NE(args, nullptr);
+  const JsonValue* trace = args->find("trace");
+  ASSERT_NE(trace, nullptr);
+  EXPECT_EQ(trace->str, trace_hex(0x1234u));
+}
+
 std::vector<SpanRecord> record_sample_spans() {
   tracer().configure(TraceConfig{TraceMode::kSpans, ""});
   util::StepCounter sc;
