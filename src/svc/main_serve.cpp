@@ -1,13 +1,17 @@
 // ttp_serve — the test-and-treatment solver daemon.
 //
 //   ttp_serve                      # serve one session over stdin/stdout
-//   ttp_serve --port=7070          # serve TCP, one thread per connection
+//   ttp_serve --port=7070          # serve TCP via the supervised Server
 //
 // Both modes speak the newline-framed protocol in svc/wire.hpp (SOLVE /
 // STATS / PING / QUIT) against a single shared Service, so every
 // connection sees the same procedure cache and singleflight scheduler.
+// The TCP front end is svc/server.{hpp,cpp}: a bounded session pool with
+// per-session deadlines, load shedding, and a SIGTERM/SIGINT graceful
+// drain (in-flight SOLVEs complete, idle sessions get BYE, exit 0 within
+// --drain-timeout-ms).
 //
-// Knobs (defaults in parentheses):
+// Knobs (defaults in parentheses; all values range-checked at startup):
 //   --workers=N          BatchSolver pool width (hardware)
 //   --cache-mb=N         procedure cache capacity in MiB (64)
 //   --shards=N           cache shards, rounded to a power of two (8)
@@ -21,33 +25,25 @@
 //                        unset = defer to TTP_SLOW_MS (off when unset)
 //   --slow-log=PATH      slow-request JSONL destination (stderr)
 //   --flight-cap=N       flight-recorder ring size (4096)
+//   --max-conns=N        TCP session cap, then ERR overload (256)
+//   --idle-timeout-ms=N  eviction deadline between commands, 0 = off (60000)
+//   --read-timeout-ms=N  whole-frame arrival budget, 0 = off (5000)
+//   --drain-timeout-ms=N SIGTERM -> exit-0 budget (5000)
+//   --max-frame-bytes=N  SOLVE body cap, then ERR oversize (1 MiB)
+//   TTP_FAULT env        deterministic fault injection (svc/faultnet.hpp)
+#include <atomic>
 #include <csignal>
-#include <cstring>
 #include <iostream>
-#include <sstream>
 #include <string>
-#include <thread>
-#include <vector>
 
-#ifndef _WIN32
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <sys/socket.h>
-#include <unistd.h>
-#endif
-
+#include "svc/server.hpp"
 #include "svc/service.hpp"
 #include "svc/wire.hpp"
 
 namespace {
 
+using ttp::svc::ServeArgs;
 using ttp::svc::Service;
-using ttp::svc::ServiceConfig;
-
-struct Args {
-  int port = -1;  ///< -1 = stdio mode.
-  ServiceConfig cfg;
-};
 
 [[noreturn]] void usage(int code) {
   std::cout
@@ -56,6 +52,9 @@ struct Args {
          "                 [--max-actions=N] [--max-queue=N] [--max-batch=N]\n"
          "                 [--batch-delay-us=N] [--slow-ms=N]\n"
          "                 [--slow-log=PATH] [--flight-cap=N]\n"
+         "                 [--max-conns=N] [--idle-timeout-ms=N]\n"
+         "                 [--read-timeout-ms=N] [--drain-timeout-ms=N]\n"
+         "                 [--max-frame-bytes=N]\n"
          "Without --port, serves one session over stdin/stdout.\n"
          "Protocol: SOLVE\\n<instance text>\\nEND | STATS | METRICS |\n"
          "          HEALTH | TRACE <id> | PING | QUIT\n"
@@ -64,154 +63,16 @@ struct Args {
   std::exit(code);
 }
 
-long parse_value(const std::string& arg, const char* flag) {
-  const std::string prefix = std::string(flag) + "=";
-  try {
-    return std::stol(arg.substr(prefix.size()));
-  } catch (const std::exception&) {
-    std::cerr << "error: bad value in '" << arg << "'\n";
-    std::exit(2);
-  }
-}
-
-Args parse_args(int argc, char** argv) {
-  Args a;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto is = [&](const char* flag) {
-      return arg.rfind(std::string(flag) + "=", 0) == 0;
-    };
-    if (arg == "--help" || arg == "-h") {
-      usage(0);
-    } else if (is("--port")) {
-      a.port = static_cast<int>(parse_value(arg, "--port"));
-    } else if (is("--workers")) {
-      a.cfg.workers = static_cast<std::size_t>(parse_value(arg, "--workers"));
-    } else if (is("--cache-mb")) {
-      a.cfg.cache.capacity_bytes =
-          static_cast<std::size_t>(parse_value(arg, "--cache-mb")) << 20;
-    } else if (is("--shards")) {
-      a.cfg.cache.shards =
-          static_cast<std::size_t>(parse_value(arg, "--shards"));
-    } else if (is("--ttl-ms")) {
-      a.cfg.cache.ttl =
-          std::chrono::milliseconds(parse_value(arg, "--ttl-ms"));
-    } else if (is("--max-k")) {
-      a.cfg.scheduler.max_k = static_cast<int>(parse_value(arg, "--max-k"));
-    } else if (is("--max-actions")) {
-      a.cfg.scheduler.max_actions =
-          static_cast<int>(parse_value(arg, "--max-actions"));
-    } else if (is("--max-queue")) {
-      a.cfg.scheduler.max_queue =
-          static_cast<std::size_t>(parse_value(arg, "--max-queue"));
-    } else if (is("--max-batch")) {
-      a.cfg.scheduler.max_batch =
-          static_cast<std::size_t>(parse_value(arg, "--max-batch"));
-    } else if (is("--batch-delay-us")) {
-      a.cfg.scheduler.batch_delay =
-          std::chrono::microseconds(parse_value(arg, "--batch-delay-us"));
-    } else if (is("--slow-ms")) {
-      a.cfg.telemetry.slow_ms =
-          static_cast<int>(parse_value(arg, "--slow-ms"));
-    } else if (is("--slow-log")) {
-      a.cfg.telemetry.slow_log = arg.substr(std::strlen("--slow-log="));
-    } else if (is("--flight-cap")) {
-      a.cfg.telemetry.flight_capacity =
-          static_cast<std::size_t>(parse_value(arg, "--flight-cap"));
-    } else {
-      std::cerr << "error: unknown argument '" << arg << "'\n";
-      usage(2);
-    }
-  }
-  return a;
-}
-
 #ifndef _WIN32
 
-/// Minimal bidirectional streambuf over a connected socket, so the TCP path
-/// reuses the exact iostream-based session handler the stdio path uses.
-class FdStreamBuf final : public std::streambuf {
- public:
-  explicit FdStreamBuf(int fd) : fd_(fd) {
-    setg(rbuf_, rbuf_, rbuf_);
-    setp(wbuf_, wbuf_ + sizeof(wbuf_));
-  }
+// The signal handlers only flip the Server's drain flag (an atomic store);
+// the accept loop notices within one poll slice and runs the drain.
+std::atomic<ttp::svc::Server*> g_server{nullptr};
 
- protected:
-  int_type underflow() override {
-    const ssize_t n = ::read(fd_, rbuf_, sizeof(rbuf_));
-    if (n <= 0) return traits_type::eof();
-    setg(rbuf_, rbuf_, rbuf_ + n);
-    return traits_type::to_int_type(rbuf_[0]);
+void on_shutdown_signal(int) {
+  if (ttp::svc::Server* server = g_server.load(std::memory_order_relaxed)) {
+    server->begin_drain();
   }
-
-  int_type overflow(int_type ch) override {
-    if (sync() != 0) return traits_type::eof();
-    if (!traits_type::eq_int_type(ch, traits_type::eof())) {
-      *pptr() = traits_type::to_char_type(ch);
-      pbump(1);
-    }
-    return traits_type::not_eof(ch);
-  }
-
-  int sync() override {
-    const char* p = pbase();
-    while (p < pptr()) {
-      const ssize_t n = ::write(fd_, p, static_cast<std::size_t>(pptr() - p));
-      if (n <= 0) return -1;
-      p += n;
-    }
-    setp(wbuf_, wbuf_ + sizeof(wbuf_));
-    return 0;
-  }
-
- private:
-  int fd_;
-  char rbuf_[4096];
-  char wbuf_[4096];
-};
-
-int serve_tcp(Service& svc, int port) {
-  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listener < 0) {
-    std::perror("socket");
-    return 1;
-  }
-  const int one = 1;
-  ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_ANY);
-  addr.sin_port = htons(static_cast<std::uint16_t>(port));
-  if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-    std::perror("bind");
-    ::close(listener);
-    return 1;
-  }
-  if (::listen(listener, 64) < 0) {
-    std::perror("listen");
-    ::close(listener);
-    return 1;
-  }
-  std::cerr << "ttp_serve: listening on port " << port << "\n";
-  // A SOLVE-heavy client holds its connection; one thread per connection is
-  // fine because the solving itself funnels into the shared scheduler.
-  std::vector<std::thread> sessions;
-  for (;;) {
-    const int conn = ::accept(listener, nullptr, nullptr);
-    if (conn < 0) break;
-    sessions.emplace_back([&svc, conn] {
-      FdStreamBuf buf(conn);
-      std::istream in(&buf);
-      std::ostream out(&buf);
-      ttp::svc::serve_session(svc, in, out);
-      out.flush();
-      ::close(conn);
-    });
-  }
-  for (std::thread& t : sessions) t.join();
-  ::close(listener);
-  return 0;
 }
 
 #endif  // !_WIN32
@@ -223,17 +84,37 @@ int main(int argc, char** argv) {
   // A client dropping its connection mid-reply must not kill the daemon.
   std::signal(SIGPIPE, SIG_IGN);
 #endif
-  const Args args = parse_args(argc, argv);
+  ServeArgs args;
+  std::string error;
+  if (!ttp::svc::parse_serve_args(argc, argv, args, error)) {
+    std::cerr << "error: " << error << "\n";
+    return 2;
+  }
+  if (args.help) usage(0);
   Service svc(args.cfg);
   if (args.port < 0) {
-    const std::size_t handled =
-        ttp::svc::serve_session(svc, std::cin, std::cout);
-    std::cerr << "ttp_serve: session closed after " << handled
+    ttp::svc::SessionOptions opts;
+    opts.max_frame_bytes = args.server.max_frame_bytes;
+    const auto result =
+        ttp::svc::serve_session(svc, std::cin, std::cout, opts);
+    std::cerr << "ttp_serve: session closed after " << result.handled
               << " commands\n";
     return 0;
   }
 #ifndef _WIN32
-  return serve_tcp(svc, args.port);
+  ttp::svc::Server server(svc, args.server);
+  if (!server.listen(error)) {
+    std::cerr << "error: " << error << "\n";
+    return 1;
+  }
+  g_server.store(&server, std::memory_order_relaxed);
+  std::signal(SIGTERM, on_shutdown_signal);
+  std::signal(SIGINT, on_shutdown_signal);
+  std::cerr << "ttp_serve: listening on port " << server.port() << "\n";
+  const int rc = server.run();
+  g_server.store(nullptr, std::memory_order_relaxed);
+  std::cerr << "ttp_serve: drained, exiting\n";
+  return rc;
 #else
   std::cerr << "error: TCP mode is not supported on this platform\n";
   return 1;

@@ -65,6 +65,14 @@ Scheduler::Ticket Scheduler::submit(const Canonical& canon,
             std::to_string(cfg_.max_actions) + ")");
   }
   std::lock_guard<std::mutex> lock(mu_);
+  if (stop_) {
+    // A submit racing shutdown (a session that read its SOLVE command just
+    // before the drain deadline cancelled the scheduler) must resolve, not
+    // enqueue onto a queue nobody will ever drain — that would hang the
+    // waiter forever and with it the drain itself.
+    cancelled_.add(1);
+    return ready_ticket(Status::kCancelled, "service shutting down");
+  }
   if (const auto it = inflight_.find(canon.key); it != inflight_.end()) {
     followers_.add(1);
     // The follower->leader link: the joined solve belongs to the leader's

@@ -17,7 +17,11 @@
 //
 // Shutdown (stop()/destructor) joins the drain thread and resolves every
 // still-pending future with Status::kCancelled; no future is ever leaked
-// unresolved, so callers blocked in wait() always wake.
+// unresolved, so callers blocked in wait() always wake. A submit() that
+// arrives after stop() resolves immediately with kCancelled too (the
+// server's graceful-drain path relies on this: a request racing the drain
+// deadline gets a terminal "ERR cancelled" reply instead of hanging its
+// session on a queue nobody drains).
 //
 // Tests can construct with cfg.autostart = false to stage deterministic
 // queue states (fill the queue, observe singleflight, cancel in-flight)

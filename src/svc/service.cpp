@@ -349,7 +349,7 @@ std::string Service::health_text() const {
   const std::size_t max_queue = cfg_.scheduler.max_queue;
   const bool degraded = max_queue > 0 && depth >= max_queue / 2;
   std::ostringstream os;
-  os << (degraded ? "degraded" : "ready") << '\n'
+  os << (draining() ? "draining" : degraded ? "degraded" : "ready") << '\n'
      << "queue.depth: " << depth << '\n'
      << "queue.max: " << max_queue << '\n'
      << "cache.bytes: " << cache_->bytes() << '\n'

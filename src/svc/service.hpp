@@ -19,6 +19,7 @@
 // before waiting.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -143,9 +144,19 @@ class Service {
   std::string metrics_text() const;
 
   /// Liveness/pressure report (the daemon's HEALTH payload): first line is
-  /// "ready" or "degraded" (queue depth at >= half max_queue), then
+  /// "ready", "degraded" (queue depth at >= half max_queue), or "draining"
+  /// (shutdown announced — load balancers should stop routing here), then
   /// key: value lines for queue depth, cache byte pressure, and workers.
   std::string health_text() const;
+
+  /// Drain announcement, flipped by the server's SIGTERM path (atomic
+  /// store, async-signal-safe): HEALTH reports "draining" from then on.
+  void set_draining(bool v) noexcept {
+    draining_.store(v, std::memory_order_relaxed);
+  }
+  bool draining() const noexcept {
+    return draining_.load(std::memory_order_relaxed);
+  }
 
   /// Effective slow-capture threshold in ms (-1 = disabled) after
   /// resolving TelemetryConfig::slow_ms against TTP_SLOW_MS.
@@ -175,6 +186,7 @@ class Service {
   void write_slow_capture(const obs::FlightRecord& rec);
 
   obs::MetricsRegistry metrics_;
+  std::atomic<bool> draining_{false};
   obs::FlightRecorder flight_;
   obs::ShardedQuantiles stage_sketches_[kStageCount];  ///< Microseconds.
   int slow_ms_ = -1;

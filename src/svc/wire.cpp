@@ -45,20 +45,43 @@ void reply_err(std::ostream& out, std::string_view code,
   out << "ERR " << code << ' ' << flat << '\n' << std::flush;
 }
 
-void handle_solve(Service& svc, std::istream& in, std::ostream& out) {
+void handle_solve(Service& svc, std::istream& in, std::ostream& out,
+                  const SessionOptions& opts) {
   std::string blob;
   std::string line;
   bool terminated = false;
+  bool oversize = false;
+  std::size_t bytes = 0;
   while (get_line(in, line)) {
     if (line == "END") {
       terminated = true;
       break;
     }
+    if (oversize) continue;  // discard the rest of the frame unbuffered
+    bytes += line.size() + 1;
+    if (opts.max_frame_bytes != 0 && bytes > opts.max_frame_bytes) {
+      // Reply before the frame finishes arriving: a hostile client gets its
+      // verdict after max_frame_bytes, not after an arbitrarily large body.
+      oversize = true;
+      blob.clear();
+      blob.shrink_to_fit();
+      reply_err(out, "oversize",
+                "SOLVE frame exceeds max-frame-bytes=" +
+                    std::to_string(opts.max_frame_bytes) +
+                    "; discarding until END");
+      continue;
+    }
     blob += line;
     blob += '\n';
   }
+  if (oversize) return;  // already replied; session stays in sync
   if (!terminated) {
-    reply_err(out, "bad-request", "SOLVE frame not terminated by END");
+    // A frame cut by the transport's own deadline gets its verdict from the
+    // transport ("ERR timeout ..."); only a client-side EOF mid-frame is a
+    // protocol violation worth a reply of its own.
+    if (opts.control == nullptr || !opts.control->transport_aborted()) {
+      reply_err(out, "bad-request", "SOLVE frame not terminated by END");
+    }
     return;
   }
   Response res;
@@ -156,6 +179,11 @@ tt::Tree tree_from_wire(const std::string& text) {
     if (idx != static_cast<int>(nodes.size())) {
       throw std::invalid_argument("tree_from_wire: node indices must ascend");
     }
+    if (n.action < -1) {
+      throw std::invalid_argument("tree_from_wire: node " +
+                                  std::to_string(idx) + " has action " +
+                                  std::to_string(n.action) + " < -1");
+    }
     if (set_tok.size() < 2 || set_tok.front() != '{' ||
         set_tok.back() != '}') {
       throw std::invalid_argument("tree_from_wire: bad state set '" + set_tok +
@@ -165,7 +193,22 @@ tt::Tree tree_from_wire(const std::string& text) {
     std::stringstream inner(set_tok.substr(1, set_tok.size() - 2));
     std::string piece;
     while (std::getline(inner, piece, ',')) {
-      if (!piece.empty()) state |= util::bit(std::stoi(piece));
+      if (piece.empty()) continue;
+      int bit = -1;
+      try {
+        std::size_t used = 0;
+        bit = std::stoi(piece, &used);
+        if (used != piece.size()) bit = -1;
+      } catch (const std::exception&) {
+        // fall through to the range check below with bit = -1
+      }
+      // Reject before util::bit: a shift by >= 32 (or negative) on Mask is
+      // undefined behavior, and the wire must never reach it.
+      if (bit < 0 || bit >= 32) {
+        throw std::invalid_argument("tree_from_wire: state element '" + piece +
+                                    "' is not a bit index in [0, 32)");
+      }
+      state |= util::bit(bit);
     }
     n.state = state;
     nodes.push_back(n);
@@ -174,17 +217,45 @@ tt::Tree tree_from_wire(const std::string& text) {
     throw std::invalid_argument("tree_from_wire: root without nodes");
   }
   if (nodes.empty()) return tt::Tree();
+  const int size = static_cast<int>(nodes.size());
+  if (root < 0 || root >= size) {
+    throw std::invalid_argument("tree_from_wire: root " +
+                                std::to_string(root) + " outside [0, " +
+                                std::to_string(size) + ")");
+  }
+  for (int i = 0; i < size; ++i) {
+    for (const int arc : {nodes[static_cast<std::size_t>(i)].yes,
+                          nodes[static_cast<std::size_t>(i)].no}) {
+      if (arc < -1 || arc >= size) {
+        throw std::invalid_argument(
+            "tree_from_wire: node " + std::to_string(i) +
+            " references node " + std::to_string(arc) + " outside [-1, " +
+            std::to_string(size) + ")");
+      }
+    }
+  }
   return tt::Tree(std::move(nodes), root);
 }
 
-std::size_t serve_session(Service& svc, std::istream& in, std::ostream& out) {
-  std::size_t handled = 0;
+SessionResult serve_session(Service& svc, std::istream& in, std::ostream& out,
+                            const SessionOptions& opts) {
+  SessionResult result;
   std::string line;
-  while (get_line(in, line)) {
+  for (;;) {
+    if (opts.control != nullptr && opts.control->should_end()) {
+      result.end = SessionEnd::kStopped;
+      return result;
+    }
+    if (opts.control != nullptr) opts.control->on_boundary();
+    if (!get_line(in, line)) {
+      result.end = SessionEnd::kEof;
+      return result;
+    }
     if (line.empty()) continue;
-    ++handled;
+    if (opts.control != nullptr) opts.control->on_frame();
+    ++result.handled;
     if (line == "SOLVE") {
-      handle_solve(svc, in, out);
+      handle_solve(svc, in, out, opts);
     } else if (line == "STATS") {
       out << "STATS\n" << svc.stats_text() << "END\n" << std::flush;
     } else if (line == "METRICS") {
@@ -197,12 +268,16 @@ std::size_t serve_session(Service& svc, std::istream& in, std::ostream& out) {
       out << "PONG\n" << std::flush;
     } else if (line == "QUIT") {
       out << "BYE\n" << std::flush;
-      break;
+      result.end = SessionEnd::kQuit;
+      return result;
     } else {
       reply_err(out, "bad-request", "unknown command '" + line + "'");
     }
   }
-  return handled;
+}
+
+std::size_t serve_session(Service& svc, std::istream& in, std::ostream& out) {
+  return serve_session(svc, in, out, SessionOptions{}).handled;
 }
 
 }  // namespace ttp::svc

@@ -27,17 +27,21 @@
 //   solve err := "ERR " code " " message NL
 //   stats     := "STATS" NL metric-lines "END" NL
 //   metrics   := "METRICS" NL prometheus-text "END" NL
-//   health    := "HEALTH" NL ready|degraded NL key-value-lines "END" NL
+//   health    := "HEALTH" NL ready|degraded|draining NL key-value-lines
+//                "END" NL
 //   trace     := "TRACE" NL flight-record-lines "END" NL
 //                (or "ERR not-found ..." when the ring no longer holds it)
 //   ping      := "PONG" NL
 //   quit      := "BYE" NL (handler returns)
 //
 // Error codes: bad-request (unparseable frame or malformed instance),
-// oversize, overload (queue full), cancelled (shutdown), not-found
-// (TRACE id absent from the flight recorder), internal.
+// oversize (admission limits or a SOLVE frame past max_frame_bytes),
+// overload (queue full), cancelled (shutdown), not-found (TRACE id absent
+// from the flight recorder), timeout (session deadline hit; sent by the
+// server transport, see svc/server.hpp), internal.
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
 #include <string>
 
@@ -46,18 +50,69 @@
 
 namespace ttp::svc {
 
+/// Transport hooks into the session loop. A transport (the TCP server's
+/// FdStreamBuf) implements this to learn where the protocol stands —
+/// between commands (idle deadline applies, drain may end the session) or
+/// inside a frame (the stricter read deadline applies) — without the wire
+/// layer knowing anything about sockets.
+class SessionControl {
+ public:
+  virtual ~SessionControl() = default;
+  /// The next read starts a fresh command; transports arm the idle
+  /// deadline and may abort the read when the server is draining.
+  virtual void on_boundary() {}
+  /// Subsequent reads are frame body; transports arm the read deadline
+  /// (the whole frame must arrive within it — slowloris protection).
+  virtual void on_frame() {}
+  /// Checked between commands: true ends the session (graceful drain).
+  virtual bool should_end() { return false; }
+  /// True when the transport itself cut the stream (deadline hit, socket
+  /// error) rather than the client finishing cleanly. Mid-frame EOF then
+  /// skips the "ERR bad-request ... not terminated" reply so the
+  /// transport's own verdict ("ERR timeout ...") is the one terminal line.
+  virtual bool transport_aborted() { return false; }
+};
+
+/// Per-session knobs, defaulted for embedders and tests.
+struct SessionOptions {
+  /// SOLVE frame body cap in bytes; past it the reply is "ERR oversize"
+  /// (sent immediately, the rest of the frame is discarded unbuffered).
+  /// 0 = unlimited.
+  std::size_t max_frame_bytes = std::size_t{1} << 20;
+  SessionControl* control = nullptr;  ///< Optional transport hooks.
+};
+
+/// Why serve_session returned — transports decide their close-out line
+/// (BYE on drain, ERR timeout on deadline) from this plus their own state.
+enum class SessionEnd {
+  kEof,      ///< Input ended (client closed, timeout, or drain abort).
+  kQuit,     ///< Client sent QUIT; BYE already written.
+  kStopped,  ///< SessionControl::should_end() ended it; nothing written.
+};
+
+struct SessionResult {
+  std::size_t handled = 0;  ///< Commands processed.
+  SessionEnd end = SessionEnd::kEof;
+};
+
 /// Serializes a tree for the wire: "tree <root>\n" then one
 /// "node <idx> <action> <yes> <no> {state}\n" per node (indices as in
 /// Tree::nodes(), -1 for absent arcs). An empty tree is "tree -1\n".
 std::string tree_to_wire(const tt::Tree& tree);
 
 /// Parses tree_to_wire output; throws std::invalid_argument on malformed
-/// input. Round-trips structurally (used by client-side tests).
+/// input — including state-set bits outside [0, 32), yes/no arcs that
+/// reference nodes outside the tree, and a root outside the node array.
+/// Round-trips structurally (used by client-side tests).
 tt::Tree tree_from_wire(const std::string& text);
 
-/// Runs one session: reads commands from `in` until EOF or QUIT, writes
-/// replies to `out` (flushed per reply). Protocol errors produce ERR
-/// replies, never exceptions; returns the number of commands handled.
+/// Runs one session: reads commands from `in` until EOF, QUIT, or the
+/// transport's should_end(), writes replies to `out` (flushed per reply).
+/// Protocol errors produce ERR replies, never exceptions.
+SessionResult serve_session(Service& svc, std::istream& in, std::ostream& out,
+                            const SessionOptions& opts);
+
+/// Back-compat convenience: default options; returns the command count.
 std::size_t serve_session(Service& svc, std::istream& in, std::ostream& out);
 
 }  // namespace ttp::svc

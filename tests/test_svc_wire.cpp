@@ -11,6 +11,7 @@
 #include "tt/generator.hpp"
 #include "tt/serialize.hpp"
 #include "tt/solver_sequential.hpp"
+#include "util/bits.hpp"
 #include "util/rng.hpp"
 
 namespace ttp::svc {
@@ -147,6 +148,54 @@ TEST(SvcWire, OversizeInstanceGetsTypedErrCode) {
   Service svc(cfg);
   const std::string reply = session(svc, solve_frame(tt::fig1_example()));
   EXPECT_EQ(reply.rfind("ERR oversize", 0), 0u) << reply;
+}
+
+TEST(SvcWire, TreeFromWireRejectsHostileValues) {
+  // Bit indices outside [0, 32) would be UB shifts on the 32-bit Mask; the
+  // parser must reject them before util::bit ever sees them.
+  EXPECT_THROW(tree_from_wire("tree 0\nnode 0 0 -1 -1 {32}\n"),
+               std::invalid_argument);
+  EXPECT_THROW(tree_from_wire("tree 0\nnode 0 0 -1 -1 {-1}\n"),
+               std::invalid_argument);
+  // std::stoi throws on out-of-int values; that must surface as the typed
+  // parse error, not escape the session loop.
+  EXPECT_THROW(tree_from_wire("tree 0\nnode 0 0 -1 -1 {99999999999999}\n"),
+               std::invalid_argument);
+  EXPECT_THROW(tree_from_wire("tree 0\nnode 0 0 -1 -1 {3x}\n"),
+               std::invalid_argument);  // trailing garbage in a bit index
+  // Action/arc/root references are range-checked.
+  EXPECT_THROW(tree_from_wire("tree 0\nnode 0 -2 -1 -1 {0}\n"),
+               std::invalid_argument);  // action below -1
+  EXPECT_THROW(tree_from_wire("tree 0\nnode 0 0 7 -1 {0}\n"),
+               std::invalid_argument);  // yes arc outside [-1, size)
+  EXPECT_THROW(tree_from_wire("tree 0\nnode 0 0 -1 -9 {0}\n"),
+               std::invalid_argument);  // no arc outside [-1, size)
+  EXPECT_THROW(tree_from_wire("tree 5\nnode 0 0 -1 -1 {0}\n"),
+               std::invalid_argument);  // root outside [0, size)
+  EXPECT_THROW(tree_from_wire("tree -1\nnode 0 0 -1 -1 {0}\n"),
+               std::invalid_argument);
+  // The guards reject, they don't truncate: a maximal valid tree parses.
+  const tt::Tree ok = tree_from_wire("tree 0\nnode 0 3 1 -1 {0,31}\nnode 1 0 -1 -1 {5}\n");
+  EXPECT_EQ(ok.size(), 2);
+  EXPECT_EQ(ok.node(0).state, (util::bit(0) | util::bit(31)));
+}
+
+TEST(SvcWire, OversizeFrameIsRefusedEarlyAndSessionStaysInSync) {
+  Service svc;
+  SessionOptions opts;
+  opts.max_frame_bytes = 64;
+  std::string body(256, 'x');
+  std::istringstream in("SOLVE\n" + body + "\nEND\nPING\nQUIT\n");
+  std::ostringstream out;
+  const SessionResult result = serve_session(svc, in, out, opts);
+  const auto lines = lines_of(out.str());
+  ASSERT_EQ(lines.size(), 3u) << out.str();
+  EXPECT_EQ(lines[0].rfind("ERR oversize", 0), 0u) << lines[0];
+  EXPECT_NE(lines[0].find("max-frame-bytes=64"), std::string::npos);
+  // The frame was discarded up to END: the following commands still ran.
+  EXPECT_EQ(lines[1], "PONG");
+  EXPECT_EQ(lines[2], "BYE");
+  EXPECT_EQ(result.end, SessionEnd::kQuit);
 }
 
 TEST(SvcWire, ErrMessagesStayOnOneLine) {

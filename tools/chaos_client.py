@@ -1,0 +1,372 @@
+#!/usr/bin/env python3
+"""Chaos smoke for the hardened ttp_serve TCP front end.
+
+Spawns the daemon on an ephemeral port with tight connection-lifecycle
+limits, then throws hostile traffic at it and asserts the typed-verdict
+contract from docs/serving.md:
+
+  * torn frames and abrupt mid-SOLVE disconnects never crash the daemon,
+    and the next well-behaved client still solves,
+  * a slowloris connection (frame body trickling forever) is evicted with
+    ERR timeout while a concurrent normal client's latency is unaffected,
+  * an oversize SOLVE frame gets ERR oversize as soon as the cap is
+    crossed — before the frame finishes arriving — and the session stays
+    in protocol sync,
+  * connections past --max-conns are shed with ERR overload, and shedding
+    is not sticky once sessions close,
+  * a storm of concurrent SOLVE/QUIT sessions all end in a terminal reply,
+  * STATS exposes the svc.server.* lifecycle counters,
+  * SIGTERM under in-flight load drains gracefully: every in-flight SOLVE
+    gets a terminal reply (OK or ERR cancelled), idle sessions get BYE,
+    and the daemon exits 0 within the drain budget.
+
+Usage: tools/chaos_client.py [path-to-ttp_serve]  (default ./build/src/ttp_serve)
+"""
+
+import random
+import re
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+
+MAX_CONNS = 8
+IDLE_TIMEOUT_MS = 2000
+READ_TIMEOUT_MS = 500
+DRAIN_TIMEOUT_MS = 5000
+MAX_FRAME_BYTES = 4096
+
+
+def fail(msg: str) -> None:
+    print(f"FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def make_instance(idx: int) -> str:
+    """A small adequate instance, distinct per index."""
+    k = 4
+    lines = [f"tt {k}", "weights 1 2 3 %d" % (4 + idx)]
+    lines.append("test t0 {0,1} 1.0")
+    lines.append("test t1 {1,2} 1.5")
+    for j in range(k):
+        lines.append("treat c%d {%d} 2" % (j, j))
+    return "\n".join(lines) + "\n"
+
+
+class Client:
+    """Blocking line-framed TCP client with a recv deadline."""
+
+    def __init__(self, port: int, timeout: float = 10.0):
+        self.sock = socket.create_connection(("127.0.0.1", port), timeout=5)
+        self.sock.settimeout(timeout)
+        self.buf = b""
+
+    def send(self, text: str) -> None:
+        self.sock.sendall(text.encode())
+
+    def read_line(self) -> str:
+        """One line, newline stripped; '' on EOF or timeout."""
+        while b"\n" not in self.buf:
+            try:
+                chunk = self.sock.recv(4096)
+            except socket.timeout:
+                return ""
+            if not chunk:
+                return ""
+            self.buf += chunk
+        line, self.buf = self.buf.split(b"\n", 1)
+        return line.decode()
+
+    def read_until_end(self) -> list:
+        lines = []
+        while True:
+            line = self.read_line()
+            if line == "END" or line == "":
+                return lines
+            lines.append(line)
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+def spawn_daemon(binary: str) -> tuple:
+    proc = subprocess.Popen(
+        [
+            binary,
+            "--port=0",
+            f"--max-conns={MAX_CONNS}",
+            f"--idle-timeout-ms={IDLE_TIMEOUT_MS}",
+            f"--read-timeout-ms={READ_TIMEOUT_MS}",
+            f"--drain-timeout-ms={DRAIN_TIMEOUT_MS}",
+            f"--max-frame-bytes={MAX_FRAME_BYTES}",
+        ],
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.PIPE,
+    )
+    # The daemon announces "ttp_serve: listening on port N" on stderr.
+    line = proc.stderr.readline().decode()
+    m = re.search(r"listening on port (\d+)", line)
+    if not m:
+        proc.kill()
+        fail(f"no listening banner, got: {line!r}")
+    return proc, int(m.group(1))
+
+
+def check_alive(port: int, label: str) -> None:
+    """A well-behaved client must still get a full solve."""
+    c = Client(port)
+    c.send(f"SOLVE\n{make_instance(0)}END\n")
+    head = c.read_line()
+    if not head.startswith("OK cache="):
+        fail(f"[{label}] healthy client got: {head!r}")
+    c.read_until_end()
+    c.send("QUIT\n")
+    if c.read_line() != "BYE":
+        fail(f"[{label}] QUIT did not get BYE")
+    c.close()
+
+
+def chaos_torn_frames(port: int) -> None:
+    """Torn frames + abrupt disconnects at every protocol position."""
+    cuts = ["", "SOL", "SOLVE\n", "SOLVE\ntt 2\n", "SOLVE\ntt 2\nweights 1 1\n",
+            "SOLVE\n" + make_instance(1)]  # everything but END
+    for i, cut in enumerate(cuts):
+        c = Client(port)
+        if cut:
+            c.send(cut)
+        c.close()  # vanish without QUIT
+    check_alive(port, "torn-frames")
+    print("torn frames + abrupt disconnects OK")
+
+
+def chaos_slowloris(port: int) -> None:
+    """A trickling frame is evicted; a concurrent client is unaffected."""
+    slow = Client(port, timeout=READ_TIMEOUT_MS / 1000 * 6)
+    slow.send("SOLVE\ntt 4\n")  # frame begun, body now trickles
+
+    t0 = time.monotonic()
+    check_alive(port, "slowloris-concurrent")
+    fast_ms = (time.monotonic() - t0) * 1000
+    if fast_ms > READ_TIMEOUT_MS * 4:
+        fail(f"concurrent client took {fast_ms:.0f}ms next to a slowloris")
+
+    # Keep trickling below the line rate until the deadline fires.
+    verdict = ""
+    for _ in range(40):
+        try:
+            slow.send("#\n")
+        except OSError:
+            break
+        line = slow.read_line()
+        if line:
+            verdict = line
+            break
+        time.sleep(0.05)
+    if not verdict:
+        verdict = slow.read_line()
+    if not verdict.startswith("ERR timeout"):
+        fail(f"slowloris verdict: {verdict!r}, expected ERR timeout")
+    slow.close()
+    print(f"slowloris evicted OK (concurrent solve {fast_ms:.0f}ms)")
+
+
+def chaos_oversize(port: int) -> None:
+    c = Client(port)
+    c.send("SOLVE\n" + "x" * (MAX_FRAME_BYTES * 2) + "\n")  # END unsent
+    verdict = c.read_line()  # must arrive before the frame completes
+    if not verdict.startswith("ERR oversize"):
+        fail(f"oversize verdict: {verdict!r}")
+    c.send("END\nPING\n")  # finish the frame: session is still in sync
+    if c.read_line() != "PONG":
+        fail("session out of sync after an oversize frame")
+    c.send("QUIT\n")
+    c.close()
+    print("oversize frame refused early OK")
+
+
+def chaos_overload(port: int) -> None:
+    """Fill every slot, then expect ERR overload; then expect recovery."""
+    holders = []
+    shed = None
+    try:
+        for i in range(MAX_CONNS):
+            h = Client(port)
+            h.send("PING\n")
+            if h.read_line() != "PONG":
+                fail(f"holder {i} did not PONG")
+            holders.append(h)
+        extra = Client(port)
+        verdict = extra.read_line()
+        if not verdict.startswith("ERR overload"):
+            fail(f"overload verdict: {verdict!r}")
+        extra.close()
+        shed = verdict
+    finally:
+        for h in holders:
+            try:
+                h.send("QUIT\n")
+            except OSError:
+                pass
+            h.close()
+    # Slots freed: the next client is served, not shed.
+    deadline = time.monotonic() + 5
+    while True:
+        c = Client(port)
+        c.send("PING\n")
+        line = c.read_line()
+        c.close()
+        if line == "PONG":
+            break
+        if time.monotonic() > deadline:
+            fail(f"shedding is sticky after sessions closed: {line!r}")
+        time.sleep(0.05)
+    print(f"overload shed OK ({shed})")
+
+
+def chaos_quit_storm(port: int) -> None:
+    """Concurrent SOLVE/QUIT/disconnect churn; every session ends typed."""
+    errors = []
+    rng = random.Random(20260808)
+    plans = [rng.choice(["solve", "quit", "vanish"]) for _ in range(48)]
+
+    def run(idx: int, plan: str) -> None:
+        try:
+            c = Client(port)
+            if plan == "solve":
+                c.send(f"SOLVE\n{make_instance(idx % 7)}END\nQUIT\n")
+                head = c.read_line()
+                if head.startswith("ERR overload"):
+                    return  # shed under the storm: a typed, legal outcome
+                if not head.startswith("OK cache="):
+                    errors.append(f"[{idx}] solve head: {head!r}")
+                    return
+                c.read_until_end()
+                if c.read_line() != "BYE":
+                    errors.append(f"[{idx}] solve tail not BYE")
+            elif plan == "quit":
+                c.send("QUIT\n")
+                line = c.read_line()
+                if line not in ("BYE",) and not line.startswith("ERR overload"):
+                    errors.append(f"[{idx}] quit got: {line!r}")
+            else:
+                c.send("SOLVE\ntt 2\n")
+            c.close()
+        except OSError as e:
+            errors.append(f"[{idx}] {plan}: {e}")
+
+    threads = [threading.Thread(target=run, args=(i, p))
+               for i, p in enumerate(plans)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    if errors:
+        fail("quit storm: " + "; ".join(errors[:5]))
+    check_alive(port, "quit-storm")
+    print(f"concurrent storm OK ({len(plans)} sessions)")
+
+
+def check_server_counters(port: int) -> None:
+    c = Client(port)
+    c.send("STATS\n")
+    head = c.read_line()
+    if head != "STATS":
+        fail(f"STATS head: {head!r}")
+    body = c.read_until_end()
+    c.send("QUIT\n")
+    c.close()
+    counters = dict(l.split(" = ", 1) for l in body if " = " in l)
+    for name in ("svc.server.accepted", "svc.server.shed",
+                 "svc.server.timed_out", "svc.server.drained"):
+        if name not in counters:
+            fail(f"STATS lacks {name}")
+    if int(counters["svc.server.accepted"]) < MAX_CONNS:
+        fail(f"accepted = {counters['svc.server.accepted']}, too low")
+    if int(counters["svc.server.shed"]) < 1:
+        fail("shed counter is zero after the overload scenario")
+    if int(counters["svc.server.timed_out"]) < 1:
+        fail("timed_out counter is zero after the slowloris scenario")
+    print("svc.server.* counters OK")
+
+
+def chaos_drain(proc: subprocess.Popen, port: int) -> None:
+    """SIGTERM under load: terminal replies for all, exit 0 in budget."""
+    n = 6  # concurrent in-flight solves (distinct instances, all misses)
+    results = [None] * n
+    barrier = threading.Barrier(n + 1)
+
+    def run(idx: int) -> None:
+        c = Client(port, timeout=DRAIN_TIMEOUT_MS / 1000 + 5)
+        c.send(f"SOLVE\n{make_instance(100 + idx)}END\n")
+        barrier.wait()
+        head = c.read_line()
+        if head.startswith("OK cache="):
+            c.read_until_end()
+            results[idx] = ("ok", c.read_line())  # BYE expected on drain
+        else:
+            results[idx] = ("err", head)
+        c.close()
+
+    idle = Client(port, timeout=DRAIN_TIMEOUT_MS / 1000 + 5)
+    idle.send("PING\n")
+    if idle.read_line() != "PONG":
+        fail("idle session did not PONG before drain")
+
+    threads = [threading.Thread(target=run, args=(i,)) for i in range(n)]
+    for t in threads:
+        t.start()
+    barrier.wait()  # every client has its SOLVE on the wire
+    t0 = time.monotonic()
+    proc.send_signal(signal.SIGTERM)
+    try:
+        rc = proc.wait(timeout=DRAIN_TIMEOUT_MS / 1000 + 5)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        fail("daemon did not exit within the drain budget")
+    elapsed_ms = (time.monotonic() - t0) * 1000
+    if rc != 0:
+        fail(f"daemon exited {rc} on SIGTERM, expected 0")
+    for t in threads:
+        t.join()
+
+    for i, res in enumerate(results):
+        if res is None:
+            fail(f"drain client {i} got no reply at all")
+        kind, detail = res
+        if kind == "err" and not detail.startswith("ERR cancelled"):
+            fail(f"drain client {i} non-terminal reply: {detail!r}")
+    idle_line = idle.read_line()
+    if idle_line != "BYE":
+        fail(f"idle session got {idle_line!r} on drain, expected BYE")
+    idle.close()
+    oks = sum(1 for r in results if r[0] == "ok")
+    print(f"graceful drain OK: {oks}/{n} completed, "
+          f"{n - oks} cancelled, exit 0 in {elapsed_ms:.0f}ms")
+
+
+def main() -> int:
+    binary = sys.argv[1] if len(sys.argv) > 1 else "./build/src/ttp_serve"
+    proc, port = spawn_daemon(binary)
+    try:
+        chaos_torn_frames(port)
+        chaos_slowloris(port)
+        chaos_oversize(port)
+        chaos_overload(port)
+        chaos_quit_storm(port)
+        check_server_counters(port)
+        chaos_drain(proc, port)  # terminates the daemon
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            fail("daemon had to be killed")
+    print("chaos smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
