@@ -1,0 +1,65 @@
+#include "cluster/ring.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ttp::cluster {
+
+Ring::Ring(std::vector<std::string> backends, int vnodes)
+    : backends_(std::move(backends)), vnodes_(std::max(vnodes, 1)) {
+  if (backends_.empty()) {
+    throw std::invalid_argument("Ring: at least one backend required");
+  }
+  points_.reserve(backends_.size() * static_cast<std::size_t>(vnodes_));
+  for (std::size_t b = 0; b < backends_.size(); ++b) {
+    for (int v = 0; v < vnodes_; ++v) {
+      // Hash the *name*, never the index: a backend keeps its points no
+      // matter where it appears in the --backend list, which is what makes
+      // placement permutation- and restart-stable.
+      const svc::CanonKey k =
+          svc::hash128(backends_[b] + "#" + std::to_string(v));
+      points_.push_back(Point{k.hi, static_cast<std::uint32_t>(b)});
+    }
+  }
+  std::sort(points_.begin(), points_.end(),
+            [this](const Point& a, const Point& b) {
+              if (a.hash != b.hash) return a.hash < b.hash;
+              // Hash ties are ~impossible at 64 bits, but break them by
+              // name so equal configurations agree regardless of order.
+              return backends_[a.backend] < backends_[b.backend];
+            });
+}
+
+std::size_t Ring::first_point(std::uint64_t pos) const {
+  const auto it = std::lower_bound(
+      points_.begin(), points_.end(), pos,
+      [](const Point& p, std::uint64_t v) { return p.hash < v; });
+  if (it == points_.end()) return 0;  // wrap around
+  return static_cast<std::size_t>(it - points_.begin());
+}
+
+std::size_t Ring::primary(const svc::CanonKey& key) const {
+  return points_[first_point(position(key))].backend;
+}
+
+std::vector<std::size_t> Ring::replicas(const svc::CanonKey& key,
+                                        std::size_t want) const {
+  want = std::min(want, backends_.size());
+  std::vector<std::size_t> out;
+  if (want == 0) return out;
+  out.reserve(want);
+  std::vector<bool> seen(backends_.size(), false);
+  std::size_t i = first_point(position(key));
+  for (std::size_t steps = 0; steps < points_.size() && out.size() < want;
+       ++steps) {
+    const std::uint32_t b = points_[i].backend;
+    if (!seen[b]) {
+      seen[b] = true;
+      out.push_back(b);
+    }
+    i = (i + 1) % points_.size();
+  }
+  return out;
+}
+
+}  // namespace ttp::cluster

@@ -1,0 +1,488 @@
+#include "cluster/router.hpp"
+
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+
+namespace ttp::cluster {
+
+bool parse_router_args(int argc, const char* const* argv, RouterArgs& args,
+                       std::string& error) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto is = [&](const char* flag) {
+      return arg.rfind(std::string(flag) + "=", 0) == 0;
+    };
+    long v = 0;
+    if (arg == "--help" || arg == "-h") {
+      args.help = true;
+      return true;
+    } else if (is("--port")) {
+      if (!svc::parse_flag_long(arg, "--port", 0, 65535, v, error)) {
+        return false;
+      }
+      args.port = static_cast<int>(v);
+    } else if (is("--backend")) {
+      const std::string addr = arg.substr(std::strlen("--backend="));
+      if (addr.empty()) {
+        error = "--backend expects host:port";
+        return false;
+      }
+      for (const std::string& b : args.backends) {
+        if (b == addr) {
+          error = "duplicate --backend=" + addr;
+          return false;
+        }
+      }
+      args.backends.push_back(addr);
+    } else if (is("--vnodes")) {
+      if (!svc::parse_flag_long(arg, "--vnodes", 1, 4096, v, error)) {
+        return false;
+      }
+      args.cfg.vnodes = static_cast<int>(v);
+    } else if (is("--retries")) {
+      if (!svc::parse_flag_long(arg, "--retries", 0, 16, v, error)) {
+        return false;
+      }
+      args.cfg.retries = static_cast<int>(v);
+    } else if (is("--hedge-ms")) {
+      if (!svc::parse_flag_long(arg, "--hedge-ms", 0, 60'000, v, error)) {
+        return false;
+      }
+      args.cfg.hedge_ms = static_cast<int>(v);
+#ifndef _WIN32
+    } else if (is("--connect-timeout-ms")) {
+      if (!svc::parse_flag_long(arg, "--connect-timeout-ms", 1, 600'000, v,
+                                error)) {
+        return false;
+      }
+      args.cfg.upstream.connect_timeout_ms = static_cast<int>(v);
+    } else if (is("--request-timeout-ms")) {
+      if (!svc::parse_flag_long(arg, "--request-timeout-ms", 1, 600'000, v,
+                                error)) {
+        return false;
+      }
+      args.cfg.upstream.request_timeout_ms = static_cast<int>(v);
+    } else if (is("--pool-size")) {
+      if (!svc::parse_flag_long(arg, "--pool-size", 0, 1024, v, error)) {
+        return false;
+      }
+      args.cfg.upstream.pool_size = static_cast<std::size_t>(v);
+    } else if (is("--max-idle-ms")) {
+      if (!svc::parse_flag_long(arg, "--max-idle-ms", 1, 1'000'000'000L, v,
+                                error)) {
+        return false;
+      }
+      args.cfg.upstream.max_idle_ms = static_cast<int>(v);
+    } else if (is("--probe-interval-ms")) {
+      if (!svc::parse_flag_long(arg, "--probe-interval-ms", 1, 600'000, v,
+                                error)) {
+        return false;
+      }
+      args.cfg.health.probe_interval_ms = static_cast<int>(v);
+    } else if (is("--probe-timeout-ms")) {
+      if (!svc::parse_flag_long(arg, "--probe-timeout-ms", 1, 600'000, v,
+                                error)) {
+        return false;
+      }
+      args.cfg.health.probe_timeout_ms = static_cast<int>(v);
+    } else if (is("--eject-after")) {
+      if (!svc::parse_flag_long(arg, "--eject-after", 1, 1000, v, error)) {
+        return false;
+      }
+      args.cfg.health.eject_after = static_cast<int>(v);
+    } else if (is("--readmit-after")) {
+      if (!svc::parse_flag_long(arg, "--readmit-after", 1, 1000, v, error)) {
+        return false;
+      }
+      args.cfg.health.readmit_after = static_cast<int>(v);
+#endif  // !_WIN32
+    } else if (is("--max-conns")) {
+      if (!svc::parse_flag_long(arg, "--max-conns", 1, 65536, v, error)) {
+        return false;
+      }
+      args.server.max_conns = static_cast<std::size_t>(v);
+    } else if (is("--idle-timeout-ms")) {
+      if (!svc::parse_flag_long(arg, "--idle-timeout-ms", 0, 1'000'000'000L,
+                                v, error)) {
+        return false;
+      }
+      args.server.idle_timeout_ms = static_cast<int>(v);
+    } else if (is("--read-timeout-ms")) {
+      if (!svc::parse_flag_long(arg, "--read-timeout-ms", 0, 1'000'000'000L,
+                                v, error)) {
+        return false;
+      }
+      args.server.read_timeout_ms = static_cast<int>(v);
+    } else if (is("--drain-timeout-ms")) {
+      if (!svc::parse_flag_long(arg, "--drain-timeout-ms", 1,
+                                1'000'000'000L, v, error)) {
+        return false;
+      }
+      args.server.drain_timeout_ms = static_cast<int>(v);
+    } else if (is("--max-frame-bytes")) {
+      if (!svc::parse_flag_long(arg, "--max-frame-bytes", 1024, 1L << 30, v,
+                                error)) {
+        return false;
+      }
+      args.server.max_frame_bytes = static_cast<std::size_t>(v);
+    } else {
+      error = "unknown argument '" + arg + "'";
+      return false;
+    }
+  }
+  if (args.backends.empty()) {
+    error = "at least one --backend=host:port is required";
+    return false;
+  }
+  args.server.port = args.port;
+  args.cfg.max_frame_bytes = args.server.max_frame_bytes;
+  return true;
+}
+
+}  // namespace ttp::cluster
+
+#ifndef _WIN32
+
+#include <poll.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <istream>
+#include <ostream>
+
+#include "obs/flight.hpp"
+#include "obs/prom.hpp"
+#include "svc/wire.hpp"
+#include "tt/serialize.hpp"
+
+namespace ttp::cluster {
+
+namespace {
+
+bool get_line(std::istream& in, std::string& line) {
+  if (!std::getline(in, line)) return false;
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  return true;
+}
+
+std::vector<std::unique_ptr<Upstream>> make_upstreams(
+    const std::vector<std::string>& backends, const UpstreamConfig& cfg,
+    obs::MetricsRegistry& reg) {
+  if (backends.empty()) {
+    throw std::invalid_argument("Router: at least one backend required");
+  }
+  std::vector<std::unique_ptr<Upstream>> out;
+  out.reserve(backends.size());
+  for (const std::string& addr : backends) {
+    out.push_back(std::make_unique<Upstream>(addr, cfg, reg));
+  }
+  return out;
+}
+
+}  // namespace
+
+Router::Router(std::vector<std::string> backends, RouterConfig cfg)
+    : cfg_(cfg),
+      upstreams_(make_upstreams(backends, cfg.upstream, metrics_)),
+      ring_(backends, cfg.vnodes),
+      routed_(metrics_.counter("cluster.routed")),
+      retried_(metrics_.counter("cluster.retried")),
+      hedged_(metrics_.counter("cluster.hedged")),
+      hedge_wins_(metrics_.counter("cluster.hedge_wins")),
+      upstream_errors_(metrics_.counter("cluster.upstream_errors")) {
+  std::vector<Upstream*> probe_targets;
+  probe_targets.reserve(upstreams_.size());
+  for (const auto& up : upstreams_) probe_targets.push_back(up.get());
+  prober_ = std::make_unique<HealthProber>(std::move(probe_targets),
+                                           cfg_.health, metrics_);
+}
+
+Router::~Router() { prober_->stop(); }
+
+bool Router::retryable_code(const std::string& code) noexcept {
+  // SOLVE is a pure idempotent computation, so anything transient is safe
+  // to replay on another replica. bad-request/oversize/internal are
+  // deterministic — every backend would answer the same.
+  return code == "cancelled" || code == "overload" || code == "timeout";
+}
+
+int Router::hedge_delay_ms() const {
+  if (cfg_.hedge_ms <= 0) return 0;
+  const obs::QuantileSnapshot snap = e2e_us_.snapshot();
+  if (snap.count() < 64) return cfg_.hedge_ms;
+  const int p95_ms = static_cast<int>(snap.quantile(0.95) / 1000);
+  return std::min(cfg_.hedge_ms, std::max(1, p95_ms));
+}
+
+Router::Attempt Router::read_reply(Upstream& up,
+                                   std::unique_ptr<svc::WireClient> conn) {
+  Attempt a;  // defaults to kTransport
+  const int budget = cfg_.upstream.request_timeout_ms;
+  std::string head;
+  if (!conn->read_line(head, budget)) return a;
+  if (head.rfind("ERR ", 0) == 0) {
+    const std::size_t sp = head.find(' ', 4);
+    a.code = head.substr(4, sp == std::string::npos ? std::string::npos
+                                                    : sp - 4);
+    a.kind = Attempt::Kind::kTypedErr;
+    a.reply = head + "\n";
+    up.release(std::move(conn));
+    return a;
+  }
+  if (head.rfind("OK", 0) == 0 || head == "TRACE") {
+    std::vector<std::string> body;
+    if (!conn->read_until("END", body, budget)) return a;
+    std::string reply = head;
+    reply += '\n';
+    for (const std::string& l : body) {
+      reply += l;
+      reply += '\n';
+    }
+    reply += "END\n";
+    a.kind = Attempt::Kind::kOk;
+    a.reply = std::move(reply);
+    up.release(std::move(conn));
+    return a;
+  }
+  return a;  // garbled head: protocol desync, treat as transport failure
+}
+
+Router::Attempt Router::forward_once(Upstream& up, const std::string& frame) {
+  std::unique_ptr<svc::WireClient> conn = up.acquire();
+  if (conn == nullptr) return Attempt{};
+  if (!conn->send(frame)) return Attempt{};
+  return read_reply(up, std::move(conn));
+}
+
+Router::Attempt Router::forward_hedged(Upstream& a, Upstream& b,
+                                       const std::string& frame) {
+  std::unique_ptr<svc::WireClient> c1 = a.acquire();
+  if (c1 == nullptr || !c1->send(frame)) return Attempt{};
+  if (c1->poll_readable(hedge_delay_ms())) {
+    return read_reply(a, std::move(c1));
+  }
+  // The primary is slow; launch the duplicate and take whichever replica
+  // completes a reply first. The loser's connection is discarded (its
+  // reply is still in flight, so it can never go back to the pool).
+  hedged_.add(1);
+  std::unique_ptr<svc::WireClient> c2 = b.acquire();
+  if (c2 == nullptr || !c2->send(frame)) {
+    return read_reply(a, std::move(c1));  // hedge failed to launch
+  }
+  const std::int64_t deadline =
+      obs::steady_now_ns() +
+      static_cast<std::int64_t>(cfg_.upstream.request_timeout_ms) *
+          1'000'000;
+  while (c1 != nullptr || c2 != nullptr) {
+    const int left_ms = static_cast<int>(
+        (deadline - obs::steady_now_ns()) / 1'000'000);
+    if (left_ms <= 0) break;
+    pollfd pfds[2];
+    int n = 0;
+    int i1 = -1, i2 = -1;
+    if (c1 != nullptr) {
+      pfds[n] = pollfd{c1->fd(), POLLIN, 0};
+      i1 = n++;
+    }
+    if (c2 != nullptr) {
+      pfds[n] = pollfd{c2->fd(), POLLIN, 0};
+      i2 = n++;
+    }
+    const int pr = ::poll(pfds, static_cast<nfds_t>(n), left_ms);
+    if (pr < 0 && errno == EINTR) continue;
+    if (pr <= 0) break;
+    if (i1 >= 0 && pfds[i1].revents != 0) {
+      Attempt r = read_reply(a, std::move(c1));
+      if (r.kind != Attempt::Kind::kTransport) return r;
+      continue;  // primary died mid-reply; keep waiting on the hedge
+    }
+    if (i2 >= 0 && pfds[i2].revents != 0) {
+      Attempt r = read_reply(b, std::move(c2));
+      if (r.kind != Attempt::Kind::kTransport) {
+        hedge_wins_.add(1);
+        return r;
+      }
+    }
+  }
+  return Attempt{};
+}
+
+void Router::handle_solve(std::istream& in, std::ostream& out,
+                          const svc::SessionOptions& opts) {
+  std::string blob;
+  if (!svc::read_solve_frame(in, out, opts, blob)) return;
+  svc::CanonKey key;
+  try {
+    key = svc::canonicalize(tt::from_text(blob)).key;
+  } catch (const std::exception& e) {
+    // Reject here rather than forwarding garbage: the verdict is
+    // deterministic and the backends shouldn't pay for it.
+    svc::write_err(out, "bad-request", e.what());
+    return;
+  }
+  const std::string frame = "SOLVE\n" + blob + "END\n";
+  const std::vector<std::size_t> order =
+      ring_.replicas(key, upstreams_.size());
+  std::vector<std::size_t> cands;
+  for (const std::size_t i : order) {
+    if (upstreams_[i]->routable()) cands.push_back(i);
+  }
+  if (cands.empty()) {
+    upstream_errors_.add(1);
+    svc::write_err(out, "upstream",
+                   "no routable backends for key " + key.hex());
+    return;
+  }
+  const std::size_t attempts = std::min(
+      cands.size(), static_cast<std::size_t>(cfg_.retries) + 1);
+  const std::int64_t t0 = obs::steady_now_ns();
+  std::string last_typed;
+  for (std::size_t i = 0; i < attempts; ++i) {
+    Upstream& up = *upstreams_[cands[i]];
+    Attempt r;
+    if (i == 0 && cfg_.hedge_ms > 0 && cands.size() >= 2) {
+      r = forward_hedged(up, *upstreams_[cands[1]], frame);
+    } else {
+      r = forward_once(up, frame);
+    }
+    if (r.kind == Attempt::Kind::kOk) {
+      out << r.reply << std::flush;
+      routed_.add(1);
+      e2e_us_.record(static_cast<std::uint64_t>(
+          (obs::steady_now_ns() - t0) / 1000));
+      return;
+    }
+    if (r.kind == Attempt::Kind::kTypedErr) {
+      if (!retryable_code(r.code)) {
+        out << r.reply << std::flush;
+        routed_.add(1);
+        return;
+      }
+      last_typed = r.reply;
+    }
+    if (i + 1 < attempts) retried_.add(1);
+  }
+  upstream_errors_.add(1);
+  if (!last_typed.empty()) {
+    // The backends were reachable but all declined (overload/cancelled/
+    // timeout); their typed verdict is more actionable than a generic
+    // upstream error.
+    out << last_typed << std::flush;
+  } else {
+    svc::write_err(out, "upstream",
+                   "all replicas failed for key " + key.hex());
+  }
+}
+
+void Router::handle_trace(const std::string& arg, std::ostream& out) {
+  // The router doesn't know which backend served a past request (hedges
+  // and failovers move keys around), so fan the lookup out. Ring order
+  // keeps the common case — the key's primary — first.
+  std::string last_err;
+  for (const auto& up : upstreams_) {
+    if (up->state() == Upstream::State::kEjected) continue;
+    std::unique_ptr<svc::WireClient> conn = up->acquire();
+    if (conn == nullptr) continue;
+    if (!conn->send("TRACE " + arg + "\n")) continue;
+    Attempt r = read_reply(*up, std::move(conn));
+    if (r.kind == Attempt::Kind::kOk) {
+      out << r.reply << std::flush;
+      return;
+    }
+    if (r.kind == Attempt::Kind::kTypedErr && r.code != "not-found") {
+      last_err = r.reply;
+    }
+  }
+  if (!last_err.empty()) {
+    out << last_err << std::flush;
+  } else {
+    svc::write_err(out, "not-found",
+                   "trace " + arg + " not held by any backend");
+  }
+}
+
+std::string Router::stats_text() const {
+  std::ostringstream os;
+  os << "ring.backends: " << upstreams_.size() << '\n'
+     << "ring.vnodes: " << cfg_.vnodes << '\n';
+  metrics_.print(os, "");
+  return os.str();
+}
+
+std::string Router::metrics_text() const {
+  std::ostringstream os;
+  os << "# TYPE ttp_build_info gauge\n"
+     << "ttp_build_info{role=\"router\"} 1\n";
+  obs::write_prometheus(os, metrics_);
+  obs::write_prometheus_summary(os, "svc.latency.seconds", "stage=\"e2e\"",
+                                e2e_us_.snapshot(), 1e-6,
+                                /*with_type_header=*/true);
+  return os.str();
+}
+
+std::string Router::health_text() const {
+  std::size_t routable = 0;
+  for (const auto& up : upstreams_) {
+    if (up->routable()) ++routable;
+  }
+  std::ostringstream os;
+  os << (draining() ? "draining" : routable == 0 ? "degraded" : "ready")
+     << '\n'
+     << "backends.total: " << upstreams_.size() << '\n'
+     << "backends.routable: " << routable << '\n'
+     << "probe.rounds: " << prober_->rounds() << '\n';
+  for (const auto& up : upstreams_) {
+    os << "backend." << up->address() << ": "
+       << Upstream::state_name(up->state()) << '\n';
+  }
+  return os.str();
+}
+
+svc::SessionResult Router::serve(std::istream& in, std::ostream& out,
+                                 const svc::SessionOptions& opts) {
+  svc::SessionResult result;
+  std::string line;
+  for (;;) {
+    if (opts.control != nullptr && opts.control->should_end()) {
+      result.end = svc::SessionEnd::kStopped;
+      return result;
+    }
+    if (opts.control != nullptr) opts.control->on_boundary();
+    if (!get_line(in, line)) {
+      result.end = svc::SessionEnd::kEof;
+      return result;
+    }
+    if (line.empty()) continue;
+    if (opts.control != nullptr) opts.control->on_frame();
+    ++result.handled;
+    if (line == "SOLVE") {
+      handle_solve(in, out, opts);
+    } else if (line == "STATS") {
+      out << "STATS\n" << stats_text() << "END\n" << std::flush;
+    } else if (line == "METRICS") {
+      out << "METRICS\n" << metrics_text() << "END\n" << std::flush;
+    } else if (line == "HEALTH") {
+      out << "HEALTH\n" << health_text() << "END\n" << std::flush;
+    } else if (line.rfind("TRACE ", 0) == 0) {
+      handle_trace(line.substr(6), out);
+    } else if (line == "PING") {
+      out << "PONG\n" << std::flush;
+    } else if (line == "QUIT") {
+      out << "BYE\n" << std::flush;
+      result.end = svc::SessionEnd::kQuit;
+      return result;
+    } else {
+      svc::write_err(out, "bad-request", "unknown command '" + line + "'");
+    }
+  }
+}
+
+void Router::drain_force() {
+  prober_->stop();
+  for (const auto& up : upstreams_) up->close_idle();
+}
+
+}  // namespace ttp::cluster
+
+#endif  // !_WIN32

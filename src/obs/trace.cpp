@@ -1,9 +1,11 @@
 #include "obs/trace.hpp"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <random>
 #include <stdexcept>
 
 #include "obs/export.hpp"
@@ -30,10 +32,24 @@ std::uint64_t splitmix64(std::uint64_t x) noexcept {
   return x ^ (x >> 31);
 }
 
+// Each process mints from its own random region of the counter space.
+// Trace IDs travel across processes — ttp_router fans TRACE lookups over
+// many backends — so two daemons walking the same sequence would alias
+// distinct requests under one ID.
+std::uint64_t process_trace_origin() noexcept {
+  try {
+    std::random_device rd;
+    return (static_cast<std::uint64_t>(rd()) << 32) | rd();
+  } catch (...) {
+    return static_cast<std::uint64_t>(
+        std::chrono::steady_clock::now().time_since_epoch().count());
+  }
+}
+
 }  // namespace
 
 std::uint64_t next_trace_id() noexcept {
-  static std::atomic<std::uint64_t> counter{1};
+  static std::atomic<std::uint64_t> counter{process_trace_origin()};
   const std::uint64_t id =
       splitmix64(counter.fetch_add(1, std::memory_order_relaxed));
   return id == 0 ? 1 : id;  // 0 is "no trace"; splitmix64 hits it once ever

@@ -110,7 +110,10 @@ int main(int argc, char** argv) {
   g_server.store(&server, std::memory_order_relaxed);
   std::signal(SIGTERM, on_shutdown_signal);
   std::signal(SIGINT, on_shutdown_signal);
-  std::cerr << "ttp_serve: listening on port " << server.port() << "\n";
+  // First line is machine-parseable — tools (serve_smoke, chaos_client,
+  // cluster_smoke) read the resolved ephemeral port from it.
+  std::cerr << "LISTENING " << server.port() << "\n"
+            << "ttp_serve: listening on port " << server.port() << "\n";
   const int rc = server.run();
   g_server.store(nullptr, std::memory_order_relaxed);
   std::cerr << "ttp_serve: drained, exiting\n";

@@ -7,12 +7,8 @@
 
 namespace ttp::svc {
 
-namespace {
-
-/// Strict long parse of "--flag=value": the whole value must be a decimal
-/// number (optional leading '-') inside [min, max].
-bool parse_long(const std::string& arg, const char* flag, long min, long max,
-                long& out, std::string& error) {
+bool parse_flag_long(const std::string& arg, const char* flag, long min,
+                     long max, long& out, std::string& error) {
   const std::string value = arg.substr(std::strlen(flag) + 1);
   bool ok = !value.empty();
   std::size_t i = value[0] == '-' ? 1 : 0;
@@ -39,6 +35,14 @@ bool parse_long(const std::string& arg, const char* flag, long min, long max,
   }
   out = v;
   return true;
+}
+
+namespace {
+
+/// Local shorthand for the serve-args table below.
+bool parse_long(const std::string& arg, const char* flag, long min, long max,
+                long& out, std::string& error) {
+  return parse_flag_long(arg, flag, min, max, out, error);
 }
 
 }  // namespace
@@ -213,7 +217,27 @@ void FdStreamBuf::on_frame() {
                      : 0;
 }
 
-bool FdStreamBuf::should_end() { return draining(); }
+void FdStreamBuf::arm_deadline_ms(int ms) noexcept {
+  // A client-side per-call budget. at_boundary_ stays false so a draining
+  // flag (never set on the client side anyway) cannot cut a read short.
+  at_boundary_ = false;
+  deadline_ns_ =
+      ms > 0 ? obs::steady_now_ns() + static_cast<std::int64_t>(ms) * 1'000'000
+             : 0;
+}
+
+bool FdStreamBuf::pending_readable() const noexcept {
+  if (gptr() < egptr()) return true;  // bytes already decoded and buffered
+  pollfd pfd{fd_, POLLIN, 0};
+  return ::poll(&pfd, 1, 0) > 0;
+}
+
+bool FdStreamBuf::should_end() {
+  // A drain ends the session at the next command boundary — but a request
+  // that was fully on the wire before the drain began is in flight from
+  // the client's point of view and still gets its terminal reply.
+  return draining() && !pending_readable();
+}
 
 int FdStreamBuf::remaining_ms() const noexcept {
   if (deadline_ns_ == 0) return -1;
@@ -225,10 +249,12 @@ int FdStreamBuf::remaining_ms() const noexcept {
 
 std::streambuf::int_type FdStreamBuf::underflow() {
   for (;;) {
-    // Between commands a draining server ends the session here; inside a
-    // frame the read proceeds (under its deadline) so an in-flight SOLVE
-    // body is not torn by the drain itself.
-    if (at_boundary_ && draining()) {
+    // Between commands a draining server ends the session here — unless
+    // request bytes are already queued, which means a command crossed the
+    // drain on the wire and must still be served. Inside a frame the read
+    // proceeds (under its deadline) so an in-flight SOLVE body is not torn
+    // by the drain itself.
+    if (at_boundary_ && draining() && !pending_readable()) {
       event_ = Event::kDrain;
       return traits_type::eof();
     }
@@ -305,14 +331,28 @@ int FdStreamBuf::sync() {
   return 0;
 }
 
-Server::Server(Service& svc, ServerConfig cfg)
-    : svc_(svc),
+Server::Server(SessionHost& host, ServerConfig cfg)
+    : host_(host),
       cfg_(cfg),
-      accepted_(svc.metrics().counter("svc.server.accepted")),
-      shed_(svc.metrics().counter("svc.server.shed")),
-      timed_out_(svc.metrics().counter("svc.server.timed_out")),
-      drained_(svc.metrics().counter("svc.server.drained")),
-      active_gauge_(svc.metrics().gauge("svc.server.active")) {
+      accepted_(host.session_metrics().counter("svc.server.accepted")),
+      shed_(host.session_metrics().counter("svc.server.shed")),
+      timed_out_(host.session_metrics().counter("svc.server.timed_out")),
+      drained_(host.session_metrics().counter("svc.server.drained")),
+      errored_(host.session_metrics().counter("svc.server.session_errors")),
+      active_gauge_(host.session_metrics().gauge("svc.server.active")) {
+  cfg_.max_conns = std::max<std::size_t>(cfg_.max_conns, 1);
+}
+
+Server::Server(Service& svc, ServerConfig cfg)
+    : owned_host_(std::make_unique<ServiceHost>(svc)),
+      host_(*owned_host_),
+      cfg_(cfg),
+      accepted_(host_.session_metrics().counter("svc.server.accepted")),
+      shed_(host_.session_metrics().counter("svc.server.shed")),
+      timed_out_(host_.session_metrics().counter("svc.server.timed_out")),
+      drained_(host_.session_metrics().counter("svc.server.drained")),
+      errored_(host_.session_metrics().counter("svc.server.session_errors")),
+      active_gauge_(host_.session_metrics().gauge("svc.server.active")) {
   cfg_.max_conns = std::max<std::size_t>(cfg_.max_conns, 1);
 }
 
@@ -374,7 +414,7 @@ bool Server::listen(std::string& error) {
 
 void Server::begin_drain() noexcept {
   draining_.store(true, std::memory_order_relaxed);
-  svc_.set_draining(true);
+  host_.drain_begin();
 }
 
 std::size_t Server::active_sessions() const {
@@ -426,7 +466,18 @@ void Server::run_session(Session& session) {
   SessionOptions session_opts;
   session_opts.max_frame_bytes = cfg_.max_frame_bytes;
   session_opts.control = &buf;
-  const SessionResult result = serve_session(svc_, in, out, session_opts);
+  SessionResult result;
+  try {
+    result = host_.serve(in, out, session_opts);
+  } catch (const std::exception& e) {
+    // A host bug must cost one session, not the whole daemon: an exception
+    // escaping into this thread would std::terminate the process and tear
+    // down every other connection with it.
+    out.clear();
+    write_err(out, "internal", std::string("session aborted: ") + e.what());
+    errored_.add(1);
+    result.end = SessionEnd::kEof;
+  }
   if (result.end == SessionEnd::kStopped ||
       (result.end == SessionEnd::kEof &&
        buf.event() == FdStreamBuf::Event::kDrain)) {
@@ -513,10 +564,12 @@ void Server::drain() {
     std::this_thread::sleep_for(std::chrono::milliseconds(5));
   }
   if (reap() == 0) return;
-  // Phase 2: solves still pending this deep into the budget are cancelled —
-  // the scheduler resolves every outstanding future kCancelled, so blocked
-  // sessions wake and still send a terminal "ERR cancelled" reply.
-  svc_.scheduler().stop();
+  // Phase 2: work still pending this deep into the budget is cancelled —
+  // the host resolves every outstanding request terminally (the Service
+  // host stops the scheduler, so blocked sessions wake and still send a
+  // terminal "ERR cancelled" reply; the router host aborts its upstream
+  // waits the same way).
+  host_.drain_force();
   while (clock::now() < hard_deadline) {
     if (reap() == 0) return;
     std::this_thread::sleep_for(std::chrono::milliseconds(5));

@@ -72,6 +72,14 @@ struct ServeArgs {
 bool parse_serve_args(int argc, const char* const* argv, ServeArgs& args,
                       std::string& error);
 
+/// Strict long parse of one "--flag=value" argument: the whole value must
+/// be a decimal number (optional leading '-') inside [min, max], else
+/// `error` names the flag and the accepted range. Shared by ttp_serve and
+/// ttp_router (src/cluster) so every daemon flag gets the same
+/// no-silent-wrap validation.
+bool parse_flag_long(const std::string& arg, const char* flag, long min,
+                     long max, long& out, std::string& error);
+
 }  // namespace ttp::svc
 
 #ifndef _WIN32
@@ -117,6 +125,11 @@ class FdStreamBuf final : public std::streambuf, public SessionControl {
 
   Event event() const noexcept { return event_; }
 
+  /// Re-arms the read deadline `ms` from now (0 or negative = none).
+  /// Client-side users (svc::WireClient) hand in a per-call budget here;
+  /// the server side arms deadlines via on_boundary()/on_frame() instead.
+  void arm_deadline_ms(int ms) noexcept;
+
   // SessionControl: the wire loop reports protocol position.
   void on_boundary() override;
   void on_frame() override;
@@ -132,6 +145,10 @@ class FdStreamBuf final : public std::streambuf, public SessionControl {
 
  private:
   bool draining() const noexcept;
+  /// Request bytes already buffered or queued in the kernel: a drain must
+  /// serve those before saying BYE, or a fully-sent command would be
+  /// silently dropped by the shutdown race.
+  bool pending_readable() const noexcept;
   /// Milliseconds left on the current deadline; -1 = no deadline.
   int remaining_ms() const noexcept;
 
@@ -145,10 +162,54 @@ class FdStreamBuf final : public std::streambuf, public SessionControl {
   char wbuf_[4096];
 };
 
+/// What the supervised session pool serves. The Server owns the sockets,
+/// deadlines, shedding, reaping, and graceful drain; the host owns the
+/// protocol — ttp_serve plugs in its Service sessions (ServiceHost below),
+/// the cluster router (src/cluster/router.hpp) plugs in its forwarding
+/// sessions, and both get the identical hardened connection lifecycle.
+class SessionHost {
+ public:
+  virtual ~SessionHost() = default;
+  /// Registry the server's lifecycle counters (svc.server.*) live in.
+  virtual obs::MetricsRegistry& session_metrics() = 0;
+  /// One session over the given streams; the server wires opts.control to
+  /// its transport (FdStreamBuf) before calling.
+  virtual SessionResult serve(std::istream& in, std::ostream& out,
+                              const SessionOptions& opts) = 0;
+  /// Drain announced. Called from Server::begin_drain — which signal
+  /// handlers invoke — so implementations MUST be async-signal-safe
+  /// (atomic stores only).
+  virtual void drain_begin() noexcept {}
+  /// Drain deadline approaching: cancel pending work so blocked sessions
+  /// wake with terminal replies. Called from the drain thread.
+  virtual void drain_force() {}
+};
+
+/// The ttp_serve host: sessions run serve_session over the shared Service;
+/// drain flips the Service's draining flag and, when forced, stops the
+/// scheduler (pending solves resolve kCancelled).
+class ServiceHost final : public SessionHost {
+ public:
+  explicit ServiceHost(Service& svc) : svc_(svc) {}
+  obs::MetricsRegistry& session_metrics() override { return svc_.metrics(); }
+  SessionResult serve(std::istream& in, std::ostream& out,
+                      const SessionOptions& opts) override {
+    return serve_session(svc_, in, out, opts);
+  }
+  void drain_begin() noexcept override { svc_.set_draining(true); }
+  void drain_force() override { svc_.scheduler().stop(); }
+
+ private:
+  Service& svc_;
+};
+
 /// The supervised session pool. One Server owns the listener and every
-/// session thread; all sessions share the one Service.
+/// session thread; all sessions share the one SessionHost.
 class Server {
  public:
+  Server(SessionHost& host, ServerConfig cfg);
+  /// Convenience for the common case: serves `svc` through an internally
+  /// owned ServiceHost.
   Server(Service& svc, ServerConfig cfg);
   ~Server();
 
@@ -192,7 +253,8 @@ class Server {
   /// The end-of-run drain sequence described in the header comment.
   void drain();
 
-  Service& svc_;
+  std::unique_ptr<SessionHost> owned_host_;  ///< Set by the Service ctor.
+  SessionHost& host_;
   ServerConfig cfg_;
   int listener_ = -1;
   int port_ = -1;
@@ -206,6 +268,7 @@ class Server {
   obs::Counter& shed_;
   obs::Counter& timed_out_;
   obs::Counter& drained_;
+  obs::Counter& errored_;
   obs::Gauge& active_gauge_;
 };
 

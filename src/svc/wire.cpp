@@ -35,64 +35,19 @@ std::string_view err_code(Status s) noexcept {
   return "internal";
 }
 
-void reply_err(std::ostream& out, std::string_view code,
-               const std::string& message) {
-  // Newline-framed protocol: the message must stay on one line.
-  std::string flat = message;
-  for (char& c : flat) {
-    if (c == '\n' || c == '\r') c = ' ';
-  }
-  out << "ERR " << code << ' ' << flat << '\n' << std::flush;
-}
-
 void handle_solve(Service& svc, std::istream& in, std::ostream& out,
                   const SessionOptions& opts) {
   std::string blob;
-  std::string line;
-  bool terminated = false;
-  bool oversize = false;
-  std::size_t bytes = 0;
-  while (get_line(in, line)) {
-    if (line == "END") {
-      terminated = true;
-      break;
-    }
-    if (oversize) continue;  // discard the rest of the frame unbuffered
-    bytes += line.size() + 1;
-    if (opts.max_frame_bytes != 0 && bytes > opts.max_frame_bytes) {
-      // Reply before the frame finishes arriving: a hostile client gets its
-      // verdict after max_frame_bytes, not after an arbitrarily large body.
-      oversize = true;
-      blob.clear();
-      blob.shrink_to_fit();
-      reply_err(out, "oversize",
-                "SOLVE frame exceeds max-frame-bytes=" +
-                    std::to_string(opts.max_frame_bytes) +
-                    "; discarding until END");
-      continue;
-    }
-    blob += line;
-    blob += '\n';
-  }
-  if (oversize) return;  // already replied; session stays in sync
-  if (!terminated) {
-    // A frame cut by the transport's own deadline gets its verdict from the
-    // transport ("ERR timeout ..."); only a client-side EOF mid-frame is a
-    // protocol violation worth a reply of its own.
-    if (opts.control == nullptr || !opts.control->transport_aborted()) {
-      reply_err(out, "bad-request", "SOLVE frame not terminated by END");
-    }
-    return;
-  }
+  if (!read_solve_frame(in, out, opts, blob)) return;
   Response res;
   try {
     res = svc.solve(tt::from_text(blob));
   } catch (const std::exception& e) {
-    reply_err(out, "bad-request", e.what());
+    write_err(out, "bad-request", e.what());
     return;
   }
   if (!res.ok()) {
-    reply_err(out, err_code(res.status), res.error);
+    write_err(out, err_code(res.status), res.error);
     return;
   }
   std::ostringstream reply;
@@ -108,12 +63,12 @@ void handle_solve(Service& svc, std::istream& in, std::ostream& out,
 void handle_trace(Service& svc, const std::string& arg, std::ostream& out) {
   const std::uint64_t trace = obs::trace_from_hex(arg);
   if (trace == 0) {
-    reply_err(out, "bad-request", "TRACE expects a 16-hex-digit id");
+    write_err(out, "bad-request", "TRACE expects a 16-hex-digit id");
     return;
   }
   const auto rec = svc.flight().find(trace);
   if (!rec.has_value()) {
-    reply_err(out, "not-found",
+    write_err(out, "not-found",
               "trace " + arg + " not in the flight recorder (ring holds " +
                   std::to_string(svc.flight().capacity()) +
                   " most recent requests)");
@@ -145,6 +100,58 @@ void handle_trace(Service& svc, const std::string& arg, std::ostream& out) {
 }
 
 }  // namespace
+
+void write_err(std::ostream& out, std::string_view code,
+               const std::string& message) {
+  // Newline-framed protocol: the message must stay on one line.
+  std::string flat = message;
+  for (char& c : flat) {
+    if (c == '\n' || c == '\r') c = ' ';
+  }
+  out << "ERR " << code << ' ' << flat << '\n' << std::flush;
+}
+
+bool read_solve_frame(std::istream& in, std::ostream& out,
+                      const SessionOptions& opts, std::string& blob) {
+  blob.clear();
+  std::string line;
+  bool terminated = false;
+  bool oversize = false;
+  std::size_t bytes = 0;
+  while (get_line(in, line)) {
+    if (line == "END") {
+      terminated = true;
+      break;
+    }
+    if (oversize) continue;  // discard the rest of the frame unbuffered
+    bytes += line.size() + 1;
+    if (opts.max_frame_bytes != 0 && bytes > opts.max_frame_bytes) {
+      // Reply before the frame finishes arriving: a hostile client gets its
+      // verdict after max_frame_bytes, not after an arbitrarily large body.
+      oversize = true;
+      blob.clear();
+      blob.shrink_to_fit();
+      write_err(out, "oversize",
+                "SOLVE frame exceeds max-frame-bytes=" +
+                    std::to_string(opts.max_frame_bytes) +
+                    "; discarding until END");
+      continue;
+    }
+    blob += line;
+    blob += '\n';
+  }
+  if (oversize) return false;  // already replied; session stays in sync
+  if (!terminated) {
+    // A frame cut by the transport's own deadline gets its verdict from the
+    // transport ("ERR timeout ..."); only a client-side EOF mid-frame is a
+    // protocol violation worth a reply of its own.
+    if (opts.control == nullptr || !opts.control->transport_aborted()) {
+      write_err(out, "bad-request", "SOLVE frame not terminated by END");
+    }
+    return false;
+  }
+  return true;
+}
 
 std::string tree_to_wire(const tt::Tree& tree) {
   std::ostringstream os;
@@ -271,7 +278,7 @@ SessionResult serve_session(Service& svc, std::istream& in, std::ostream& out,
       result.end = SessionEnd::kQuit;
       return result;
     } else {
-      reply_err(out, "bad-request", "unknown command '" + line + "'");
+      write_err(out, "bad-request", "unknown command '" + line + "'");
     }
   }
 }

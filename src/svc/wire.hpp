@@ -38,7 +38,9 @@
 // oversize (admission limits or a SOLVE frame past max_frame_bytes),
 // overload (queue full), cancelled (shutdown), not-found (TRACE id absent
 // from the flight recorder), timeout (session deadline hit; sent by the
-// server transport, see svc/server.hpp), internal.
+// server transport, see svc/server.hpp), upstream (sent by ttp_router when
+// every replica for a key is unreachable; see src/cluster/router.hpp),
+// internal.
 #pragma once
 
 #include <cstddef>
@@ -105,6 +107,21 @@ std::string tree_to_wire(const tt::Tree& tree);
 /// reference nodes outside the tree, and a root outside the node array.
 /// Round-trips structurally (used by client-side tests).
 tt::Tree tree_from_wire(const std::string& text);
+
+/// Writes a one-line typed error reply: "ERR <code> <message>\n" (flushed;
+/// newlines in the message flattened to spaces so the framing holds).
+/// Shared with the cluster router, which speaks the same reply grammar.
+void write_err(std::ostream& out, std::string_view code,
+               const std::string& message);
+
+/// Reads a SOLVE frame body (the lines after the "SOLVE" command, up to
+/// END) into `blob`, enforcing opts.max_frame_bytes with the early
+/// "ERR oversize" verdict + unbuffered discard-until-END. Returns true when
+/// the frame arrived complete and within budget; false when the caller must
+/// not process it (the oversize or bad-request reply was already written,
+/// or the transport cut the stream and owns the terminal line).
+bool read_solve_frame(std::istream& in, std::ostream& out,
+                      const SessionOptions& opts, std::string& blob);
 
 /// Runs one session: reads commands from `in` until EOF, QUIT, or the
 /// transport's should_end(), writes replies to `out` (flushed per reply).

@@ -18,6 +18,7 @@
 #include <thread>
 #include <vector>
 
+#include "svc/client.hpp"
 #include "svc/faultnet.hpp"
 #include "svc/server.hpp"
 #include "svc/service.hpp"
@@ -47,70 +48,20 @@ std::string solve_frame(const tt::Instance& ins) {
   return "SOLVE\n" + tt::to_text(ins) + "END\n";
 }
 
-/// Blocking loopback client with polled, bounded reads.
-class Client {
+/// The shared wire client (svc/client.hpp), shaped for tests: loopback
+/// host, send() asserts, and the convenience reads return partial text on
+/// EOF/timeout — exactly what the old hand-rolled socket helper did, minus
+/// the hand-rolled sockets.
+class Client : public WireClient {
  public:
-  explicit Client(int port) {
-    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-    sockaddr_in addr{};
-    addr.sin_family = AF_INET;
-    addr.sin_port = htons(static_cast<std::uint16_t>(port));
-    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
-    connected_ = ::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
-                           sizeof(addr)) == 0;
-  }
-  ~Client() { close(); }
-
-  bool connected() const { return connected_; }
+  explicit Client(int port) : WireClient("127.0.0.1", port) {}
 
   void send(const std::string& text) {
-    ASSERT_TRUE(connected_);
-    ASSERT_EQ(::send(fd_, text.data(), text.size(), MSG_NOSIGNAL),
-              static_cast<ssize_t>(text.size()));
+    ASSERT_TRUE(WireClient::send(text)) << error();
   }
 
-  /// One protocol line (newline stripped); "" on EOF or timeout.
-  std::string read_line(int timeout_ms = 5000) {
-    std::string line;
-    const auto deadline =
-        std::chrono::steady_clock::now() +
-        std::chrono::milliseconds(timeout_ms);
-    while (std::chrono::steady_clock::now() < deadline) {
-      char c = 0;
-      pollfd pfd{fd_, POLLIN, 0};
-      if (::poll(&pfd, 1, 50) <= 0) continue;
-      const ssize_t n = ::recv(fd_, &c, 1, 0);
-      if (n <= 0) return line;  // EOF/reset: return what we have
-      if (c == '\n') return line;
-      line.push_back(c);
-    }
-    return line;
-  }
-
-  /// Lines until one equals `terminator` (exclusive); empty vector on EOF.
-  std::vector<std::string> read_until(const std::string& terminator,
-                                      int timeout_ms = 5000) {
-    std::vector<std::string> lines;
-    const auto deadline =
-        std::chrono::steady_clock::now() +
-        std::chrono::milliseconds(timeout_ms);
-    while (std::chrono::steady_clock::now() < deadline) {
-      const std::string line = read_line(timeout_ms);
-      if (line == terminator) return lines;
-      if (line.empty()) break;
-      lines.push_back(line);
-    }
-    return lines;
-  }
-
-  void close() {
-    if (fd_ >= 0) ::close(fd_);
-    fd_ = -1;
-  }
-
- private:
-  int fd_ = -1;
-  bool connected_ = false;
+  using WireClient::read_line;
+  using WireClient::read_until;
 };
 
 /// Service + listening Server with run() on its own thread; joins on exit.

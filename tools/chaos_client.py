@@ -20,7 +20,12 @@ contract from docs/serving.md:
     gets a terminal reply (OK or ERR cancelled), idle sessions get BYE,
     and the daemon exits 0 within the drain budget.
 
-Usage: tools/chaos_client.py [path-to-ttp_serve]  (default ./build/src/ttp_serve)
+Usage: tools/chaos_client.py [path-to-ttp_serve] [extra daemon args...]
+       (default ./build/src/ttp_serve)
+
+Extra args are appended to the daemon command line, which lets the same
+chaos suite drive ttp_router: pass the router binary plus its
+--backend=host:port flags.
 """
 
 import random
@@ -94,7 +99,7 @@ class Client:
             pass
 
 
-def spawn_daemon(binary: str) -> tuple:
+def spawn_daemon(binary: str, extra_args: list) -> tuple:
     proc = subprocess.Popen(
         [
             binary,
@@ -104,16 +109,18 @@ def spawn_daemon(binary: str) -> tuple:
             f"--read-timeout-ms={READ_TIMEOUT_MS}",
             f"--drain-timeout-ms={DRAIN_TIMEOUT_MS}",
             f"--max-frame-bytes={MAX_FRAME_BYTES}",
-        ],
+        ]
+        + extra_args,
         stdout=subprocess.DEVNULL,
         stderr=subprocess.PIPE,
     )
-    # The daemon announces "ttp_serve: listening on port N" on stderr.
+    # Both ttp_serve and ttp_router announce the resolved ephemeral port
+    # with a machine-parseable first stderr line: "LISTENING <port>".
     line = proc.stderr.readline().decode()
-    m = re.search(r"listening on port (\d+)", line)
+    m = re.fullmatch(r"LISTENING (\d+)", line.strip())
     if not m:
         proc.kill()
-        fail(f"no listening banner, got: {line!r}")
+        fail(f"no LISTENING banner, got: {line!r}")
     return proc, int(m.group(1))
 
 
@@ -351,7 +358,7 @@ def chaos_drain(proc: subprocess.Popen, port: int) -> None:
 
 def main() -> int:
     binary = sys.argv[1] if len(sys.argv) > 1 else "./build/src/ttp_serve"
-    proc, port = spawn_daemon(binary)
+    proc, port = spawn_daemon(binary, sys.argv[2:])
     try:
         chaos_torn_frames(port)
         chaos_slowloris(port)

@@ -1,0 +1,394 @@
+#!/usr/bin/env python3
+"""Cluster smoke: a ttp_router fronting three ttp_serve backends.
+
+Builds the smallest interesting cluster — three backends (one of them
+running with TTP_FAULT-injected flaky I/O) behind one router — and
+asserts the failure semantics documented in docs/cluster.md:
+
+  * the full serve_smoke protocol suite passes through the router
+    (SOLVE/STATS/METRICS/HEALTH/TRACE, router dialect),
+  * routed replies are byte-identical to what a standalone single-backend
+    ttp_serve produces for the same instances (modulo the per-process
+    cache= and trace= head tokens),
+  * under >= 64 concurrent in-flight SOLVE streams, SIGKILLing a backend
+    mid-load never produces a hang, a torn frame, or an untyped error:
+    every reply is a (possibly retried) OK or a typed ERR,
+  * the health prober ejects the killed backend, and readmits it after it
+    is restarted on the same port,
+  * the router's METRICS expose nonzero cluster_ejected / readmitted /
+    retried counters after the above.
+
+Usage: tools/cluster_smoke.py [ttp_serve] [ttp_router]
+       (defaults ./build/src/ttp_serve ./build/src/ttp_router)
+"""
+
+import os
+import random
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import serve_smoke  # noqa: E402  (shared Session/instance/check helpers)
+
+from serve_smoke import fail, make_instance, parse_listening  # noqa: E402
+
+PROBE_INTERVAL_MS = 200
+FAILOVER_STREAMS = 64
+SOLVES_PER_STREAM = 4
+
+
+def spawn_serve(binary: str, port: int = 0, env_extra: dict = None) -> tuple:
+    env = dict(os.environ)
+    if env_extra:
+        env.update(env_extra)
+    proc = subprocess.Popen(
+        [binary, f"--port={port}"],
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.PIPE,
+        env=env,
+    )
+    return proc, parse_listening(proc.stderr)
+
+
+def spawn_router(binary: str, backends: list) -> tuple:
+    proc = subprocess.Popen(
+        [binary, "--port=0", "--retries=2",
+         f"--probe-interval-ms={PROBE_INTERVAL_MS}",
+         "--probe-timeout-ms=500", "--eject-after=2", "--readmit-after=2",
+         "--connect-timeout-ms=1000"]
+        + [f"--backend=127.0.0.1:{p}" for p in backends],
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.PIPE,
+    )
+    port = parse_listening(proc.stderr)
+    # Keep draining stderr in the background: a full pipe would block the
+    # daemon, and the tail is the first thing to read on a failure.
+    tail = []
+
+    def drain() -> None:
+        for raw in proc.stderr:
+            tail.append(raw.decode(errors="replace").rstrip())
+            del tail[:-50]
+
+    threading.Thread(target=drain, daemon=True).start()
+    return proc, port, tail
+
+
+class Client:
+    """Line-framed TCP client whose reads report failure instead of
+    exiting, so it is usable from the failover worker threads."""
+
+    def __init__(self, port: int, timeout: float = 30.0):
+        self.sock = socket.create_connection(("127.0.0.1", port), timeout=5)
+        self.sock.settimeout(timeout)
+        self.buf = b""
+
+    def send(self, text: str) -> bool:
+        try:
+            self.sock.sendall(text.encode())
+            return True
+        except OSError:
+            return False
+
+    def read_line(self) -> str:
+        """One line without its newline; '' on EOF or timeout."""
+        while b"\n" not in self.buf:
+            try:
+                chunk = self.sock.recv(65536)
+            except OSError:
+                return ""
+            if not chunk:
+                return ""
+            self.buf += chunk
+        line, self.buf = self.buf.split(b"\n", 1)
+        return line.decode()
+
+    def read_reply(self) -> tuple:
+        """Reads one full reply; returns (kind, head) with kind in
+        {'ok', 'typed', 'broken'}."""
+        head = self.read_line()
+        if head.startswith("ERR "):
+            return "typed", head
+        if not head.startswith("OK "):
+            return "broken", head
+        while True:
+            line = self.read_line()
+            if line == "END":
+                return "ok", head
+            if line == "":
+                return "broken", head  # torn frame: OK head, no END
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+def solve_reply(port: int, instance: str) -> tuple:
+    c = Client(port)
+    c.send(f"SOLVE\n{instance}END\n")
+    head = c.read_line()
+    body = []
+    while True:
+        line = c.read_line()
+        if line in ("END", ""):
+            break
+        body.append(line)
+    c.send("QUIT\n")
+    c.close()
+    return head, body
+
+
+def head_essence(head: str) -> str:
+    """The reply head minus the per-process cache= and trace= tokens."""
+    return " ".join(t for t in head.split()
+                    if not t.startswith(("cache=", "trace=")))
+
+
+def router_health(port: int) -> dict:
+    c = Client(port, timeout=5)
+    c.send("HEALTH\n")
+    head = c.read_line()
+    if head != "HEALTH":
+        fail(f"router HEALTH head: {head!r}")
+    kv = {}
+    status = c.read_line()
+    while True:
+        line = c.read_line()
+        if line in ("END", ""):
+            break
+        if ": " in line:
+            k, v = line.split(": ", 1)
+            kv[k] = v
+    kv["status"] = status
+    c.send("QUIT\n")
+    c.close()
+    return kv
+
+
+def router_metrics(port: int) -> dict:
+    c = Client(port, timeout=5)
+    c.send("METRICS\n")
+    head = c.read_line()
+    if head != "METRICS":
+        fail(f"router METRICS head: {head!r}")
+    samples = {}
+    while True:
+        line = c.read_line()
+        if line in ("END", ""):
+            break
+        if line.startswith("#") or " " not in line:
+            continue
+        name, value = line.rsplit(" ", 1)
+        try:
+            samples[name] = float(value)
+        except ValueError:
+            pass
+    c.send("QUIT\n")
+    c.close()
+    return samples
+
+
+def wait_for_routable(port: int, want: int, budget_s: float, label: str):
+    deadline = time.monotonic() + budget_s
+    while time.monotonic() < deadline:
+        kv = router_health(port)
+        if int(kv.get("backends.routable", -1)) == want:
+            return kv
+        time.sleep(PROBE_INTERVAL_MS / 1000)
+    fail(f"[{label}] router never reported backends.routable={want}; "
+         f"last HEALTH: {router_health(port)}")
+
+
+def check_protocol_through_router(port: int) -> None:
+    rng = random.Random(20260806)
+    distinct = [make_instance(i, rng) for i in range(50)]
+    stream = [i for i in range(50) for _ in range(4)]
+    rng.shuffle(stream)
+    s = serve_smoke.TcpSession(port)
+    serve_smoke.run_checks(s, router=True, distinct=distinct, stream=stream)
+    s.close()
+    print("protocol suite through the router OK")
+
+
+def check_byte_identity(router_port: int, serve_binary: str) -> None:
+    """The router must relay solver output verbatim: for every instance,
+    the reply body (the procedure tree frame) and the head minus its
+    per-process tokens must match a standalone ttp_serve byte for byte."""
+    ref_proc, ref_port = spawn_serve(serve_binary)
+    try:
+        rng = random.Random(20260807)
+        for i in range(20):
+            inst = make_instance(100 + i, rng)
+            r_head, r_body = solve_reply(router_port, inst)
+            s_head, s_body = solve_reply(ref_port, inst)
+            if not r_head.startswith("OK ") or not s_head.startswith("OK "):
+                fail(f"identity instance {i}: heads {r_head!r} / {s_head!r}")
+            if head_essence(r_head) != head_essence(s_head):
+                fail(f"identity instance {i}: head mismatch\n"
+                     f"  router: {r_head}\n  direct: {s_head}")
+            if r_body != s_body:
+                fail(f"identity instance {i}: reply body differs "
+                     f"({len(r_body)} vs {len(s_body)} lines)")
+    finally:
+        ref_proc.send_signal(signal.SIGTERM)
+        ref_proc.wait(timeout=10)
+    print("routed replies byte-identical to a single backend OK (20/20)")
+
+
+def check_failover_under_load(router_port: int, victim: subprocess.Popen,
+                              router: subprocess.Popen, router_log: list):
+    """>= 64 concurrent SOLVE streams; SIGKILL a backend mid-load. Every
+    reply must be an OK or a typed ERR — no hangs, no torn frames.
+
+    The kill fires once a quarter of the replies have landed, so it is
+    guaranteed to strike with the other three quarters still in flight
+    (a wall-clock sleep would race the load on a fast machine)."""
+    rng = random.Random(20260808)
+    outcomes = []
+    replies = [0]
+    lock = threading.Lock()
+    start = threading.Barrier(FAILOVER_STREAMS + 1)
+    total = FAILOVER_STREAMS * SOLVES_PER_STREAM
+
+    def stream(idx: int) -> None:
+        local = []
+        try:
+            c = Client(router_port)
+        except OSError as e:
+            with lock:
+                outcomes.append(("broken", f"[{idx}] connect: {e}"))
+            start.wait()
+            return
+        start.wait()
+        for j in range(SOLVES_PER_STREAM):
+            inst = make_instance(idx * SOLVES_PER_STREAM + j, rng)
+            if not c.send(f"SOLVE\n{inst}END\n"):
+                local.append(("broken", f"[{idx}.{j}] send failed"))
+                break
+            kind, head = c.read_reply()
+            local.append((kind, f"[{idx}.{j}] {head}"))
+            with lock:
+                replies[0] += 1
+            if kind == "broken":
+                break
+        c.send("QUIT\n")
+        c.close()
+        with lock:
+            outcomes.extend(local)
+
+    threads = [threading.Thread(target=stream, args=(i,))
+               for i in range(FAILOVER_STREAMS)]
+    for t in threads:
+        t.start()
+    start.wait()  # all streams connected and about to send
+    deadline = time.monotonic() + 60
+    while time.monotonic() < deadline:
+        with lock:
+            if replies[0] >= total // 4:
+                break
+        time.sleep(0.001)
+    victim.kill()  # SIGKILL: no drain, no BYE, sockets just die
+    victim.wait(timeout=10)
+    for t in threads:
+        t.join(timeout=120)
+        if t.is_alive():
+            fail("a failover stream hung (reply never terminated)")
+
+    ok = sum(1 for k, _ in outcomes if k == "ok")
+    typed = sum(1 for k, _ in outcomes if k == "typed")
+    broken = [d for k, d in outcomes if k == "broken"]
+    if broken:
+        alive = router.poll() is None
+        fail(f"{len(broken)} non-typed outcomes under failover "
+             f"(router alive: {alive}), e.g. " + "; ".join(broken[:5])
+             + "\nrouter stderr tail: " + " | ".join(router_log[-10:]))
+    if ok + typed != total:
+        fail(f"expected {total} terminal replies, got {ok} OK + {typed} ERR")
+    if ok == 0:
+        fail("no stream survived the backend kill; retries are not working")
+    print(f"failover under load OK: {ok} OK, {typed} typed ERR, 0 broken")
+
+
+def check_eject_and_readmit(router_port: int, serve_binary: str,
+                            dead_port: int) -> subprocess.Popen:
+    wait_for_routable(router_port, 2, 15, "ejection")
+    print("prober ejected the killed backend OK (routable 3 -> 2)")
+    # SO_REUSEADDR in Server::listen lets the replacement bind immediately.
+    proc, port = spawn_serve(serve_binary, port=dead_port)
+    if port != dead_port:
+        fail(f"restarted backend on port {port}, wanted {dead_port}")
+    kv = wait_for_routable(router_port, 3, 15, "readmission")
+    if kv["status"] != "ready":
+        fail(f"router status {kv['status']!r} after readmission")
+    print("prober readmitted the restarted backend OK (routable 2 -> 3)")
+    return proc
+
+
+def check_cluster_counters(router_port: int) -> None:
+    m = router_metrics(router_port)
+    for name, floor in (("ttp_cluster_routed_total", 200),
+                        ("ttp_cluster_retried_total", 1),
+                        ("ttp_cluster_ejected_total", 1),
+                        ("ttp_cluster_readmitted_total", 1)):
+        if m.get(name, 0) < floor:
+            fail(f"METRICS {name} = {m.get(name)}, expected >= {floor}")
+    print("cluster.* counters OK: "
+          + ", ".join(f"{n.split('_', 2)[-1]}={int(m[n])}" for n in
+                      ("ttp_cluster_routed_total",
+                       "ttp_cluster_retried_total",
+                       "ttp_cluster_ejected_total",
+                       "ttp_cluster_readmitted_total")))
+
+
+def main() -> int:
+    serve_bin = sys.argv[1] if len(sys.argv) > 1 else "./build/src/ttp_serve"
+    router_bin = sys.argv[2] if len(sys.argv) > 2 else "./build/src/ttp_router"
+
+    procs = []
+    try:
+        b1, p1 = spawn_serve(serve_bin)
+        procs.append(b1)
+        b2, p2 = spawn_serve(serve_bin)  # the backend we will SIGKILL
+        procs.append(b2)
+        # One backend runs on deterministically flaky sockets: every 5th
+        # I/O call EINTRs and writes land at most 512 bytes at a time.
+        # Replies must still come back complete and byte-identical.
+        b3, p3 = spawn_serve(serve_bin,
+                             env_extra={"TTP_FAULT": "eintr:5,short-write:512"})
+        procs.append(b3)
+        router, rport, router_log = spawn_router(router_bin, [p1, p2, p3])
+        procs.append(router)
+        print(f"cluster up: backends {p1}/{p2}/{p3} (last one faulted), "
+              f"router {rport}")
+
+        wait_for_routable(rport, 3, 10, "startup")
+        check_protocol_through_router(rport)
+        check_byte_identity(rport, serve_bin)
+        check_failover_under_load(rport, b2, router, router_log)
+        b2_replacement = check_eject_and_readmit(rport, serve_bin, p2)
+        procs.append(b2_replacement)
+        check_cluster_counters(rport)
+
+        # Graceful teardown: every surviving process must drain to exit 0.
+        for proc in (router, b1, b3, b2_replacement):
+            proc.send_signal(signal.SIGTERM)
+        for name, proc in (("router", router), ("b1", b1), ("b3", b3),
+                           ("b2'", b2_replacement)):
+            if proc.wait(timeout=15) != 0:
+                fail(f"{name} exited {proc.returncode} on SIGTERM")
+    finally:
+        for proc in procs:
+            if proc.poll() is None:
+                proc.kill()
+    print("cluster smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
