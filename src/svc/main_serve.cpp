@@ -16,8 +16,13 @@
 //   --cache-mb=N         procedure cache capacity in MiB (64)
 //   --shards=N           cache shards, rounded to a power of two (8)
 //   --ttl-ms=N           cache entry TTL, 0 = never expire (0)
-//   --max-k=N            admission: reject k above this (20)
+//   --max-k=N            admission: dense-solver k ceiling (20)
 //   --max-actions=N      admission: reject N above this (4096)
+//   --max-sparse-k=N     admission: sparse-solver k ceiling; k in
+//                        (max-k, max-sparse-k] is admitted when its
+//                        reachable closure fits the sparse budget; 0
+//                        disables the sparse tier (24)
+//   --sparse-budget-mb=N closure-table byte budget per sparse solve (64)
 //   --max-queue=N        admission: queued-leader cap (1024)
 //   --max-batch=N        micro-batch size cap (32)
 //   --batch-delay-us=N   micro-batch gather window (200)
@@ -49,7 +54,9 @@ using ttp::svc::Service;
   std::cout
       << "usage: ttp_serve [--port=N] [--workers=N] [--cache-mb=N]\n"
          "                 [--shards=N] [--ttl-ms=N] [--max-k=N]\n"
-         "                 [--max-actions=N] [--max-queue=N] [--max-batch=N]\n"
+         "                 [--max-actions=N] [--max-sparse-k=N]\n"
+         "                 [--sparse-budget-mb=N] [--max-queue=N]\n"
+         "                 [--max-batch=N]\n"
          "                 [--batch-delay-us=N] [--slow-ms=N]\n"
          "                 [--slow-log=PATH] [--flight-cap=N]\n"
          "                 [--max-conns=N] [--idle-timeout-ms=N]\n"

@@ -6,8 +6,25 @@
 #include "obs/flight.hpp"
 #include "obs/trace.hpp"
 #include "tt/kernel.hpp"
+#include "tt/sizing.hpp"
+#include "tt/solver_frontier.hpp"
 
 namespace ttp::svc {
+
+namespace {
+
+/// Admission and BatchSolver share one planner derived from the scheduler
+/// config, so an instance the probe admitted is guaranteed the solve-time
+/// expansion (same byte budget → same state cap) completes.
+tt::FrontierConfig planner_from(const SchedulerConfig& cfg) {
+  tt::FrontierConfig planner;
+  planner.enable_sparse = cfg.max_sparse_k > 0;
+  planner.dense_max_k = cfg.max_k;
+  planner.max_state_bytes = cfg.sparse_budget_bytes;
+  return planner;
+}
+
+}  // namespace
 
 std::string_view status_name(Status s) noexcept {
   switch (s) {
@@ -29,7 +46,7 @@ Scheduler::Scheduler(ProcedureCache& cache, SchedulerConfig cfg,
                      obs::MetricsRegistry& metrics, std::size_t workers)
     : cache_(cache),
       cfg_(cfg),
-      solver_(workers),
+      solver_(workers, planner_from(cfg)),
       metrics_(metrics),
       leaders_(metrics.counter("svc.sched.leaders")),
       followers_(metrics.counter("svc.sched.followers")),
@@ -55,14 +72,43 @@ Scheduler::Ticket Scheduler::ready_ticket(Status status, std::string error) {
 Scheduler::Ticket Scheduler::submit(const Canonical& canon,
                                     std::uint64_t trace) {
   const tt::Instance& ins = canon.instance;
-  if (ins.k() > cfg_.max_k || ins.num_actions() > cfg_.max_actions) {
+  // Admission, most specific limit first; each rejection names the limit
+  // that tripped so a client can tell "shrink N" from "shrink k" from
+  // "this k would be fine with fewer/looser tests".
+  if (ins.num_actions() > cfg_.max_actions) {
     rejected_oversize_.add(1);
     return ready_ticket(
         Status::kRejectedOversize,
-        "instance exceeds admission limits: k=" + std::to_string(ins.k()) +
-            " (max " + std::to_string(cfg_.max_k) +
-            "), N=" + std::to_string(ins.num_actions()) + " (max " +
+        "instance exceeds admission limits (actions): N=" +
+            std::to_string(ins.num_actions()) + " (max " +
             std::to_string(cfg_.max_actions) + ")");
+  }
+  const int k_ceiling = std::max(cfg_.max_k, cfg_.max_sparse_k);
+  if (ins.k() > k_ceiling) {
+    rejected_oversize_.add(1);
+    return ready_ticket(
+        Status::kRejectedOversize,
+        "instance exceeds admission limits (k): k=" + std::to_string(ins.k()) +
+            " (max " + std::to_string(cfg_.max_k) + " dense, " +
+            std::to_string(k_ceiling) + " sparse)");
+  }
+  if (ins.k() > cfg_.max_k) {
+    // Sparse tier: admit only when a bounded closure probe proves the
+    // reachable set fits the byte budget. The probe cap equals the
+    // solve-time planner's cap (same FrontierConfig arithmetic), so an
+    // admitted instance cannot fail expansion inside the batch solver.
+    const std::size_t cap = planner_from(cfg_).state_budget(ins.k());
+    const tt::ReachableEstimate est = tt::estimate_reachable(ins, cap);
+    if (!est.exact) {
+      rejected_oversize_.add(1);
+      return ready_ticket(
+          Status::kRejectedOversize,
+          "instance exceeds admission limits (sparse-budget): k=" +
+              std::to_string(ins.k()) + " reachable closure needs >" +
+              std::to_string(est.states * tt::kSparseBytesPerState) +
+              " bytes (budget " + std::to_string(cfg_.sparse_budget_bytes) +
+              ")");
+    }
   }
   std::lock_guard<std::mutex> lock(mu_);
   if (stop_) {
@@ -205,6 +251,25 @@ void Scheduler::solve_batch(std::deque<std::shared_ptr<Entry>>& batch) {
         .counter(std::string("svc.solve.variant.") +
                  std::string(tt::active_kernel_variant_name()))
         .add(batch.size());
+    // Frontier attribution: how many instances the sparse reachable-set
+    // path served, how many closure states it touched doing so, and how
+    // often a budget-capped expansion fell back dense.
+    std::uint64_t fr_instances = 0, fr_states = 0, fr_fallback = 0;
+    for (auto& r : results) {
+      const std::uint64_t st = r.breakdown.counter("frontier_states").value();
+      if (st != 0) {
+        ++fr_instances;
+        fr_states += st;
+      }
+      fr_fallback += r.breakdown.counter("frontier_fallback").value();
+    }
+    if (fr_instances != 0) {
+      metrics_.add("svc.solve.frontier.instances", fr_instances);
+      metrics_.add("svc.solve.frontier.states", fr_states);
+    }
+    if (fr_fallback != 0) {
+      metrics_.add("svc.solve.frontier.fallback", fr_fallback);
+    }
     for (std::size_t i = 0; i < batch.size(); ++i) {
       auto proc = std::make_shared<CachedProcedure>();
       proc->tree = std::move(results[i].tree);

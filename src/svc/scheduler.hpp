@@ -81,9 +81,21 @@ struct SchedulerConfig {
   /// How long the drain thread waits after the first queued miss for more
   /// misses to batch with; the latency/throughput knob.
   std::chrono::microseconds batch_delay{200};
-  int max_k = 20;          ///< Admission: reject instances above this k.
+  int max_k = 20;          ///< Admission: dense ceiling; see max_sparse_k.
   int max_actions = 4096;  ///< Admission: reject instances above this N.
-  bool autostart = true;   ///< false: nothing drains until start().
+  /// Admission: instances with max_k < k ≤ max_sparse_k are admitted iff a
+  /// bounded closure probe (tt::estimate_reachable) proves their reachable
+  /// set fits sparse_budget_bytes — the sparse frontier solver then serves
+  /// them without ever materializing 2^k tables. Set to 0 to disable the
+  /// sparse solver entirely (admission then caps at max_k and every solve
+  /// runs dense); values ≤ max_k keep the adaptive sparse path for large
+  /// in-dense-range instances but admit nothing above max_k.
+  int max_sparse_k = 24;
+  /// Byte budget for one sparse solve's closure tables; both the admission
+  /// probe and the solve-time planner derive their state caps from it, so
+  /// an admitted instance cannot fail expansion later.
+  std::size_t sparse_budget_bytes = std::size_t{64} << 20;
+  bool autostart = true;  ///< false: nothing drains until start().
 };
 
 class Scheduler {

@@ -86,6 +86,15 @@ bool parse_serve_args(int argc, const char* const* argv, ServeArgs& args,
         return false;
       }
       args.cfg.scheduler.max_actions = static_cast<int>(v);
+    } else if (is("--max-sparse-k")) {
+      if (!parse_long(arg, "--max-sparse-k", 0, 24, v, error)) return false;
+      args.cfg.scheduler.max_sparse_k = static_cast<int>(v);
+    } else if (is("--sparse-budget-mb")) {
+      if (!parse_long(arg, "--sparse-budget-mb", 1, 1 << 20, v, error)) {
+        return false;
+      }
+      args.cfg.scheduler.sparse_budget_bytes = static_cast<std::size_t>(v)
+                                               << 20;
     } else if (is("--max-queue")) {
       if (!parse_long(arg, "--max-queue", 1, 10'000'000, v, error)) {
         return false;

@@ -322,6 +322,13 @@ std::string Service::stats_text() const {
   // simd-avx2) — operators reading STATS see at a glance whether the
   // binary picked up AVX2 on this host or was pinned via TTP_KERNEL.
   os << "kernel.variant: " << tt::active_kernel_variant_name() << "\n";
+  // The effective admission limits, so an operator reading STATS can tell
+  // which tier a rejected instance tripped without consulting flags.
+  os << "admission.max_k: " << cfg_.scheduler.max_k << "\n"
+     << "admission.max_actions: " << cfg_.scheduler.max_actions << "\n"
+     << "admission.max_sparse_k: " << cfg_.scheduler.max_sparse_k << "\n"
+     << "admission.sparse_budget_bytes: " << cfg_.scheduler.sparse_budget_bytes
+     << "\n";
   metrics_.print(os, "");
   return os.str();
 }

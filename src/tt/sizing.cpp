@@ -1,5 +1,6 @@
 #include "tt/sizing.hpp"
 
+#include "tt/solver_frontier.hpp"
 #include "util/bits.hpp"
 
 namespace ttp::tt {
@@ -40,6 +41,17 @@ int max_k_for_machine(int budget_log2, ActionBudget policy) {
     if (row.machine_dims <= budget_log2) best = k;
   }
   return best;
+}
+
+ReachableEstimate estimate_reachable(const Instance& ins,
+                                     std::uint64_t max_states) {
+  // Function-local arena: estimation happens on admission paths that may
+  // run concurrently across sessions, and oversize-k probes are rare
+  // enough that the allocation cost does not matter.
+  FrontierArena arena;
+  const ClosureResult cr = expand_reachable(
+      ins, static_cast<std::size_t>(max_states), arena, /*pool=*/nullptr);
+  return ReachableEstimate{static_cast<std::uint64_t>(cr.states), cr.complete};
 }
 
 std::string budget_name(ActionBudget policy) {

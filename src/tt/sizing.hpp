@@ -8,6 +8,8 @@
 
 namespace ttp::tt {
 
+class Instance;
+
 struct SizingRow {
   int k = 0;
   std::uint64_t num_actions = 0;  ///< N (padded to a power of two).
@@ -31,5 +33,24 @@ int max_k_for_machine(int budget_log2, ActionBudget policy);
 
 std::uint64_t actions_for(int k, ActionBudget policy);
 std::string budget_name(ActionBudget policy);
+
+/// Outcome of a bounded reachable-closure measurement (see
+/// solver_frontier.hpp). `exact` means the expansion finished under the
+/// cap and `states` is |R| exactly; otherwise the cap was hit and `states`
+/// is only a lower bound (> max_states).
+struct ReachableEstimate {
+  std::uint64_t states = 0;
+  bool exact = false;
+};
+
+/// Measures the reachable closure of `ins` by running the frontier
+/// expansion with a `max_states` cap. This is the admission-time sizing
+/// primitive for the sparse solver: an exact result that fits the sparse
+/// byte budget (states · kSparseBytesPerState) guarantees the solve-time
+/// expansion — run with the same cap — also completes. Cost is
+/// O(min(|R|, max_states) · N); runs serially on the caller's thread with
+/// function-local scratch, so it is safe to call concurrently.
+ReachableEstimate estimate_reachable(const Instance& ins,
+                                     std::uint64_t max_states);
 
 }  // namespace ttp::tt

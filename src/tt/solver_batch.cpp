@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <atomic>
 #include <cassert>
+#include <exception>
+#include <mutex>
 
 #include "obs/trace.hpp"
 #include "tt/kernel.hpp"
@@ -48,17 +50,33 @@ std::vector<SolveResult> BatchSolver::solve_many(
   // output is deterministic regardless of which worker solves what.
   std::atomic<std::size_t> next{0};
   const std::size_t n = instances.size();
+  // An exception escaping a pool task would std::terminate the process, so
+  // workers stash the first one and the caller rethrows it (the adaptive
+  // planner throws when a budget-capped closure has no dense fallback).
+  std::exception_ptr failure;
+  std::mutex failure_mu;
   pool_.parallel_for(n, [&](std::size_t, std::size_t) {
     static thread_local SolveArena arena;
+    static thread_local FrontierArena frontier;
     for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed); i < n;
          i = next.fetch_add(1, std::memory_order_relaxed)) {
       // Bind the request's trace ID on this worker so the kernel-level
       // span for this instance joins the request's journey.
       const obs::TraceBinding bind(traces.empty() ? obs::current_trace()
                                                   : traces[i]);
-      out[i] = solve_with_arena(*instances[i], arena, "solve.batch");
+      try {
+        // pool=nullptr: this worker IS the parallelism — nesting the
+        // frontier's own fan-out inside a pool task would double-book the
+        // cores for no win at batch depth ≥ workers.
+        out[i] = solve_adaptive(*instances[i], arena, frontier, planner_,
+                                /*pool=*/nullptr, "solve.batch");
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(failure_mu);
+        if (!failure) failure = std::current_exception();
+      }
     }
   });
+  if (failure) std::rethrow_exception(failure);
   TTP_METRIC_ADD("batch.instances", instances.size());
   return out;
 }

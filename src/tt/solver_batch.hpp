@@ -7,10 +7,15 @@
 // are pulled dynamically (not pre-chunked), so a batch mixing small and
 // large instances keeps every worker busy until the queue drains.
 //
-// Each instance is solved by the same layer-wave kernel as
-// SequentialSolver, with the sequential cost model per result
-// (steps.total_ops == that instance's M-evaluation count); results come
-// back in input order. Bench E23 measures instances/sec.
+// Each instance is solved through the adaptive dense/sparse planner
+// (tt/solver_frontier.hpp): below the planner's min_sparse_k the dense
+// layer-wave arena path runs exactly as before; above it the reachable-
+// closure sparse path takes over (each worker solving its own instance
+// serially — instance-level parallelism already saturates the pool, so
+// the frontier's internal pool stays unused here). Either path charges the
+// sequential cost model per result (steps.total_ops == that instance's
+// M-evaluation count); results come back in input order. Bench E23
+// measures instances/sec.
 #pragma once
 
 #include <cstddef>
@@ -19,14 +24,18 @@
 #include <vector>
 
 #include "tt/solver.hpp"
+#include "tt/solver_frontier.hpp"
 #include "util/thread_pool.hpp"
 
 namespace ttp::tt {
 
 class BatchSolver {
  public:
-  /// `workers` == 0 -> hardware concurrency.
-  explicit BatchSolver(std::size_t workers = 0) : pool_(workers) {}
+  /// `workers` == 0 -> hardware concurrency. `planner` configures the
+  /// per-instance dense/sparse dispatch; the default keeps every k ≤ 14
+  /// instance on the dense path.
+  explicit BatchSolver(std::size_t workers = 0, FrontierConfig planner = {})
+      : pool_(workers), planner_(planner) {}
 
   /// Solves every instance; results are positionally aligned with the input.
   /// (Elements of a contiguous span are distinct objects by construction, so
@@ -50,9 +59,11 @@ class BatchSolver {
       std::span<const std::uint64_t> traces = {}) const;
 
   std::size_t workers() const noexcept { return pool_.size(); }
+  const FrontierConfig& planner() const noexcept { return planner_; }
 
  private:
   mutable util::ThreadPool pool_;
+  FrontierConfig planner_;
 };
 
 }  // namespace ttp::tt

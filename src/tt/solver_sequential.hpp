@@ -11,6 +11,11 @@ namespace ttp::tt {
 class SequentialSolver {
  public:
   /// Solves `ins`; steps.total_ops counts M[S,i] evaluations (the paper's T_1).
+  ///
+  /// Thread safety: the reusable SolveArena behind this is thread_local,
+  /// so one SequentialSolver may be shared across threads freely — unlike
+  /// ThreadsSolver/FrontierSolver, whose member arenas make solve()
+  /// single-caller per object (see solver_threads.hpp).
   SolveResult solve(const Instance& ins) const;
 };
 

@@ -1,11 +1,40 @@
 #include "tt/solver_threads.hpp"
 
+#include <cassert>
+
 #include "obs/trace.hpp"
 #include "tt/kernel.hpp"
 
 namespace ttp::tt {
 
+namespace {
+
+/// Debug-only enforcement of the header's single-caller contract: the
+/// shared arena makes concurrent solve() calls on one object a data race.
+class [[maybe_unused]] ArenaGuard {
+ public:
+  explicit ArenaGuard(std::atomic<bool>& flag) : flag_(flag) {
+#ifndef NDEBUG
+    const bool was = flag_.exchange(true, std::memory_order_acq_rel);
+    assert(!was &&
+           "ThreadsSolver::solve is single-caller: concurrent calls race on "
+           "the shared SolveArena");
+#endif
+  }
+  ~ArenaGuard() {
+#ifndef NDEBUG
+    flag_.store(false, std::memory_order_release);
+#endif
+  }
+
+ private:
+  [[maybe_unused]] std::atomic<bool>& flag_;
+};
+
+}  // namespace
+
 SolveResult ThreadsSolver::solve(const Instance& ins) const {
+  const ArenaGuard guard(in_solve_);
   ins.check();
   SolveResult res;
   const int k = ins.k();

@@ -16,6 +16,7 @@
 // simulated cost model.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 
 #include "tt/kernel.hpp"
@@ -24,6 +25,13 @@
 
 namespace ttp::tt {
 
+/// Thread safety: one ThreadsSolver owns one mutable SolveArena, reused
+/// across solves exactly like BatchSolver's per-worker arenas — so
+/// solve() is single-caller: two concurrent calls on the same object race
+/// on the shared tables (same aliasing rule as solver_batch.hpp's
+/// pointer-span overload; debug builds assert). Distinct ThreadsSolver
+/// objects are fully independent. SequentialSolver, by contrast, keeps
+/// its arena thread_local and is safe to share across threads.
 class ThreadsSolver {
  public:
   /// Work decomposition per DP layer.
@@ -46,6 +54,7 @@ class ThreadsSolver {
  private:
   mutable util::ThreadPool pool_;
   mutable SolveArena arena_;  ///< reused across solves, like pool_
+  mutable std::atomic<bool> in_solve_{false};  ///< debug re-entrancy guard
   Mode mode_;
 };
 

@@ -90,6 +90,7 @@ TEST(SvcScheduler, QueueFullRejectsWithTypedStatus) {
 TEST(SvcScheduler, OversizeRejectsBeforeQueueing) {
   SchedulerConfig cfg;
   cfg.max_k = 4;
+  cfg.max_sparse_k = 0;  // dense-only admission: k above max_k rejects
   cfg.max_actions = 100;
   Rig rig(cfg);
   const auto small = distinct_instances(1, 4);

@@ -145,6 +145,7 @@ TEST(SvcService, MalformedInstanceResolvesToError) {
 TEST(SvcService, OversizeRejectIsTypedAndCounted) {
   ServiceConfig cfg;
   cfg.scheduler.max_k = 3;
+  cfg.scheduler.max_sparse_k = 0;  // dense-only: k = 4 must reject
   Service svc(cfg);
   const Response r = svc.solve(tt::fig1_example());  // k = 4 > 3
   EXPECT_EQ(r.status, Status::kRejectedOversize);

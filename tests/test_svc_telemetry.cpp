@@ -400,6 +400,7 @@ TEST(SvcTelemetry, SlowCaptureDisabledByDefault) {
 TEST(SvcTelemetry, ResponsesCarryTraceThroughEveryPath) {
   ServiceConfig cfg;
   cfg.scheduler.max_k = 4;  // force an oversize rejection below
+  cfg.scheduler.max_sparse_k = 0;  // keep the sparse tier out of the way
   Service svc(cfg);
   const Response ok = svc.solve(distinct_instances(1, 4)[0]);
   ASSERT_TRUE(ok.ok());

@@ -145,6 +145,7 @@ TEST(SvcWire, ProtocolErrorsAreRepliesNotExceptions) {
 TEST(SvcWire, OversizeInstanceGetsTypedErrCode) {
   ServiceConfig cfg;
   cfg.scheduler.max_k = 3;
+  cfg.scheduler.max_sparse_k = 0;  // dense-only: oversize must reject
   Service svc(cfg);
   const std::string reply = session(svc, solve_frame(tt::fig1_example()));
   EXPECT_EQ(reply.rfind("ERR oversize", 0), 0u) << reply;

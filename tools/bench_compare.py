@@ -8,7 +8,9 @@ Records are matched on (bench, k, N, variant); for each match the
 ns_per_solve delta is reported, and the exit status is nonzero when any
 matched record regressed by more than the threshold (default 10% slower
 than baseline). Records present on only one side are listed but never fail
-the run — benches gain and lose cases across PRs.
+the run — benches gain and lose cases across PRs — and two files with no
+keys in common (different kernel variant, a filtered CI run) skip the
+comparison entirely with exit 0.
 
 This is the gate CI runs against the committed BENCH_*.json trajectory
 files at the repo root (see docs/kernel.md for how those are produced).
@@ -56,9 +58,17 @@ def main():
     regressions = []
     common = sorted(set(base) & set(cand))
     if not common:
-        print("bench_compare: no records in common — nothing to compare",
+        # Disjoint key sets are a configuration difference (different
+        # kernel variant, a filtered CI run), not a perf signal: list the
+        # one-sided records and succeed rather than fail the gate.
+        print("bench_compare: no records in common — skipping comparison",
               file=sys.stderr)
-        return 1
+        width = max(len(fmt_key(k)) for k in set(base) | set(cand))
+        for k in sorted(base):
+            print(f"{fmt_key(k):<{width}}  only in baseline")
+        for k in sorted(cand):
+            print(f"{fmt_key(k):<{width}}  only in candidate")
+        return 0
 
     width = max(len(fmt_key(k)) for k in common)
     for k in common:
