@@ -1,0 +1,168 @@
+// E28 — what the durable procedure store buys on restart, and what its
+// write-behind costs when enabled (docs/store.md).
+//
+// Four regimes over one k-instance served through svc::Service, k = 14..18:
+//
+//   BM_ColdSolve          store off, LRU cleared every iteration — every
+//                         request is a full kernel solve. The baseline a
+//                         cold restart pays per key without the store.
+//   BM_ColdSolveStoreOn   the same cold solve with --store-dir on, so each
+//                         iteration also pays canonical-tree encode + one
+//                         O_APPEND write (sync=none). Acceptance: within
+//                         noise of BM_ColdSolve — the write-behind must be
+//                         invisible next to the solve itself.
+//   BM_StoreWarmHit       a *restarted* service on a populated directory,
+//                         LRU cleared every iteration — every request
+//                         deserializes straight from the frozen segment's
+//                         read-only mmap, no kernel solve. Acceptance
+//                         (ISSUE 10): >= 10x faster than BM_ColdSolve at
+//                         k = 16.
+//   BM_MemoryHit          steady-state LRU hit, for scale: the store tier
+//                         sits between this floor and the cold ceiling.
+//
+// Every run records {bench, k, N, ns_per_solve} via the shared --json
+// harness (bench_json.hpp); BENCH_e28.json at the repo root is the
+// committed trajectory and tools/bench_compare.py diffs two such files.
+#include <benchmark/benchmark.h>
+
+#include "bench_json.hpp"
+
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include "svc/service.hpp"
+#include "tt/generator.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using ttp::tt::Instance;
+
+// Instance i of a fixed per-k family. The cold benches burn one per
+// iteration (a repeated key would hit the store instead of re-solving);
+// both cold benches walk the identical sequence so their numbers compare.
+Instance instance_for(int k, std::uint64_t i = 0) {
+  ttp::util::Rng rng(2800 + 1000 * static_cast<std::uint64_t>(k) + i);
+  ttp::tt::RandomOptions opt;
+  opt.num_tests = 10;
+  opt.num_treatments = 10;
+  return ttp::tt::random_instance(k, opt, rng);
+}
+
+// A fresh store directory for one benchmark run, removed on destruction.
+struct BenchDir {
+  std::string path;
+  BenchDir() {
+    char tmpl[] = "/tmp/ttp_bench_e28_XXXXXX";
+    path = ::mkdtemp(tmpl);
+  }
+  ~BenchDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+  }
+};
+
+ttp::svc::ServiceConfig store_cfg(const std::string& dir) {
+  ttp::svc::ServiceConfig cfg;
+  cfg.store.dir = dir;
+  cfg.store.sync = ttp::store::StoreConfig::Sync::kNone;
+  return cfg;
+}
+
+void set_counters(benchmark::State& state, int k) {
+  state.counters["k"] = k;
+  state.counters["N"] = 20;  // 10 tests + 10 treatments
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void solve_one(ttp::svc::Service& svc, const Instance& ins,
+               benchmark::State& state,
+               ttp::svc::CacheOutcome want) {
+  const ttp::svc::Response r = svc.solve(ins);
+  if (!r.ok()) state.SkipWithError(r.error.c_str());
+  if (r.cache != want) state.SkipWithError("unexpected cache outcome");
+  benchmark::DoNotOptimize(r.cost);
+}
+
+void BM_ColdSolve(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  ttp::svc::Service svc;
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    svc.cache().clear();
+    const Instance ins = instance_for(k, i++);
+    state.ResumeTiming();
+    solve_one(svc, ins, state, ttp::svc::CacheOutcome::kMiss);
+  }
+  set_counters(state, k);
+}
+
+void BM_ColdSolveStoreOn(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  BenchDir dir;
+  ttp::svc::Service svc(store_cfg(dir.path));
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    svc.cache().clear();
+    const Instance ins = instance_for(k, i++);
+    state.ResumeTiming();
+    solve_one(svc, ins, state, ttp::svc::CacheOutcome::kMiss);
+  }
+  set_counters(state, k);
+}
+
+void BM_StoreWarmHit(benchmark::State& state) {
+  const Instance ins = instance_for(static_cast<int>(state.range(0)));
+  BenchDir dir;
+  {
+    // Populate, then shut down cleanly: the restarted service below reads
+    // the record from a *frozen* segment — the mmap warm-restart path.
+    ttp::svc::Service writer(store_cfg(dir.path));
+    const ttp::svc::Response r = writer.solve(ins);
+    if (!r.ok()) {
+      state.SkipWithError(r.error.c_str());
+      return;
+    }
+  }
+  ttp::svc::Service svc(store_cfg(dir.path));
+  for (auto _ : state) {
+    state.PauseTiming();
+    svc.cache().clear();  // the LRU is cold; the durable tier is not
+    state.ResumeTiming();
+    solve_one(svc, ins, state, ttp::svc::CacheOutcome::kStore);
+  }
+  set_counters(state, static_cast<int>(state.range(0)));
+}
+
+void BM_MemoryHit(benchmark::State& state) {
+  const Instance ins = instance_for(static_cast<int>(state.range(0)));
+  ttp::svc::Service svc;
+  (void)svc.solve(ins);  // populate the LRU once
+  for (auto _ : state) {
+    solve_one(svc, ins, state, ttp::svc::CacheOutcome::kHit);
+  }
+  set_counters(state, static_cast<int>(state.range(0)));
+}
+
+}  // namespace
+
+// UseRealTime: solves run on pool workers while the main thread blocks in
+// get(), so wall clock is the meaningful basis (same as E24).
+BENCHMARK(BM_ColdSolve)
+    ->Arg(14)->Arg(16)->Arg(18)
+    ->UseRealTime()->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ColdSolveStoreOn)
+    ->Arg(14)->Arg(16)->Arg(18)
+    ->UseRealTime()->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_StoreWarmHit)
+    ->Arg(14)->Arg(16)->Arg(18)
+    ->UseRealTime()->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_MemoryHit)
+    ->Arg(14)->Arg(16)->Arg(18)
+    ->UseRealTime()->Unit(benchmark::kMicrosecond);
+
+TTP_BENCH_JSON_MAIN()

@@ -347,16 +347,18 @@ void Router::handle_solve(std::istream& in, std::ostream& out,
       r = forward_once(up, frame);
     }
     if (r.kind == Attempt::Kind::kOk) {
-      out << r.reply << std::flush;
+      // Count before relaying: a client that has seen the reply and then
+      // asks METRICS must see this request included.
       routed_.add(1);
       e2e_us_.record(static_cast<std::uint64_t>(
           (obs::steady_now_ns() - t0) / 1000));
+      out << r.reply << std::flush;
       return;
     }
     if (r.kind == Attempt::Kind::kTypedErr) {
       if (!retryable_code(r.code)) {
-        out << r.reply << std::flush;
         routed_.add(1);
+        out << r.reply << std::flush;
         return;
       }
       last_typed = r.reply;

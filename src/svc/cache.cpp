@@ -6,10 +6,25 @@
 namespace ttp::svc {
 
 std::size_t approx_bytes(const CachedProcedure& proc) {
+  // Tree storage dominates for real procedures, but an entry's fixed
+  // footprint is charged explicitly so a flood of tiny (small-k) entries
+  // cannot blow past the byte budget while the accountant still reads
+  // "nearly empty". Three heap allocations back one entry: the make_shared
+  // block, the LRU list node, and the hash-map node.
+  constexpr std::size_t kAllocHeader = 16;  // malloc bookkeeping per alloc
+  // make_shared control block: vptr + two refcounts, padded.
+  constexpr std::size_t kControlBlock = 4 * sizeof(void*);
+  // std::list node: prev/next + Entry{key, shared_ptr, expiry}.
+  constexpr std::size_t kListNode =
+      2 * sizeof(void*) + sizeof(CanonKey) + sizeof(std::shared_ptr<void>) +
+      sizeof(std::chrono::steady_clock::time_point);
+  // unordered_map node: next ptr + cached hash + pair<key, iterator>, plus
+  // this entry's share of the bucket array.
+  constexpr std::size_t kMapNode = 2 * sizeof(void*) + sizeof(CanonKey) +
+                                   sizeof(void*) + sizeof(void*);
   return sizeof(CachedProcedure) +
          proc.tree.nodes().capacity() * sizeof(tt::TreeNode) +
-         // map node + list node + shared_ptr control block, rounded up.
-         128;
+         kControlBlock + kListNode + kMapNode + 3 * kAllocHeader;
 }
 
 ProcedureCache::ProcedureCache(CacheConfig cfg, obs::MetricsRegistry& metrics)

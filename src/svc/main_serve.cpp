@@ -35,10 +35,16 @@
 //   --read-timeout-ms=N  whole-frame arrival budget, 0 = off (5000)
 //   --drain-timeout-ms=N SIGTERM -> exit-0 budget (5000)
 //   --max-frame-bytes=N  SOLVE body cap, then ERR oversize (1 MiB)
+//   --store-dir=PATH     durable procedure store directory; unset = no
+//                        second tier (docs/store.md)
+//   --store-sync=MODE    store fsync policy: none | batch | always (batch)
+//   --store-max-mb=N     store on-disk budget before compaction (256)
+//   --store-ttl-s=N      store record TTL in seconds, 0 = never (0)
 //   TTP_FAULT env        deterministic fault injection (svc/faultnet.hpp)
 #include <atomic>
 #include <csignal>
 #include <iostream>
+#include <optional>
 #include <string>
 
 #include "svc/server.hpp"
@@ -61,7 +67,9 @@ using ttp::svc::Service;
          "                 [--slow-log=PATH] [--flight-cap=N]\n"
          "                 [--max-conns=N] [--idle-timeout-ms=N]\n"
          "                 [--read-timeout-ms=N] [--drain-timeout-ms=N]\n"
-         "                 [--max-frame-bytes=N]\n"
+         "                 [--max-frame-bytes=N] [--store-dir=PATH]\n"
+         "                 [--store-sync=none|batch|always]\n"
+         "                 [--store-max-mb=N] [--store-ttl-s=N]\n"
          "Without --port, serves one session over stdin/stdout.\n"
          "Protocol: SOLVE\\n<instance text>\\nEND | STATS | METRICS |\n"
          "          HEALTH | TRACE <id> | PING | QUIT\n"
@@ -98,7 +106,16 @@ int main(int argc, char** argv) {
     return 2;
   }
   if (args.help) usage(0);
-  Service svc(args.cfg);
+  // The store constructor replays segments and can fail on a bad path or
+  // unreadable directory — that is a startup error, not a crash.
+  std::optional<Service> svc_holder;
+  try {
+    svc_holder.emplace(args.cfg);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  Service& svc = *svc_holder;
   if (args.port < 0) {
     ttp::svc::SessionOptions opts;
     opts.max_frame_bytes = args.server.max_frame_bytes;

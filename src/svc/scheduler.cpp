@@ -285,6 +285,16 @@ void Scheduler::solve_batch(std::deque<std::shared_ptr<Entry>>& batch) {
       o.error = error;
     }
   }
+  // Write-behind handles for the durable store, taken before the outcomes
+  // are moved into the promises below.
+  std::vector<std::pair<CanonKey, std::shared_ptr<const CachedProcedure>>>
+      to_store;
+  if (store_ != nullptr && error.empty()) {
+    to_store.reserve(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      to_store.emplace_back(batch[i]->key, outcomes[i].proc);
+    }
+  }
   // Retire AFTER the cache insert so every moment of an entry's life is
   // covered: in flight (followers join) until here, cached from here on.
   {
@@ -293,6 +303,12 @@ void Scheduler::solve_batch(std::deque<std::shared_ptr<Entry>>& batch) {
   }
   for (std::size_t i = 0; i < batch.size(); ++i) {
     batch[i]->promise.set_value(std::move(outcomes[i]));
+  }
+  // Durable tier, write-behind: waiters are already resolved, so disk
+  // latency (and fsync policy) never shows up in a response. A failed put
+  // degrades to "re-solve after the next restart", counted by the store.
+  for (const auto& [key, proc] : to_store) {
+    store_->put(store::StoreKey{key.hi, key.lo}, proc->cost, proc->tree);
   }
 }
 

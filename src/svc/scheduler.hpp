@@ -42,6 +42,7 @@
 #include <unordered_map>
 
 #include "obs/metrics.hpp"
+#include "store/store.hpp"
 #include "svc/cache.hpp"
 #include "svc/canon.hpp"
 #include "tt/solver_batch.hpp"
@@ -128,6 +129,12 @@ class Scheduler {
   /// Stops draining and cancels everything still pending (idempotent).
   void stop();
 
+  /// Attaches the durable store for write-behind: after a batch resolves,
+  /// its results are appended to `store` (waiters are never delayed by disk
+  /// I/O — the promise is set first). The store must outlive this scheduler;
+  /// Service guarantees that by declaration order. nullptr detaches.
+  void set_store(store::ProcedureStore* store) noexcept { store_ = store; }
+
   std::size_t queue_depth() const;
   std::size_t workers() const noexcept { return solver_.workers(); }
 
@@ -150,6 +157,7 @@ class Scheduler {
   void solve_batch(std::deque<std::shared_ptr<Entry>>& batch);
 
   ProcedureCache& cache_;
+  store::ProcedureStore* store_ = nullptr;  ///< Write-behind tier; optional.
   SchedulerConfig cfg_;
   tt::BatchSolver solver_;
   /// For the per-solve kernel-variant counters: the variant can be re-pinned

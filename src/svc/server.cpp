@@ -146,6 +146,29 @@ bool parse_serve_args(int argc, const char* const* argv, ServeArgs& args,
         return false;
       }
       args.server.max_frame_bytes = static_cast<std::size_t>(v);
+    } else if (is("--store-dir")) {
+      args.cfg.store.dir = arg.substr(std::strlen("--store-dir="));
+      if (args.cfg.store.dir.empty()) {
+        error = "bad value for --store-dir: empty path";
+        return false;
+      }
+    } else if (is("--store-sync")) {
+      const std::string value = arg.substr(std::strlen("--store-sync="));
+      if (!store::parse_sync_mode(value, args.cfg.store.sync)) {
+        error = "bad value for --store-sync: '" + value +
+                "' (accepted: none, batch, always)";
+        return false;
+      }
+    } else if (is("--store-max-mb")) {
+      if (!parse_long(arg, "--store-max-mb", 1, 1 << 20, v, error)) {
+        return false;
+      }
+      args.cfg.store.max_bytes = static_cast<std::uint64_t>(v) << 20;
+    } else if (is("--store-ttl-s")) {
+      if (!parse_long(arg, "--store-ttl-s", 0, 1'000'000'000L, v, error)) {
+        return false;
+      }
+      args.cfg.store.ttl_seconds = static_cast<std::uint64_t>(v);
     } else {
       error = "unknown argument '" + arg + "'";
       return false;
@@ -437,20 +460,23 @@ std::size_t Server::peak_sessions() const {
 }
 
 std::size_t Server::reap_locked() {
-  auto done = [](const std::unique_ptr<Session>& s) {
-    return s->done.load(std::memory_order_acquire);
-  };
-  for (auto& s : sessions_) {
-    if (done(s)) {
-      if (s->thread.joinable()) s->thread.join();
-      if (s->fd >= 0) {
-        ::close(s->fd);
-        s->fd = -1;
+  // Join and erase in one pass, reading `done` exactly once per session: a
+  // session that flips `done` between a separate join sweep and the erase
+  // sweep would be destroyed with its thread still joinable (= terminate).
+  auto it = sessions_.begin();
+  while (it != sessions_.end()) {
+    Session& s = **it;
+    if (s.done.load(std::memory_order_acquire)) {
+      if (s.thread.joinable()) s.thread.join();
+      if (s.fd >= 0) {
+        ::close(s.fd);
+        s.fd = -1;
       }
+      it = sessions_.erase(it);
+    } else {
+      ++it;
     }
   }
-  sessions_.erase(std::remove_if(sessions_.begin(), sessions_.end(), done),
-                  sessions_.end());
   active_gauge_.set(static_cast<double>(sessions_.size()));
   return sessions_.size();
 }

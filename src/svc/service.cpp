@@ -51,6 +51,8 @@ std::string_view cache_outcome_name(CacheOutcome o) noexcept {
       return "miss";
     case CacheOutcome::kInflight:
       return "inflight";
+    case CacheOutcome::kStore:
+      return "store";
     case CacheOutcome::kNone:
       return "none";
   }
@@ -81,8 +83,14 @@ Service::Service(ServiceConfig cfg)
       slow_log_path_(cfg.telemetry.slow_log),
       cfg_(cfg),
       cache_(std::make_unique<ProcedureCache>(cfg.cache, metrics_)),
+      store_(cfg.store.dir.empty()
+                 ? nullptr
+                 : std::make_unique<store::ProcedureStore>(cfg.store,
+                                                           metrics_)),
       scheduler_(std::make_unique<Scheduler>(*cache_, cfg.scheduler, metrics_,
-                                             cfg.workers)) {}
+                                             cfg.workers)) {
+  if (store_ != nullptr) scheduler_->set_store(store_.get());
+}
 
 Response Service::from_outcome(const SolveOutcome& outcome,
                                const std::vector<int>& to_original,
@@ -142,28 +150,28 @@ Service::Pending Service::submit(const tt::Instance& ins) {
     cached = cache_->find(canon->key);
   }
   if (cached != nullptr) {
-    const std::int64_t hit_ns = obs::steady_now_ns();
-    p.is_resolved_ = true;
-    p.cache_ = CacheOutcome::kHit;
-    p.resolved_ = from_outcome(SolveOutcome{Status::kOk, std::move(cached), {}},
-                               p.to_original_, p.weight_scale_,
-                               CacheOutcome::kHit);
-    p.resolved_.trace = p.trace_;
-    const std::int64_t end_ns = obs::steady_now_ns();
-    obs::FlightRecord rec;
-    rec.trace = p.trace_;
-    rec.key_hi = p.key_.hi;
-    rec.key_lo = p.key_.lo;
-    rec.start_ns = p.t0_ns_;
-    rec.admit_us = clamp_u32(us_between(hit_ns, p.t0_ns_));
-    rec.respond_us = clamp_u32(us_between(end_ns, hit_ns));
-    rec.e2e_us = us_between(end_ns, p.t0_ns_);
-    rec.k = p.k_;
-    rec.actions = p.actions_;
-    rec.outcome = static_cast<std::uint8_t>(CacheOutcome::kHit);
-    rec.status = static_cast<std::uint8_t>(Status::kOk);
-    finalize(rec);
+    resolve_cached(p, std::move(cached), CacheOutcome::kHit);
     return p;
+  }
+
+  // Durable second tier: an LRU miss may still be on disk from an earlier
+  // run (or an evicted entry). A store hit deserializes from the mapped
+  // segment, repopulates the LRU, and resolves inline — no kernel solve.
+  if (store_ != nullptr) {
+    std::optional<store::ProcedureStore::Procedure> stored;
+    {
+      TTP_TRACE_SPAN(store_span, "svc.store");
+      stored = store_->get(store::StoreKey{canon->key.hi, canon->key.lo});
+    }
+    if (stored.has_value()) {
+      auto proc = std::make_shared<CachedProcedure>();
+      proc->tree = std::move(stored->tree);
+      proc->cost = stored->cost;
+      proc->bytes = approx_bytes(*proc);
+      cache_->insert(canon->key, proc);
+      resolve_cached(p, std::move(proc), CacheOutcome::kStore);
+      return p;
+    }
   }
 
   Scheduler::Ticket ticket;
@@ -176,6 +184,31 @@ Service::Pending Service::submit(const tt::Instance& ins) {
   p.admit_us_ = clamp_u32(us_between(obs::steady_now_ns(), p.t0_ns_));
   p.future_ = std::move(ticket.future);
   return p;
+}
+
+void Service::resolve_cached(Pending& p,
+                             std::shared_ptr<const CachedProcedure> proc,
+                             CacheOutcome outcome) {
+  const std::int64_t hit_ns = obs::steady_now_ns();
+  p.is_resolved_ = true;
+  p.cache_ = outcome;
+  p.resolved_ = from_outcome(SolveOutcome{Status::kOk, std::move(proc), {}},
+                             p.to_original_, p.weight_scale_, outcome);
+  p.resolved_.trace = p.trace_;
+  const std::int64_t end_ns = obs::steady_now_ns();
+  obs::FlightRecord rec;
+  rec.trace = p.trace_;
+  rec.key_hi = p.key_.hi;
+  rec.key_lo = p.key_.lo;
+  rec.start_ns = p.t0_ns_;
+  rec.admit_us = clamp_u32(us_between(hit_ns, p.t0_ns_));
+  rec.respond_us = clamp_u32(us_between(end_ns, hit_ns));
+  rec.e2e_us = us_between(end_ns, p.t0_ns_);
+  rec.k = p.k_;
+  rec.actions = p.actions_;
+  rec.outcome = static_cast<std::uint8_t>(outcome);
+  rec.status = static_cast<std::uint8_t>(Status::kOk);
+  finalize(rec);
 }
 
 Response Service::solve(const tt::Instance& ins) {
@@ -318,17 +351,29 @@ void Service::write_slow_capture(const obs::FlightRecord& rec) {
 
 std::string Service::stats_text() const {
   std::ostringstream os;
+  // The preamble keeps the same byte-stable invariant as the registry dump
+  // below: every `name: value` line in STATS is sorted by name, preamble
+  // included (admission.* < kernel.* < store.* < svc.*) — smoke-checked by
+  // tools/serve_smoke.py.
+  // The effective admission limits, so an operator reading STATS can tell
+  // which tier a rejected instance tripped without consulting flags.
+  os << "admission.max_actions: " << cfg_.scheduler.max_actions << "\n"
+     << "admission.max_k: " << cfg_.scheduler.max_k << "\n"
+     << "admission.max_sparse_k: " << cfg_.scheduler.max_sparse_k << "\n"
+     << "admission.sparse_budget_bytes: " << cfg_.scheduler.sparse_budget_bytes
+     << "\n";
   // Which kernel the solve path dispatches to (scalar | simd-portable |
   // simd-avx2) — operators reading STATS see at a glance whether the
   // binary picked up AVX2 on this host or was pinned via TTP_KERNEL.
   os << "kernel.variant: " << tt::active_kernel_variant_name() << "\n";
-  // The effective admission limits, so an operator reading STATS can tell
-  // which tier a rejected instance tripped without consulting flags.
-  os << "admission.max_k: " << cfg_.scheduler.max_k << "\n"
-     << "admission.max_actions: " << cfg_.scheduler.max_actions << "\n"
-     << "admission.max_sparse_k: " << cfg_.scheduler.max_sparse_k << "\n"
-     << "admission.sparse_budget_bytes: " << cfg_.scheduler.sparse_budget_bytes
-     << "\n";
+  if (store_ != nullptr) {
+    os << "store.dir: " << store_->config().dir << "\n"
+       << "store.max_bytes: " << store_->config().max_bytes << "\n"
+       << "store.sync: " << store::sync_mode_name(store_->config().sync)
+       << "\n";
+  } else {
+    os << "store.dir: (off)\n";
+  }
   metrics_.print(os, "");
   return os.str();
 }
@@ -363,6 +408,15 @@ std::string Service::health_text() const {
      << "cache.capacity_bytes: " << cache_->capacity_bytes() << '\n'
      << "workers: " << scheduler_->workers() << '\n'
      << "flight.recorded: " << flight_.total_recorded() << '\n';
+  if (store_ != nullptr) {
+    const store::StoreStats st = store_->stats();
+    os << "store.bytes: " << st.bytes << '\n'
+       << "store.live_records: " << st.live_records << '\n'
+       << "store.segments: " << st.segments << '\n'
+       << "store.corrupt_skipped: " << st.corrupt_skipped << '\n';
+  } else {
+    os << "store: off\n";
+  }
   return os.str();
 }
 

@@ -29,6 +29,7 @@
 #include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/quantiles.hpp"
+#include "store/store.hpp"
 #include "svc/cache.hpp"
 #include "svc/canon.hpp"
 #include "svc/scheduler.hpp"
@@ -42,6 +43,7 @@ enum class CacheOutcome {
   kHit,       ///< Served from the procedure cache.
   kMiss,      ///< This request led a kernel solve.
   kInflight,  ///< Joined another request's in-flight solve (singleflight).
+  kStore,     ///< LRU miss served from the durable store (no kernel solve).
   kNone,      ///< Rejected/errored before the cache mattered.
 };
 
@@ -64,6 +66,10 @@ struct ServiceConfig {
   CacheConfig cache;
   SchedulerConfig scheduler;
   TelemetryConfig telemetry;
+  /// Durable second tier (docs/store.md). Off unless store.dir is set; when
+  /// on, LRU misses consult the store before scheduling a solve, and every
+  /// solved procedure is appended write-behind.
+  store::StoreConfig store;
   std::size_t workers = 0;  ///< BatchSolver pool width; 0 = hardware.
 };
 
@@ -132,6 +138,8 @@ class Service {
   const obs::MetricsRegistry& metrics() const noexcept { return metrics_; }
   ProcedureCache& cache() noexcept { return *cache_; }
   Scheduler& scheduler() noexcept { return *scheduler_; }
+  /// nullptr when no durable store is configured.
+  store::ProcedureStore* store() noexcept { return store_.get(); }
   const obs::FlightRecorder& flight() const noexcept { return flight_; }
 
   /// Human-readable metrics dump (the daemon's STATS payload).
@@ -179,6 +187,12 @@ class Service {
                                const std::vector<int>& to_original,
                                double weight_scale, CacheOutcome cache);
 
+  /// Resolves a Pending inline from an already-available procedure (LRU hit
+  /// or durable-store hit) and emits its flight record.
+  void resolve_cached(Pending& p,
+                      std::shared_ptr<const CachedProcedure> proc,
+                      CacheOutcome outcome);
+
   /// One exit point for every request: fills the flight record's stage
   /// fields into the sketches, publishes the record, and (when the request
   /// is slow and capture is on) dumps record + span tree as JSONL.
@@ -194,6 +208,10 @@ class Service {
   std::mutex slow_log_mu_;  ///< Serializes JSONL lines across requests.
   ServiceConfig cfg_;       ///< Kept for HEALTH (max_queue, capacity).
   std::unique_ptr<ProcedureCache> cache_;
+  /// Declared before scheduler_: the scheduler holds a raw write-behind
+  /// pointer, so it must be destroyed first. The store's own destructor is
+  /// the drain-path flush (fsync + clean close).
+  std::unique_ptr<store::ProcedureStore> store_;
   std::unique_ptr<Scheduler> scheduler_;
 };
 

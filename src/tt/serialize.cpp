@@ -1,6 +1,8 @@
 #include "tt/serialize.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <cstring>
 #include <fstream>
 #include <numeric>
 #include <sstream>
@@ -168,6 +170,216 @@ Instance load_file(const std::string& path) {
   std::ifstream is(path);
   if (!is) throw std::runtime_error("cannot open: " + path);
   return read_text(is);
+}
+
+// ---------------------------------------------------------------------------
+// Binary codecs
+
+namespace {
+
+void put_varint(std::string& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out.push_back(static_cast<char>(v));
+}
+
+/// Zigzag: small magnitudes (including -1, the codec's "absent arc") stay
+/// one byte.
+void put_zigzag(std::string& out, std::int64_t v) {
+  put_varint(out, (static_cast<std::uint64_t>(v) << 1) ^
+                      static_cast<std::uint64_t>(v >> 63));
+}
+
+void put_double(std::string& out, double d) {
+  // Raw IEEE bits, little-endian: byte-exact round trip with no decimal
+  // detour, so decode→to_text matches the source text exactly.
+  std::uint64_t bits = std::bit_cast<std::uint64_t>(d);
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>(bits & 0xff));
+    bits >>= 8;
+  }
+}
+
+/// Bounds-checked reader over untrusted bytes. Every accessor throws
+/// std::invalid_argument before touching memory past the span's end.
+struct BinReader {
+  const unsigned char* p;
+  std::size_t left;
+
+  explicit BinReader(std::string_view bytes)
+      : p(reinterpret_cast<const unsigned char*>(bytes.data())),
+        left(bytes.size()) {}
+
+  [[noreturn]] static void fail(const char* what) {
+    throw std::invalid_argument(std::string("binary decode: ") + what);
+  }
+
+  std::uint64_t varint() {
+    std::uint64_t v = 0;
+    int shift = 0;
+    while (true) {
+      if (left == 0) fail("truncated varint");
+      if (shift >= 64) fail("varint overflows 64 bits");
+      const unsigned char byte = *p++;
+      --left;
+      v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+      if ((byte & 0x80) == 0) return v;
+      shift += 7;
+    }
+  }
+
+  std::int64_t zigzag() {
+    const std::uint64_t v = varint();
+    return static_cast<std::int64_t>((v >> 1) ^ (~(v & 1) + 1));
+  }
+
+  double f64() {
+    if (left < 8) fail("truncated double");
+    std::uint64_t bits = 0;
+    for (int i = 0; i < 8; ++i) {
+      bits |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    }
+    p += 8;
+    left -= 8;
+    return std::bit_cast<double>(bits);
+  }
+
+  std::string bytes(std::size_t n) {
+    if (left < n) fail("truncated byte run");
+    std::string out(reinterpret_cast<const char*>(p), n);
+    p += n;
+    left -= n;
+    return out;
+  }
+
+  void expect_done() const {
+    if (left != 0) fail("trailing bytes after value");
+  }
+};
+
+/// Checked narrowing of a decoded count against a cap — BEFORE any
+/// allocation sized by it, so a lying length field cannot OOM the decoder.
+std::size_t checked_count(std::uint64_t v, std::uint64_t cap,
+                          const char* what) {
+  if (v > cap) {
+    BinReader::fail(what);
+  }
+  return static_cast<std::size_t>(v);
+}
+
+int checked_index(std::int64_t v, std::int64_t n, const char* what) {
+  // Valid range is [-1, n): -1 encodes "absent" everywhere the tree uses it.
+  if (v < -1 || v >= n) BinReader::fail(what);
+  return static_cast<int>(v);
+}
+
+}  // namespace
+
+void encode_tree_binary(const Tree& tree, std::string& out) {
+  const auto& nodes = tree.nodes();
+  if (nodes.size() > kMaxBinaryNodes) {
+    throw std::invalid_argument("encode_tree_binary: too many nodes");
+  }
+  put_varint(out, nodes.size());
+  put_zigzag(out, tree.root());
+  for (const TreeNode& n : nodes) {
+    put_varint(out, n.state);
+    put_zigzag(out, n.action);
+    put_zigzag(out, n.yes);
+    put_zigzag(out, n.no);
+  }
+}
+
+Tree decode_tree_binary(std::string_view bytes) {
+  BinReader r(bytes);
+  const std::size_t count =
+      checked_count(r.varint(), kMaxBinaryNodes, "node count past cap");
+  const std::int64_t n = static_cast<std::int64_t>(count);
+  const int root = checked_index(r.zigzag(), n, "root outside node array");
+  std::vector<TreeNode> nodes(count);
+  for (TreeNode& node : nodes) {
+    const std::uint64_t state = r.varint();
+    if (state > 0xffffffffull) BinReader::fail("state mask past 32 bits");
+    node.state = static_cast<Mask>(state);
+    // Actions index an instance the codec never sees; cap at the varint's
+    // value range and let the consumer (tree walk against its instance)
+    // reject out-of-range actions.
+    const std::int64_t action = r.zigzag();
+    if (action < -1 || action > static_cast<std::int64_t>(kMaxBinaryActions)) {
+      BinReader::fail("action index out of range");
+    }
+    node.action = static_cast<int>(action);
+    node.yes = checked_index(r.zigzag(), n, "yes arc outside node array");
+    node.no = checked_index(r.zigzag(), n, "no arc outside node array");
+  }
+  r.expect_done();
+  if (count == 0) return Tree{};
+  return Tree(std::move(nodes), root);
+}
+
+void encode_instance_binary(const Instance& ins, std::string& out) {
+  if (static_cast<std::uint64_t>(ins.num_actions()) > kMaxBinaryActions) {
+    throw std::invalid_argument("encode_instance_binary: too many actions");
+  }
+  put_varint(out, static_cast<std::uint64_t>(ins.k()));
+  for (int j = 0; j < ins.k(); ++j) put_double(out, ins.weight(j));
+  put_varint(out, static_cast<std::uint64_t>(ins.num_actions()));
+  for (const Action& a : ins.actions()) {
+    if (a.name.size() > kMaxBinaryNameBytes) {
+      throw std::invalid_argument("encode_instance_binary: name too long");
+    }
+    out.push_back(a.is_test ? 1 : 0);
+    put_varint(out, a.set);
+    put_double(out, a.cost);
+    put_varint(out, a.name.size());
+    out.append(a.name);
+  }
+}
+
+Instance decode_instance_binary(std::string_view bytes) {
+  BinReader r(bytes);
+  const std::uint64_t k64 = r.varint();
+  if (k64 < 1 || k64 > 32) BinReader::fail("k outside [1, 32]");
+  const int k = static_cast<int>(k64);
+  std::vector<double> weights(static_cast<std::size_t>(k));
+  for (double& w : weights) w = r.f64();
+  const std::size_t count =
+      checked_count(r.varint(), kMaxBinaryActions, "action count past cap");
+  struct Decoded {
+    bool is_test;
+    Mask set;
+    double cost;
+    std::string name;
+  };
+  std::vector<Decoded> actions;
+  actions.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Decoded d;
+    const std::string kind = r.bytes(1);
+    if (kind[0] != 0 && kind[0] != 1) BinReader::fail("bad action kind byte");
+    d.is_test = kind[0] == 1;
+    const std::uint64_t set = r.varint();
+    if (set > 0xffffffffull) BinReader::fail("action set past 32 bits");
+    d.set = static_cast<Mask>(set);
+    d.cost = r.f64();
+    const std::size_t name_len = checked_count(
+        r.varint(), kMaxBinaryNameBytes, "name length past cap");
+    d.name = r.bytes(name_len);
+    actions.push_back(std::move(d));
+  }
+  r.expect_done();
+  Instance ins(k, std::move(weights));
+  for (Decoded& d : actions) {
+    if (d.is_test) {
+      ins.add_test(d.set, d.cost, std::move(d.name));
+    } else {
+      ins.add_treatment(d.set, d.cost, std::move(d.name));
+    }
+  }
+  ins.check();
+  return ins;
 }
 
 }  // namespace ttp::tt

@@ -10,11 +10,14 @@
 // Order of actions is preserved within each kind; '#' starts a comment.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "tt/instance.hpp"
+#include "tt/tree.hpp"
 
 namespace ttp::tt {
 
@@ -46,5 +49,45 @@ Instance read_text(std::istream& is);
 /// File helpers (throw std::runtime_error on I/O failure).
 void save_file(const std::string& path, const Instance& ins);
 Instance load_file(const std::string& path);
+
+// ---------------------------------------------------------------------------
+// Compact binary codecs (the durable procedure store's record payloads,
+// src/store/format.hpp). Layout: LEB128 varints for counts and masks,
+// zigzag varints for signed tree indices, doubles as their raw IEEE-754
+// bits little-endian — so a decode→re-encode round trip is byte-identical
+// and decode→to_text reproduces the exact source text (doubles never pass
+// through a decimal conversion).
+//
+// Decoders are hardened for untrusted bytes: every read is bounds-checked
+// against the input span (never past-the-end, no matter how the length
+// fields lie), counts are capped (kMaxBinaryNodes / kMaxBinaryActions /
+// kMaxBinaryNameBytes) before any allocation, and tree arcs / action
+// indices / set bits are range-checked. Malformed input throws
+// std::invalid_argument; it never crashes or reads out of bounds
+// (tests/test_serialize_binary.cpp fuzzes truncations and bit flips under
+// the sanitizer jobs).
+
+/// Decode-side allocation caps; encodes above them are rejected too, so the
+/// codec stays symmetric.
+inline constexpr std::uint64_t kMaxBinaryNodes = std::uint64_t{1} << 26;
+inline constexpr std::uint64_t kMaxBinaryActions = std::uint64_t{1} << 20;
+inline constexpr std::uint64_t kMaxBinaryNameBytes = std::uint64_t{1} << 16;
+
+/// Appends the binary form of `tree` to `out`.
+void encode_tree_binary(const Tree& tree, std::string& out);
+
+/// Parses encode_tree_binary output; throws std::invalid_argument on
+/// malformed input (truncation, arc indices outside the node array, counts
+/// past the caps). Requires the whole span to be consumed.
+Tree decode_tree_binary(std::string_view bytes);
+
+/// Appends the binary form of `ins` (weights, actions with names, insertion
+/// order preserved) to `out`.
+void encode_instance_binary(const Instance& ins, std::string& out);
+
+/// Parses encode_instance_binary output; throws std::invalid_argument on
+/// malformed input. The result satisfies Instance::check() and
+/// to_text(decode(encode(ins))) == to_text(ins) byte-for-byte.
+Instance decode_instance_binary(std::string_view bytes);
 
 }  // namespace ttp::tt

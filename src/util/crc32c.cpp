@@ -1,0 +1,149 @@
+#include "util/crc32c.hpp"
+
+#include <atomic>
+#include <cstring>
+
+namespace ttp::util {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Table fallback: slicing-by-8 over the reflected polynomial 0x82F63B78.
+// The eight tables are built once, lazily, under a local static initializer
+// (thread-safe per the standard); ~8 KiB total.
+
+struct Tables {
+  std::uint32_t t[8][256];
+  Tables() {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1u) ? 0x82F63B78u : 0u);
+      }
+      t[0][i] = crc;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = t[0][i];
+      for (int slice = 1; slice < 8; ++slice) {
+        crc = t[0][crc & 0xffu] ^ (crc >> 8);
+        t[slice][i] = crc;
+      }
+    }
+  }
+};
+
+const Tables& tables() {
+  static const Tables tbl;
+  return tbl;
+}
+
+std::uint32_t extend_table(std::uint32_t crc, const void* data,
+                           std::size_t len) noexcept {
+  const Tables& tbl = tables();
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  while (len >= 8) {
+    std::uint32_t lo;
+    std::uint32_t hi;
+    std::memcpy(&lo, p, 4);
+    std::memcpy(&hi, p + 4, 4);
+    lo ^= crc;
+    crc = tbl.t[7][lo & 0xffu] ^ tbl.t[6][(lo >> 8) & 0xffu] ^
+          tbl.t[5][(lo >> 16) & 0xffu] ^ tbl.t[4][lo >> 24] ^
+          tbl.t[3][hi & 0xffu] ^ tbl.t[2][(hi >> 8) & 0xffu] ^
+          tbl.t[1][(hi >> 16) & 0xffu] ^ tbl.t[0][hi >> 24];
+    p += 8;
+    len -= 8;
+  }
+  while (len-- != 0) {
+    crc = tbl.t[0][(crc ^ *p++) & 0xffu] ^ (crc >> 8);
+  }
+  return crc;
+}
+
+// ---------------------------------------------------------------------------
+// SSE4.2 hardware path: the crc32 instruction consumes 8 bytes per issue.
+// Only the function below is compiled for sse4.2 (target attribute), so the
+// binary stays runnable on any x86-64 — dispatch consults CPUID first.
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define TTP_CRC32C_HAS_HW 1
+
+__attribute__((target("sse4.2"))) std::uint32_t extend_hw(
+    std::uint32_t crc, const void* data, std::size_t len) noexcept {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  std::uint64_t crc64 = crc;
+  while (len >= 8) {
+    std::uint64_t word;
+    std::memcpy(&word, p, 8);
+    crc64 = __builtin_ia32_crc32di(crc64, word);
+    p += 8;
+    len -= 8;
+  }
+  std::uint32_t crc32 = static_cast<std::uint32_t>(crc64);
+  while (len-- != 0) {
+    crc32 = __builtin_ia32_crc32qi(crc32, *p++);
+  }
+  return crc32;
+}
+
+bool cpu_has_sse42() noexcept { return __builtin_cpu_supports("sse4.2"); }
+#else
+#define TTP_CRC32C_HAS_HW 0
+#endif
+
+// ---------------------------------------------------------------------------
+// Dispatch: resolved once, then a relaxed atomic load (same discipline as
+// the kernel variant dispatch in tt/kernel.cpp).
+
+using ExtendFn = std::uint32_t (*)(std::uint32_t, const void*,
+                                   std::size_t) noexcept;
+
+std::atomic<ExtendFn> g_extend{nullptr};
+
+ExtendFn resolve() noexcept {
+  ExtendFn fn = extend_table;
+#if TTP_CRC32C_HAS_HW
+  if (cpu_has_sse42()) fn = extend_hw;
+#endif
+  g_extend.store(fn, std::memory_order_relaxed);
+  return fn;
+}
+
+ExtendFn extend_fn() noexcept {
+  ExtendFn fn = g_extend.load(std::memory_order_relaxed);
+  return fn != nullptr ? fn : resolve();
+}
+
+}  // namespace
+
+std::uint32_t crc32c_init() noexcept { return 0xFFFFFFFFu; }
+
+std::uint32_t crc32c_extend(std::uint32_t state, const void* data,
+                            std::size_t len) noexcept {
+  return extend_fn()(state, data, len);
+}
+
+std::uint32_t crc32c_finish(std::uint32_t state) noexcept {
+  return state ^ 0xFFFFFFFFu;
+}
+
+std::uint32_t crc32c(const void* data, std::size_t len) noexcept {
+  return crc32c_finish(crc32c_extend(crc32c_init(), data, len));
+}
+
+bool crc32c_hw_available() noexcept {
+#if TTP_CRC32C_HAS_HW
+  return cpu_has_sse42();
+#else
+  return false;
+#endif
+}
+
+std::string_view crc32c_impl_name() noexcept {
+#if TTP_CRC32C_HAS_HW
+  if (extend_fn() == extend_hw) return "sse42";
+#endif
+  return "table";
+}
+
+}  // namespace ttp::util

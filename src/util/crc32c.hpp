@@ -1,0 +1,41 @@
+// CRC-32C (Castagnoli, polynomial 0x1EDC6F41): the checksum guarding the
+// durable procedure store's records (src/store/format.hpp).
+//
+// Two byte-identical implementations, runtime-dispatched like the DP kernel
+// (tt/kernel.hpp): an SSE4.2 hardware path using the crc32 instruction
+// (8 bytes per issue) when CPUID reports support, and a slicing-by-8 table
+// fallback everywhere else. The first call resolves the dispatch; later
+// calls are one relaxed atomic load. Both paths implement the standard
+// CRC-32C convention (init 0xFFFFFFFF, reflected, final xor 0xFFFFFFFF), so
+// crc32c("123456789") == 0xE3069283 — the iSCSI check value — on every
+// host, and a segment written on an SSE4.2 machine verifies on one without.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace ttp::util {
+
+/// CRC-32C of `len` bytes at `data` (finalized: init/xorout applied).
+std::uint32_t crc32c(const void* data, std::size_t len) noexcept;
+
+inline std::uint32_t crc32c(std::string_view bytes) noexcept {
+  return crc32c(bytes.data(), bytes.size());
+}
+
+/// Incremental form: feed `crc32c_init()`, then extend over consecutive
+/// chunks, then `crc32c_finish()`. crc32c(a+b) ==
+/// finish(extend(extend(init(), a), b)) — pinned by tests.
+std::uint32_t crc32c_init() noexcept;
+std::uint32_t crc32c_extend(std::uint32_t state, const void* data,
+                            std::size_t len) noexcept;
+std::uint32_t crc32c_finish(std::uint32_t state) noexcept;
+
+/// True when the dispatch resolved to the SSE4.2 instruction path.
+bool crc32c_hw_available() noexcept;
+
+/// "sse42" or "table" — what crc32c() currently executes.
+std::string_view crc32c_impl_name() noexcept;
+
+}  // namespace ttp::util

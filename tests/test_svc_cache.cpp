@@ -133,6 +133,44 @@ TEST(SvcCache, ClearDropsEverything) {
   EXPECT_EQ(cache.find(key(0)), nullptr);
 }
 
+TEST(SvcCache, ApproxBytesChargesEntryMetadata) {
+  // Even an empty-tree procedure carries the make_shared control block, the
+  // LRU list node (key + shared_ptr + expiry + prev/next), the hash-map
+  // node, and allocator headers. The accountant must charge a meaningful
+  // fixed floor per entry — 200 bytes is the stated bound the budget test
+  // below relies on.
+  CachedProcedure empty;
+  EXPECT_GE(approx_bytes(empty), 200u);
+  // And the tree storage is charged by capacity on top of the floor.
+  CachedProcedure with_tree;
+  with_tree.tree = tt::Tree(std::vector<tt::TreeNode>(100), 0);
+  EXPECT_GE(approx_bytes(with_tree),
+            approx_bytes(empty) + 100 * sizeof(tt::TreeNode));
+}
+
+TEST(SvcCache, ManySmallEntriesRespectByteBudget) {
+  // A flood of tiny entries must stay inside the configured budget via the
+  // per-entry metadata charge — with only tree bytes accounted, 10k
+  // empty-tree entries would all "fit" a 64 KiB cache while really holding
+  // several MiB of nodes and map/list overhead.
+  obs::MetricsRegistry m;
+  CacheConfig cfg;
+  cfg.capacity_bytes = std::size_t{64} << 10;
+  cfg.shards = 1;
+  ProcedureCache cache(cfg, m);
+  for (std::uint64_t i = 0; i < 10'000; ++i) {
+    auto p = std::make_shared<CachedProcedure>();
+    p->cost = 1.0;
+    p->bytes = approx_bytes(*p);  // what the scheduler does on insert
+    cache.insert(key(i), std::move(p));
+  }
+  EXPECT_LE(cache.bytes(), cfg.capacity_bytes);
+  // The stated bound: >= 200 accounted bytes per entry, so at most
+  // capacity/200 entries survive.
+  EXPECT_LE(cache.size(), cfg.capacity_bytes / 200);
+  EXPECT_GT(m.get("svc.cache.evictions"), 0u);
+}
+
 TEST(SvcCache, EvictedEntryStaysAliveForHolders) {
   obs::MetricsRegistry m;
   CacheConfig cfg;

@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Crash-recovery smoke for the durable procedure store (docs/store.md).
+
+Drives a real ttp_serve with --store-dir through a kill -9 and asserts the
+warm restart serves from disk instead of re-solving:
+
+  phase 1  spawn ttp_serve --port=0 --store-dir=DIR, SOLVE 50 distinct
+           instances (all kernel misses, each appended write-behind), then
+           SIGKILL the daemon mid-traffic — more SOLVEs are in flight when
+           the process dies, so the store sees an unclean shutdown with no
+           drain, no final fsync, and (possibly) an unfinished append.
+
+  phase 2  restart on the same directory, re-SOLVE the same 50 instances,
+           and require:
+             * >= 45 of them answered cache=store (the warm tier; a couple
+               of keys may legitimately have died with the in-flight tail),
+             * METRICS agrees: ttp_svc_store_hits_total >= 45,
+             * kernel solves on the warm run <= 50 - 45 (no silent
+               re-solving behind a claimed store hit),
+           then SIGTERM for a graceful drain (exit 0).
+
+  phase 3  `ttp_store verify DIR` exits 0 with zero corrupt live records —
+           whatever the kill tore off the tail was truncated at reopen, and
+           everything still indexed parses clean.
+
+Usage: tools/store_smoke.py [serve_binary] [store_binary]
+Defaults: ./build/src/ttp_serve ./build/src/ttp_store
+"""
+
+import os
+import random
+import re
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+
+from serve_smoke import TcpSession, make_instance, parse_listening
+
+
+def fail(msg: str) -> None:
+    print(f"FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def spawn(binary: str, store_dir: str):
+    proc = subprocess.Popen(
+        [binary, "--port=0", f"--store-dir={store_dir}"],
+        stdin=subprocess.DEVNULL,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.PIPE,
+    )
+    return proc, parse_listening(proc.stderr)
+
+
+def solve(s: TcpSession, body: str) -> str:
+    """One SOLVE round trip; returns the reply head line."""
+    s.send(f"SOLVE\n{body}END\n")
+    head = s.read_line()
+    if not head.startswith("OK cache="):
+        fail(f"unexpected SOLVE reply: {head!r}")
+    s.read_until_end(head)  # drain the tree frame
+    return head
+
+
+def metric(s: TcpSession, name: str) -> float:
+    s.send("METRICS\n")
+    lines = s.read_until_end(s.read_line())
+    for line in lines:
+        m = re.fullmatch(re.escape(name) + r" ([0-9eE+.-]+)", line)
+        if m:
+            return float(m.group(1))
+    fail(f"METRICS lacks {name}")
+
+
+def main() -> int:
+    serve_bin = sys.argv[1] if len(sys.argv) > 1 else "./build/src/ttp_serve"
+    store_bin = sys.argv[2] if len(sys.argv) > 2 else "./build/src/ttp_store"
+
+    rng = random.Random(20260808)
+    distinct = [make_instance(i, rng) for i in range(50)]
+    extra = [make_instance(100 + i, rng) for i in range(20)]
+
+    store_dir = tempfile.mkdtemp(prefix="ttp_store_smoke_")
+    try:
+        # ---- phase 1: populate, then die hard mid-traffic ----------------
+        proc, port = spawn(serve_bin, store_dir)
+        s = TcpSession(port)
+        for body in distinct:
+            solve(s, body)
+        appends = metric(s, "ttp_svc_store_appends_total")
+        if appends < 50:
+            fail(f"phase 1 appended {appends} records, expected >= 50")
+        print(f"phase 1: 50 keys solved, {appends:.0f} records appended")
+        # Keep requests in flight while the process dies: fire the extra
+        # stream without reading replies, then SIGKILL.
+        s.send("".join(f"SOLVE\n{body}END\n" for body in extra))
+        s.read_line()  # at least one landed; the rest race the kill
+        proc.send_signal(signal.SIGKILL)
+        if proc.wait(timeout=30) != -signal.SIGKILL:
+            fail(f"expected death by SIGKILL, got {proc.returncode}")
+        s.close()
+        print("phase 1: daemon killed -9 mid-traffic")
+
+        # ---- phase 2: warm restart must serve from the store -------------
+        proc, port = spawn(serve_bin, store_dir)
+        s = TcpSession(port)
+        heads = [solve(s, body) for body in distinct]
+        from_store = sum(1 for h in heads if h.startswith("OK cache=store"))
+        store_hits = metric(s, "ttp_svc_store_hits_total")
+        kernel = metric(s, "ttp_svc_solve_kernel_instances_total")
+        print(f"phase 2: {from_store}/50 served cache=store, "
+              f"store_hits={store_hits:.0f}, kernel_solves={kernel:.0f}")
+        if from_store < 45:
+            fail(f"only {from_store}/50 warm requests came from the store")
+        if store_hits < 45:
+            fail(f"ttp_svc_store_hits_total = {store_hits}, expected >= 45")
+        if kernel > 50 - from_store:
+            fail(f"{kernel:.0f} kernel solves on the warm run — the store "
+                 "tier is claiming hits it did not serve")
+        s.send("QUIT\n")
+        if s.read_line() != "BYE":
+            fail("warm session did not close with BYE")
+        s.close()
+        proc.terminate()  # graceful drain: flush + clean store close
+        if proc.wait(timeout=30) != 0:
+            fail(f"graceful drain exited {proc.returncode}")
+
+        # ---- phase 3: offline verify finds zero corrupt records ----------
+        out = subprocess.run(
+            [store_bin, "verify", store_dir],
+            capture_output=True, text=True, timeout=60,
+        )
+        print(out.stdout.strip())
+        if out.returncode != 0:
+            fail(f"ttp_store verify exited {out.returncode}: {out.stderr}")
+        kv = dict(line.split(None, 1) for line in out.stdout.splitlines()
+                  if len(line.split(None, 1)) == 2)
+        if int(kv.get("corrupt", "-1")) != 0:
+            fail(f"verify reports corrupt={kv.get('corrupt')}")
+        if int(kv.get("live_records", "0")) < 50:
+            fail(f"verify reports live_records={kv.get('live_records')}, "
+                 "expected >= 50")
+    finally:
+        shutil.rmtree(store_dir, ignore_errors=True)
+    print("store smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
